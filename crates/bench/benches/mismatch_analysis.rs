@@ -1,0 +1,73 @@
+//! Criterion benches of the pseudo-noise flow per benchmark circuit, split
+//! into the PSS stage and the LPTV+metrics stage (the paper's cost model:
+//! the LPTV stage is nearly free next to the PSS solve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tranvar_circuits::{ArrivalOrder, LogicPath, RingOsc, StrongArm, Tech};
+use tranvar_core::prelude::*;
+use tranvar_core::{analyze_with_pss, solve_pss};
+
+fn bench_comparator(c: &mut Criterion) {
+    let tech = Tech::t013();
+    let sa = StrongArm::paper(&tech);
+    let config = PssConfig::Driven {
+        period: sa.period,
+        opts: sa.pss_options(),
+    };
+    let mut g = c.benchmark_group("comparator_offset");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("pss", |b| {
+        b.iter(|| solve_pss(&sa.circuit, &config).unwrap())
+    });
+    let pss = solve_pss(&sa.circuit, &config).unwrap();
+    g.bench_function("lptv+metrics", |b| {
+        b.iter(|| analyze_with_pss(&sa.circuit, pss.clone(), &[sa.offset_metric()]).unwrap())
+    });
+    g.bench_function("full", |b| {
+        b.iter(|| analyze(&sa.circuit, &config, &[sa.offset_metric()]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_logic_path(c: &mut Criterion) {
+    let tech = Tech::t013();
+    let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
+    let config = PssConfig::Driven {
+        period: path.period,
+        opts: path.pss_options(),
+    };
+    let mut g = c.benchmark_group("logic_path_delay");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("full", |b| {
+        b.iter(|| analyze(&path.circuit, &config, &path.delay_metrics()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let tech = Tech::t013();
+    let ring = RingOsc::paper(&tech);
+    let config = PssConfig::Autonomous {
+        period_hint: ring.period_hint,
+        phase_node: ring.stages[0],
+        phase_value: ring.phase_value,
+        opts: ring.osc_options(),
+    };
+    let metrics = [MetricSpec::new("f0", Metric::Frequency)];
+    let mut g = c.benchmark_group("ring_osc_frequency");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    g.bench_function("full", |b| {
+        b.iter(|| analyze(&ring.circuit, &config, &metrics).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_comparator, bench_logic_path, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 10 — sensitivity of the comparator offset variance to each
+//! transistor width (paper: the input pair M2-M3 dominates).
+
+use tranvar_bench::timed;
+use tranvar_circuits::{StrongArm, Tech};
+use tranvar_core::prelude::*;
+
+fn main() {
+    let tech = Tech::t013();
+    let sa = StrongArm::paper(&tech);
+    let (res, t) = timed(|| {
+        analyze(
+            &sa.circuit,
+            &PssConfig::Driven {
+                period: sa.period,
+                opts: sa.pss_options(),
+            },
+            &[sa.offset_metric()],
+        )
+        .expect("analysis")
+    });
+    let rep = &res.reports[0];
+    println!("Fig. 10: StrongARM comparator offset sensitivity to transistor widths");
+    println!("sigma(offset) = {:.3} mV  (analysis time {})\n", rep.sigma() * 1e3, tranvar_bench::fmt_time(t));
+    println!(
+        "{:<8} {:>8} {:>16} {:>18} {:>16}",
+        "device", "W [um]", "var share [%]", "d(sigma^2)/dW", "d(sigma)/dW"
+    );
+    let ws = width_sensitivities(&sa.circuit, rep);
+    for w in &ws {
+        println!(
+            "{:<8} {:>8.2} {:>16.2} {:>15.3e} V^2/m {:>13.3e} V/m",
+            w.device,
+            w.width * 1e6,
+            100.0 * w.variance_contribution / rep.variance(),
+            w.dvar_dw,
+            w.dsigma_dw
+        );
+    }
+    let pair_share: f64 = ws
+        .iter()
+        .filter(|w| w.device == "M2" || w.device == "M3")
+        .map(|w| w.variance_contribution)
+        .sum::<f64>()
+        / rep.variance();
+    println!("\ninput pair (M2+M3) variance share: {:.1}% -- upsize these first (paper's conclusion)", pair_share * 100.0);
+}

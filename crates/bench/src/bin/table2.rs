@@ -1,0 +1,153 @@
+//! Table II — benchmark summary: σ from the pseudo-noise analysis vs
+//! Monte-Carlo, wall-clock for both, and the speedup versus a 1000-point MC
+//! (the paper reports 100–1000×).
+//!
+//! Monte-Carlo timing is measured on `--quick` batches and extrapolated to
+//! 1000 points (per-sample work is constant); `--full` runs the real
+//! 1000-point set.
+
+use tranvar_bench::{fmt_time, samples, timed};
+use tranvar_circuits::{ArrivalOrder, LogicPath, RingOsc, StrongArm, Tech};
+use tranvar_core::prelude::*;
+use tranvar_engine::mc::{monte_carlo, McOptions};
+
+struct Row {
+    name: &'static str,
+    metric_unit: &'static str,
+    unit_scale: f64,
+    sigma_pn: f64,
+    t_pn: f64,
+    sigma_mc: f64,
+    t_mc_1000: f64,
+    n_mc: usize,
+}
+
+fn main() {
+    let tech = Tech::t013();
+    let mut rows = Vec::new();
+
+    // --- Clocked comparator: input offset voltage --------------------------
+    {
+        let sa = StrongArm::paper(&tech);
+        let (res, t_pn) = timed(|| {
+            analyze(
+                &sa.circuit,
+                &PssConfig::Driven {
+                    period: sa.period,
+                    opts: sa.pss_options(),
+                },
+                &[sa.offset_metric()],
+            )
+            .expect("comparator analysis")
+        });
+        let n_mc = samples(60, 1000);
+        let (mc, t_mc) = timed(|| {
+            monte_carlo(&sa.circuit, &McOptions::new(n_mc, 1), |c| {
+                sa.measure_offset_bisect(c)
+            })
+        });
+        rows.push(Row {
+            name: "comparator offset",
+            metric_unit: "mV",
+            unit_scale: 1e3,
+            sigma_pn: res.reports[0].sigma(),
+            t_pn,
+            sigma_mc: mc.stats.std_dev(),
+            t_mc_1000: t_mc * 1000.0 / n_mc as f64,
+            n_mc,
+        });
+    }
+
+    // --- Logic path: delay at output A -------------------------------------
+    {
+        let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
+        let (res, t_pn) = timed(|| {
+            analyze(
+                &path.circuit,
+                &PssConfig::Driven {
+                    period: path.period,
+                    opts: path.pss_options(),
+                },
+                &path.delay_metrics(),
+            )
+            .expect("path analysis")
+        });
+        let n_mc = samples(150, 1000);
+        let (mc, t_mc) = timed(|| {
+            monte_carlo(&path.circuit, &McOptions::new(n_mc, 2), |c| {
+                Ok(path.measure_delays_transient(c)?[0])
+            })
+        });
+        rows.push(Row {
+            name: "logic path delay",
+            metric_unit: "ps",
+            unit_scale: 1e12,
+            sigma_pn: res.reports[0].sigma(),
+            t_pn,
+            sigma_mc: mc.stats.std_dev(),
+            t_mc_1000: t_mc * 1000.0 / n_mc as f64,
+            n_mc,
+        });
+    }
+
+    // --- Ring oscillator: frequency ----------------------------------------
+    {
+        let ring = RingOsc::paper(&tech);
+        let (res, t_pn) = timed(|| {
+            analyze(
+                &ring.circuit,
+                &PssConfig::Autonomous {
+                    period_hint: ring.period_hint,
+                    phase_node: ring.stages[0],
+                    phase_value: ring.phase_value,
+                    opts: ring.osc_options(),
+                },
+                &[MetricSpec::new("f0", Metric::Frequency)],
+            )
+            .expect("ring analysis")
+        });
+        let n_mc = samples(200, 1000);
+        let (mc, t_mc) = timed(|| {
+            monte_carlo(&ring.circuit, &McOptions::new(n_mc, 3), |c| {
+                ring.measure_frequency_transient(c)
+            })
+        });
+        rows.push(Row {
+            name: "oscillator frequency",
+            metric_unit: "MHz",
+            unit_scale: 1e-6,
+            sigma_pn: res.reports[0].sigma(),
+            t_pn,
+            sigma_mc: mc.stats.std_dev(),
+            t_mc_1000: t_mc * 1000.0 / n_mc as f64,
+            n_mc,
+        });
+    }
+
+    println!("Table II: pseudo-noise mismatch analysis vs Monte-Carlo");
+    println!("(paper reports 100-1000x speedup over a 1000-point MC)\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>9} {:>12} {:>12} {:>9}",
+        "benchmark", "sigma (PN)", "sigma (MC)", "dsigma", "t(PN)", "t(MC-1000)", "speedup"
+    );
+    for r in rows {
+        let dsigma = (r.sigma_pn - r.sigma_mc) / r.sigma_mc;
+        println!(
+            "{:<22} {:>10.3} {:<3} {:>10.3} {:<3} {:>8.1}% {:>12} {:>12} {:>8.0}x",
+            r.name,
+            r.sigma_pn * r.unit_scale,
+            r.metric_unit,
+            r.sigma_mc * r.unit_scale,
+            r.metric_unit,
+            dsigma * 100.0,
+            fmt_time(r.t_pn),
+            fmt_time(r.t_mc_1000),
+            r.t_mc_1000 / r.t_pn
+        );
+        let ci = tranvar_num::stats::sigma_rel_ci95(r.n_mc);
+        println!(
+            "{:<22} (MC {} samples, 95% CI on sigma(MC): +/-{:.1}%)",
+            "", r.n_mc, ci * 100.0
+        );
+    }
+}

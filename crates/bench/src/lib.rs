@@ -1,0 +1,95 @@
+//! # tranvar-bench
+//!
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation, plus shared helpers (timing, table printing, CLI knobs).
+//!
+//! Binaries (each prints the paper-style rows to stdout):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table I — delay-correlation of shared vs disjoint paths |
+//! | `table2` | Table II — σ accuracy + runtime vs Monte-Carlo |
+//! | `fig8`  | Fig. 8 — statistical waveform (PSS ± σ(t)) |
+//! | `fig9`  | Fig. 9 — comparator offset histogram vs predicted PDF |
+//! | `fig10` | Fig. 10 — per-transistor width sensitivity of offset σ² |
+//! | `fig11` | Fig. 11 — σ_f error & skewness vs mismatch amount |
+//! | `fig12` | Fig. 12 — ring-osc frequency histogram at large mismatch |
+//! | `fig13` | Fig. 13 — non-Gaussian mismatch via Gaussian mixture |
+//!
+//! Pass `--full` for paper-scale Monte-Carlo sample counts (slow); the
+//! default sizes finish in seconds-to-minutes and carry proportionally wider
+//! confidence intervals (reported alongside).
+
+use std::time::Instant;
+
+/// Wall-clock timing of a closure.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// `true` if `--full` was passed (paper-scale sample counts).
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Picks a sample count: `quick` by default, `full` with `--full`.
+pub fn samples(quick: usize, full: usize) -> usize {
+    if full_mode() {
+        full
+    } else {
+        quick
+    }
+}
+
+/// Prints a histogram against a Gaussian PDF as aligned text columns
+/// (`center  density  gaussian`), the data behind Figs. 9 and 12.
+pub fn print_histogram_vs_pdf(
+    hist: &tranvar_num::stats::Histogram,
+    mean: f64,
+    sigma: f64,
+    unit_scale: f64,
+    unit: &str,
+) {
+    println!("{:>12} {:>12} {:>12}", format!("center[{unit}]"), "mc-density", "pn-pdf");
+    for (center, density) in hist.densities() {
+        let pdf = tranvar_num::stats::gaussian_pdf(center, mean, sigma);
+        println!(
+            "{:>12.4} {:>12.5} {:>12.5}",
+            center * unit_scale,
+            density / unit_scale,
+            pdf / unit_scale
+        );
+    }
+}
+
+/// Formats seconds in engineering style.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.2} us", s * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, t) = timed(|| (0..10_000).sum::<u64>());
+        assert_eq!(v, 49995000);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn fmt_time_ranges() {
+        assert!(fmt_time(2.5).ends_with(" s"));
+        assert!(fmt_time(2.5e-3).ends_with(" ms"));
+        assert!(fmt_time(2.5e-6).ends_with(" us"));
+    }
+}

@@ -1,0 +1,1244 @@
+//! Netlist representation and MNA assembly.
+//!
+//! The unknown vector is the classic MNA layout: all non-ground node voltages
+//! followed by branch currents (voltage sources, inductors, VCVS). Devices
+//! stamp four objects at a given state `x` and time `t`:
+//!
+//! - `f(x,t)`: resistive/static KCL+branch residual contributions,
+//! - `q(x)`: charges and fluxes (the dynamic part; residual is
+//!   `f + dq/dt = 0`),
+//! - `G = ∂f/∂x` and `C = ∂q/∂x` (Jacobians as sparse triplets).
+//!
+//! Every mismatch parameter additionally exposes `∂f/∂p` and `∂q/∂p`
+//! ([`Circuit::d_residual_dparam`]) — this *is* the pseudo-noise injection
+//! vector of the paper (Figs. 3–4): bias-dependent, evaluated along the
+//! periodic steady state by the LPTV analysis.
+
+use crate::error::CircuitError;
+use crate::mismatch::{MismatchKind, MismatchParam};
+use crate::mosfet::{eval_mosfet, MosModel, MosType};
+use crate::waveform::Waveform;
+use tranvar_num::Triplets;
+
+/// Handle to a circuit node. `NodeId::GROUND` is the reference node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground/reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Returns `true` for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Handle to a device instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// Raw index into the device list.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a handle from a raw index (no validation; indices come
+    /// from enumerating [`Circuit::devices`]).
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index)
+    }
+}
+
+/// A MOSFET instance (model card copied per instance so Monte-Carlo samples
+/// can perturb devices independently).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mosfet {
+    /// Drain node.
+    pub d: NodeId,
+    /// Gate node.
+    pub g: NodeId,
+    /// Source node.
+    pub s: NodeId,
+    /// Polarity.
+    pub ty: MosType,
+    /// Model card (owned copy).
+    pub model: MosModel,
+    /// Drawn width (m).
+    pub w: f64,
+    /// Drawn length (m).
+    pub l: f64,
+    /// Additive threshold perturbation (V) — Monte-Carlo mismatch state.
+    pub vt_shift: f64,
+    /// Multiplicative current-factor perturbation — Monte-Carlo state.
+    pub beta_scale: f64,
+}
+
+impl Mosfet {
+    /// Total gate-source capacitance (intrinsic share + overlap).
+    pub fn cgs(&self) -> f64 {
+        0.5 * self.model.cox * self.w * self.l + self.model.cov * self.w
+    }
+
+    /// Total gate-drain capacitance (intrinsic share + overlap).
+    pub fn cgd(&self) -> f64 {
+        0.5 * self.model.cox * self.w * self.l + self.model.cov * self.w
+    }
+
+    /// Drain (or source) junction capacitance to the bulk rail.
+    pub fn cj_term(&self) -> f64 {
+        self.model.cj * self.w
+    }
+}
+
+/// A circuit device.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Device {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance (Ω), must be positive.
+        r: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance (F), must be positive.
+        c: f64,
+    },
+    /// Linear inductor between `a` and `b` with its own current unknown.
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance (H), must be positive.
+        l: f64,
+        /// Branch-current unknown index.
+        branch: usize,
+    },
+    /// Independent voltage source from `p` to `n`.
+    Vsource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source waveform.
+        wave: Waveform,
+        /// Branch-current unknown index.
+        branch: usize,
+    },
+    /// Independent current source pushing current out of `p` into `n`
+    /// through the external circuit (i.e. KCL sees `+I` leaving `p`).
+    Isource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        n: NodeId,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Voltage-controlled current source: `gm·(v_cp − v_cn)` flows p→n.
+    Vccs {
+        /// Output positive terminal.
+        p: NodeId,
+        /// Output negative terminal.
+        n: NodeId,
+        /// Controlling positive node.
+        cp: NodeId,
+        /// Controlling negative node.
+        cn: NodeId,
+        /// Transconductance (S).
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source: `v_p − v_n = gain·(v_cp − v_cn)`.
+    Vcvs {
+        /// Output positive terminal.
+        p: NodeId,
+        /// Output negative terminal.
+        n: NodeId,
+        /// Controlling positive node.
+        cp: NodeId,
+        /// Controlling negative node.
+        cn: NodeId,
+        /// Voltage gain.
+        gain: f64,
+        /// Branch-current unknown index.
+        branch: usize,
+    },
+    /// MOSFET.
+    Mosfet(Mosfet),
+}
+
+/// Sparse derivative of the MNA residual with respect to one scalar
+/// parameter: the pseudo-noise injection vector of the paper.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParamDeriv {
+    /// `∂f/∂p` entries as `(row, value)`.
+    pub df: Vec<(usize, f64)>,
+    /// `∂q/∂p` entries as `(row, value)`.
+    pub dq: Vec<(usize, f64)>,
+}
+
+/// Assembled MNA system at one `(x, t)` point.
+#[derive(Clone, Debug)]
+pub struct Assembly {
+    /// Number of unknowns.
+    pub n: usize,
+    /// Static residual `f(x, t)` (includes independent sources).
+    pub f: Vec<f64>,
+    /// Charge/flux vector `q(x)`.
+    pub q: Vec<f64>,
+    /// Jacobian `∂f/∂x` triplets.
+    pub g: Triplets<f64>,
+    /// Jacobian `∂q/∂x` triplets.
+    pub c: Triplets<f64>,
+}
+
+/// A circuit under construction and its mismatch annotations.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_circuit::{Circuit, Waveform};
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let vout = ckt.node("out");
+/// ckt.add_vsource("V1", vin, tranvar_circuit::NodeId::GROUND, Waveform::Dc(1.0));
+/// ckt.add_resistor("R1", vin, vout, 1e3);
+/// ckt.add_resistor("R2", vout, tranvar_circuit::NodeId::GROUND, 1e3);
+/// assert_eq!(ckt.n_unknowns(), 3); // two nodes + one branch current
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    devices: Vec<Device>,
+    labels: Vec<String>,
+    n_branches: usize,
+    mismatch: Vec<MismatchParam>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["0".to_string()],
+            devices: Vec::new(),
+            labels: Vec::new(),
+            n_branches: 0,
+            mismatch: Vec::new(),
+        }
+    }
+
+    /// Returns (creating if needed) the node with the given name.
+    ///
+    /// The names `"0"` and `"gnd"` alias the ground node.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return NodeId::GROUND;
+        }
+        if let Some(i) = self.node_names.iter().position(|n| n == name) {
+            NodeId(i)
+        } else {
+            self.node_names.push(name.to_string());
+            NodeId(self.node_names.len() - 1)
+        }
+    }
+
+    /// Looks up an existing node by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownNode`] if no node has that name.
+    pub fn find_node(&self, name: &str) -> Result<NodeId, CircuitError> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Ok(NodeId::GROUND);
+        }
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId)
+            .ok_or_else(|| CircuitError::UnknownNode { name: name.into() })
+    }
+
+    /// Node name for diagnostics.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn n_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn n_branches(&self) -> usize {
+        self.n_branches
+    }
+
+    /// Total number of MNA unknowns.
+    pub fn n_unknowns(&self) -> usize {
+        (self.node_names.len() - 1) + self.n_branches
+    }
+
+    /// Unknown index of a node voltage (`None` for ground).
+    pub fn unknown_of_node(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.0 - 1)
+        }
+    }
+
+    /// Unknown index of branch `b`.
+    pub fn unknown_of_branch(&self, b: usize) -> usize {
+        (self.node_names.len() - 1) + b
+    }
+
+    /// Voltage of `node` in a solution vector.
+    pub fn voltage(&self, x: &[f64], node: NodeId) -> f64 {
+        match self.unknown_of_node(node) {
+            None => 0.0,
+            Some(i) => x[i],
+        }
+    }
+
+    /// Devices in insertion order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device by id.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Label of a device.
+    pub fn label(&self, id: DeviceId) -> &str {
+        &self.labels[id.0]
+    }
+
+    /// Finds a device by label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownDevice`] if no device has that label.
+    pub fn find_device(&self, label: &str) -> Result<DeviceId, CircuitError> {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(DeviceId)
+            .ok_or(CircuitError::UnknownDevice { index: usize::MAX })
+    }
+
+    fn push_device(&mut self, label: &str, dev: Device) -> DeviceId {
+        self.devices.push(dev);
+        self.labels.push(label.to_string());
+        DeviceId(self.devices.len() - 1)
+    }
+
+    fn new_branch(&mut self) -> usize {
+        self.n_branches += 1;
+        self.n_branches - 1
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r <= 0`.
+    pub fn add_resistor(&mut self, label: &str, a: NodeId, b: NodeId, r: f64) -> DeviceId {
+        assert!(r > 0.0, "resistor `{label}` must have positive resistance");
+        self.push_device(label, Device::Resistor { a, b, r })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn add_capacitor(&mut self, label: &str, a: NodeId, b: NodeId, c: f64) -> DeviceId {
+        assert!(c > 0.0, "capacitor `{label}` must have positive capacitance");
+        self.push_device(label, Device::Capacitor { a, b, c })
+    }
+
+    /// Adds an inductor (introduces one branch-current unknown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l <= 0`.
+    pub fn add_inductor(&mut self, label: &str, a: NodeId, b: NodeId, l: f64) -> DeviceId {
+        assert!(l > 0.0, "inductor `{label}` must have positive inductance");
+        let branch = self.new_branch();
+        self.push_device(label, Device::Inductor { a, b, l, branch })
+    }
+
+    /// Adds an independent voltage source (one branch-current unknown).
+    pub fn add_vsource(&mut self, label: &str, p: NodeId, n: NodeId, wave: Waveform) -> DeviceId {
+        let branch = self.new_branch();
+        self.push_device(label, Device::Vsource { p, n, wave, branch })
+    }
+
+    /// Adds an independent current source (current flows out of `p`, into `n`
+    /// through the external circuit).
+    pub fn add_isource(&mut self, label: &str, p: NodeId, n: NodeId, wave: Waveform) -> DeviceId {
+        self.push_device(label, Device::Isource { p, n, wave })
+    }
+
+    /// Adds a voltage-controlled current source.
+    pub fn add_vccs(
+        &mut self,
+        label: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gm: f64,
+    ) -> DeviceId {
+        self.push_device(label, Device::Vccs { p, n, cp, cn, gm })
+    }
+
+    /// Adds a voltage-controlled voltage source (one branch unknown).
+    pub fn add_vcvs(
+        &mut self,
+        label: &str,
+        p: NodeId,
+        n: NodeId,
+        cp: NodeId,
+        cn: NodeId,
+        gain: f64,
+    ) -> DeviceId {
+        let branch = self.new_branch();
+        self.push_device(
+            label,
+            Device::Vcvs {
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+                branch,
+            },
+        )
+    }
+
+    /// Adds a MOSFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mosfet(
+        &mut self,
+        label: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        ty: MosType,
+        model: MosModel,
+        w: f64,
+        l: f64,
+    ) -> DeviceId {
+        assert!(w > 0.0 && l > 0.0, "mosfet `{label}` needs positive W and L");
+        self.push_device(
+            label,
+            Device::Mosfet(Mosfet {
+                d,
+                g,
+                s,
+                ty,
+                model,
+                w,
+                l,
+                vt_shift: 0.0,
+                beta_scale: 1.0,
+            }),
+        )
+    }
+
+    // ---------------------------------------------------------------------
+    // Mismatch annotations
+    // ---------------------------------------------------------------------
+
+    /// Registers a mismatch parameter; returns its index.
+    pub fn add_mismatch(&mut self, param: MismatchParam) -> usize {
+        self.mismatch.push(param);
+        self.mismatch.len() - 1
+    }
+
+    /// Registered mismatch parameters.
+    pub fn mismatch_params(&self) -> &[MismatchParam] {
+        &self.mismatch
+    }
+
+    /// Annotates a MOSFET with Pelgrom V_T and β mismatch:
+    /// `σ_VT = A_VT/√(W·L)`, `σ_{δβ/β} = A_β/√(W·L)` (paper eqs. 4–5).
+    ///
+    /// `avt` is in V·m, `abeta` dimensionless·m (e.g. 6.5 mV·µm = 6.5e-9 V·m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is not a MOSFET.
+    pub fn annotate_pelgrom(&mut self, dev: DeviceId, avt: f64, abeta: f64) -> (usize, usize) {
+        let (w, l) = match &self.devices[dev.0] {
+            Device::Mosfet(m) => (m.w, m.l),
+            other => panic!("pelgrom annotation on non-MOSFET {other:?}"),
+        };
+        let area_sqrt = (w * l).sqrt();
+        let label = self.labels[dev.0].clone();
+        let ivt = self.add_mismatch(MismatchParam {
+            label: format!("{label}.dVT"),
+            device: dev,
+            kind: MismatchKind::MosVt,
+            sigma: avt / area_sqrt,
+        });
+        let ibeta = self.add_mismatch(MismatchParam {
+            label: format!("{label}.dBeta"),
+            device: dev,
+            kind: MismatchKind::MosBetaRel,
+            sigma: abeta / area_sqrt,
+        });
+        (ivt, ibeta)
+    }
+
+    /// Annotates a resistor with absolute-σ resistance mismatch (Fig. 3).
+    pub fn annotate_resistor_mismatch(&mut self, dev: DeviceId, sigma_ohms: f64) -> usize {
+        let label = self.labels[dev.0].clone();
+        self.add_mismatch(MismatchParam {
+            label: format!("{label}.dR"),
+            device: dev,
+            kind: MismatchKind::ResAbs,
+            sigma: sigma_ohms,
+        })
+    }
+
+    /// Annotates a capacitor with absolute-σ capacitance mismatch (Fig. 3).
+    pub fn annotate_capacitor_mismatch(&mut self, dev: DeviceId, sigma_farads: f64) -> usize {
+        let label = self.labels[dev.0].clone();
+        self.add_mismatch(MismatchParam {
+            label: format!("{label}.dC"),
+            device: dev,
+            kind: MismatchKind::CapAbs,
+            sigma: sigma_farads,
+        })
+    }
+
+    /// Annotates an inductor with absolute-σ inductance mismatch (Fig. 3).
+    pub fn annotate_inductor_mismatch(&mut self, dev: DeviceId, sigma_henries: f64) -> usize {
+        let label = self.labels[dev.0].clone();
+        self.add_mismatch(MismatchParam {
+            label: format!("{label}.dL"),
+            device: dev,
+            kind: MismatchKind::IndAbs,
+            sigma: sigma_henries,
+        })
+    }
+
+    /// Applies one Monte-Carlo mismatch sample: `deltas[k]` is the value of
+    /// mismatch parameter `k` in its natural unit (V for δV_T, relative for
+    /// δβ/β, Ω/F/H for passives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deltas.len()` differs from the number of parameters.
+    pub fn apply_mismatch(&mut self, deltas: &[f64]) {
+        assert_eq!(
+            deltas.len(),
+            self.mismatch.len(),
+            "mismatch sample length mismatch"
+        );
+        for (param, &delta) in self.mismatch.iter().zip(deltas.iter()) {
+            let dev = &mut self.devices[param.device.0];
+            match (param.kind, dev) {
+                (MismatchKind::MosVt, Device::Mosfet(m)) => m.vt_shift += delta,
+                (MismatchKind::MosBetaRel, Device::Mosfet(m)) => m.beta_scale *= 1.0 + delta,
+                (MismatchKind::ResAbs, Device::Resistor { r, .. }) => *r += delta,
+                (MismatchKind::CapAbs, Device::Capacitor { c, .. }) => *c += delta,
+                (MismatchKind::IndAbs, Device::Inductor { l, .. }) => *l += delta,
+                (kind, dev) => panic!("mismatch kind {kind:?} incompatible with {dev:?}"),
+            }
+        }
+    }
+
+    /// Resets all Monte-Carlo mismatch state to nominal.
+    pub fn reset_mismatch(&mut self) {
+        for dev in &mut self.devices {
+            if let Device::Mosfet(m) = dev {
+                m.vt_shift = 0.0;
+                m.beta_scale = 1.0;
+            }
+        }
+        // Passive deltas are not tracked separately; callers that perturb
+        // passives should clone the nominal circuit instead (the Monte-Carlo
+        // driver does).
+    }
+
+    // ---------------------------------------------------------------------
+    // Assembly
+    // ---------------------------------------------------------------------
+
+    /// Assembles the full MNA system at state `x` and time `t`.
+    pub fn assemble(&self, x: &[f64], t: f64) -> Assembly {
+        let n = self.n_unknowns();
+        let mut out = Assembly {
+            n,
+            f: vec![0.0; n],
+            q: vec![0.0; n],
+            g: Triplets::new(n, n),
+            c: Triplets::new(n, n),
+        };
+        self.assemble_into(x, t, &mut out);
+        out
+    }
+
+    /// Assembles into a caller-provided buffer (clears it first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_unknowns()` or the buffer size disagrees.
+    pub fn assemble_into(&self, x: &[f64], t: f64, out: &mut Assembly) {
+        let n = self.n_unknowns();
+        assert_eq!(x.len(), n, "state vector length mismatch");
+        assert_eq!(out.n, n, "assembly buffer dimension mismatch");
+        out.f.iter_mut().for_each(|v| *v = 0.0);
+        out.q.iter_mut().for_each(|v| *v = 0.0);
+        out.g.clear();
+        out.c.clear();
+
+        let v = |node: NodeId| self.voltage(x, node);
+        // Helper closures cannot borrow `out` mutably while `v` borrows `x`,
+        // so index arithmetic is done inline below.
+        for dev in &self.devices {
+            match dev {
+                Device::Resistor { a, b, r } => {
+                    let g = 1.0 / r;
+                    let i = (v(*a) - v(*b)) * g;
+                    stamp_f(self, out, *a, i);
+                    stamp_f(self, out, *b, -i);
+                    stamp_g2(self, out, *a, *b, g);
+                }
+                Device::Capacitor { a, b, c } => {
+                    let qc = (v(*a) - v(*b)) * c;
+                    stamp_q(self, out, *a, qc);
+                    stamp_q(self, out, *b, -qc);
+                    stamp_c2(self, out, *a, *b, *c);
+                }
+                Device::Inductor { a, b, l, branch } => {
+                    let bi = self.unknown_of_branch(*branch);
+                    let il = x[bi];
+                    stamp_f(self, out, *a, il);
+                    stamp_f(self, out, *b, -il);
+                    if let Some(ia) = self.unknown_of_node(*a) {
+                        out.g.push(ia, bi, 1.0);
+                        out.g.push(bi, ia, 1.0);
+                    }
+                    if let Some(ib) = self.unknown_of_node(*b) {
+                        out.g.push(ib, bi, -1.0);
+                        out.g.push(bi, ib, -1.0);
+                    }
+                    // Branch residual: v_a - v_b - L·di/dt = 0.
+                    out.f[bi] += v(*a) - v(*b);
+                    out.q[bi] += -l * il;
+                    out.c.push(bi, bi, -l);
+                }
+                Device::Vsource { p, n, wave, branch } => {
+                    let bi = self.unknown_of_branch(*branch);
+                    let ib = x[bi];
+                    stamp_f(self, out, *p, ib);
+                    stamp_f(self, out, *n, -ib);
+                    if let Some(ip) = self.unknown_of_node(*p) {
+                        out.g.push(ip, bi, 1.0);
+                        out.g.push(bi, ip, 1.0);
+                    }
+                    if let Some(inn) = self.unknown_of_node(*n) {
+                        out.g.push(inn, bi, -1.0);
+                        out.g.push(bi, inn, -1.0);
+                    }
+                    out.f[bi] += v(*p) - v(*n) - wave.value(t);
+                }
+                Device::Isource { p, n, wave } => {
+                    let i = wave.value(t);
+                    stamp_f(self, out, *p, i);
+                    stamp_f(self, out, *n, -i);
+                }
+                Device::Vccs { p, n, cp, cn, gm } => {
+                    let i = gm * (v(*cp) - v(*cn));
+                    stamp_f(self, out, *p, i);
+                    stamp_f(self, out, *n, -i);
+                    stamp_g_cross(self, out, *p, *n, *cp, *cn, *gm);
+                }
+                Device::Vcvs {
+                    p,
+                    n,
+                    cp,
+                    cn,
+                    gain,
+                    branch,
+                } => {
+                    let bi = self.unknown_of_branch(*branch);
+                    let ib = x[bi];
+                    stamp_f(self, out, *p, ib);
+                    stamp_f(self, out, *n, -ib);
+                    if let Some(ip) = self.unknown_of_node(*p) {
+                        out.g.push(ip, bi, 1.0);
+                        out.g.push(bi, ip, 1.0);
+                    }
+                    if let Some(inn) = self.unknown_of_node(*n) {
+                        out.g.push(inn, bi, -1.0);
+                        out.g.push(bi, inn, -1.0);
+                    }
+                    out.f[bi] += v(*p) - v(*n) - gain * (v(*cp) - v(*cn));
+                    if let Some(icp) = self.unknown_of_node(*cp) {
+                        out.g.push(bi, icp, -gain);
+                    }
+                    if let Some(icn) = self.unknown_of_node(*cn) {
+                        out.g.push(bi, icn, *gain);
+                    }
+                }
+                Device::Mosfet(m) => {
+                    let op = eval_mosfet(
+                        m.ty,
+                        &m.model,
+                        m.w,
+                        m.l,
+                        m.vt_shift,
+                        m.beta_scale,
+                        v(m.d),
+                        v(m.g),
+                        v(m.s),
+                    );
+                    stamp_f(self, out, m.d, op.ids);
+                    stamp_f(self, out, m.s, -op.ids);
+                    // Jacobian rows for drain and source KCL.
+                    for (node, sign) in [(m.d, 1.0), (m.s, -1.0)] {
+                        if let Some(row) = self.unknown_of_node(node) {
+                            if let Some(cd) = self.unknown_of_node(m.d) {
+                                out.g.push(row, cd, sign * op.di_dvd);
+                            }
+                            if let Some(cg) = self.unknown_of_node(m.g) {
+                                out.g.push(row, cg, sign * op.di_dvg);
+                            }
+                            if let Some(cs) = self.unknown_of_node(m.s) {
+                                out.g.push(row, cs, sign * op.di_dvs);
+                            }
+                        }
+                    }
+                    // Linear gate/junction capacitances.
+                    let cgs = m.cgs();
+                    let cgd = m.cgd();
+                    let cj = m.cj_term();
+                    let qgs = (v(m.g) - v(m.s)) * cgs;
+                    stamp_q(self, out, m.g, qgs);
+                    stamp_q(self, out, m.s, -qgs);
+                    stamp_c2(self, out, m.g, m.s, cgs);
+                    let qgd = (v(m.g) - v(m.d)) * cgd;
+                    stamp_q(self, out, m.g, qgd);
+                    stamp_q(self, out, m.d, -qgd);
+                    stamp_c2(self, out, m.g, m.d, cgd);
+                    // Junction caps to ground rail.
+                    for term in [m.d, m.s] {
+                        if let Some(it) = self.unknown_of_node(term) {
+                            out.q[it] += v(term) * cj;
+                            out.c.push(it, it, cj);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Derivative of the residual with respect to mismatch parameter `k`,
+    /// evaluated at state `x`: the pseudo-noise injection vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownMismatchParam`] for an invalid index.
+    pub fn d_residual_dparam(&self, k: usize, x: &[f64]) -> Result<ParamDeriv, CircuitError> {
+        let param = self
+            .mismatch
+            .get(k)
+            .ok_or(CircuitError::UnknownMismatchParam { index: k })?;
+        let dev = &self.devices[param.device.0];
+        let v = |node: NodeId| self.voltage(x, node);
+        let mut out = ParamDeriv::default();
+        match (param.kind, dev) {
+            (MismatchKind::MosVt, Device::Mosfet(m)) => {
+                let op = eval_mosfet(
+                    m.ty,
+                    &m.model,
+                    m.w,
+                    m.l,
+                    m.vt_shift,
+                    m.beta_scale,
+                    v(m.d),
+                    v(m.g),
+                    v(m.s),
+                );
+                push_pair(self, &mut out.df, m.d, m.s, op.di_dvt);
+            }
+            (MismatchKind::MosBetaRel, Device::Mosfet(m)) => {
+                let op = eval_mosfet(
+                    m.ty,
+                    &m.model,
+                    m.w,
+                    m.l,
+                    m.vt_shift,
+                    m.beta_scale,
+                    v(m.d),
+                    v(m.g),
+                    v(m.s),
+                );
+                push_pair(self, &mut out.df, m.d, m.s, op.di_dbeta_rel);
+            }
+            (MismatchKind::ResAbs, Device::Resistor { a, b, r }) => {
+                // i = (va−vb)/R ⇒ ∂i/∂R = −(va−vb)/R² = −I_R/R  (Fig. 3).
+                let didr = -(v(*a) - v(*b)) / (r * r);
+                push_pair(self, &mut out.df, *a, *b, didr);
+            }
+            (MismatchKind::CapAbs, Device::Capacitor { a, b, .. }) => {
+                // q = C·(va−vb) ⇒ ∂q/∂C = va−vb (Fig. 3).
+                let dqdc = v(*a) - v(*b);
+                push_pair(self, &mut out.dq, *a, *b, dqdc);
+            }
+            (MismatchKind::IndAbs, Device::Inductor { branch, .. }) => {
+                // Branch flux q = −L·i ⇒ ∂q/∂L = −i (Fig. 3).
+                let bi = self.unknown_of_branch(*branch);
+                out.dq.push((bi, -x[bi]));
+            }
+            (kind, dev) => panic!("mismatch kind {kind:?} incompatible with {dev:?}"),
+        }
+        Ok(out)
+    }
+
+    /// Vector of σ for each mismatch parameter, in parameter order.
+    pub fn mismatch_sigmas(&self) -> Vec<f64> {
+        self.mismatch.iter().map(|p| p.sigma).collect()
+    }
+
+    /// Mutable access to a device for design-space exploration (e.g. the
+    /// width-resizing yield optimizer). Invariants such as Pelgrom σ are the
+    /// caller's responsibility — see [`Circuit::rescale_mismatch_sigmas`].
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0]
+    }
+
+    /// Rescales each mismatch parameter's σ by `factor(param)` (used after
+    /// geometry changes: Pelgrom σ ∝ 1/√(W·L)).
+    pub fn rescale_mismatch_sigmas(&mut self, mut factor: impl FnMut(&MismatchParam) -> f64) {
+        for i in 0..self.mismatch.len() {
+            let k = factor(&self.mismatch[i]);
+            self.mismatch[i].sigma *= k;
+        }
+    }
+
+    /// Returns a copy of the circuit with every independent source scaled by
+    /// `alpha` (source-stepping homotopy for hard DC problems).
+    pub fn scaled_sources(&self, alpha: f64) -> Circuit {
+        let mut out = self.clone();
+        for dev in &mut out.devices {
+            match dev {
+                Device::Vsource { wave, .. } | Device::Isource { wave, .. } => {
+                    *wave = scale_waveform(wave, alpha);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+fn scale_waveform(w: &Waveform, alpha: f64) -> Waveform {
+    match w {
+        Waveform::Dc(v) => Waveform::Dc(v * alpha),
+        Waveform::Pulse(p) => {
+            let mut p = *p;
+            p.v0 *= alpha;
+            p.v1 *= alpha;
+            Waveform::Pulse(p)
+        }
+        Waveform::Sin {
+            offset,
+            ampl,
+            freq,
+            delay,
+        } => Waveform::Sin {
+            offset: offset * alpha,
+            ampl: ampl * alpha,
+            freq: *freq,
+            delay: *delay,
+        },
+        Waveform::Pwl(points) => {
+            Waveform::Pwl(points.iter().map(|&(t, v)| (t, v * alpha)).collect())
+        }
+    }
+}
+
+fn stamp_f(ckt: &Circuit, out: &mut Assembly, node: NodeId, val: f64) {
+    if let Some(i) = ckt.unknown_of_node(node) {
+        out.f[i] += val;
+    }
+}
+
+fn stamp_q(ckt: &Circuit, out: &mut Assembly, node: NodeId, val: f64) {
+    if let Some(i) = ckt.unknown_of_node(node) {
+        out.q[i] += val;
+    }
+}
+
+/// Two-terminal conductance stamp.
+fn stamp_g2(ckt: &Circuit, out: &mut Assembly, a: NodeId, b: NodeId, g: f64) {
+    let (ia, ib) = (ckt.unknown_of_node(a), ckt.unknown_of_node(b));
+    if let Some(ia) = ia {
+        out.g.push(ia, ia, g);
+        if let Some(ib) = ib {
+            out.g.push(ia, ib, -g);
+            out.g.push(ib, ia, -g);
+        }
+    }
+    if let Some(ib) = ib {
+        out.g.push(ib, ib, g);
+    }
+}
+
+/// Two-terminal capacitance stamp.
+fn stamp_c2(ckt: &Circuit, out: &mut Assembly, a: NodeId, b: NodeId, c: f64) {
+    let (ia, ib) = (ckt.unknown_of_node(a), ckt.unknown_of_node(b));
+    if let Some(ia) = ia {
+        out.c.push(ia, ia, c);
+        if let Some(ib) = ib {
+            out.c.push(ia, ib, -c);
+            out.c.push(ib, ia, -c);
+        }
+    }
+    if let Some(ib) = ib {
+        out.c.push(ib, ib, c);
+    }
+}
+
+/// Transconductance stamp: current `gm·(v_cp − v_cn)` from p to n.
+fn stamp_g_cross(
+    ckt: &Circuit,
+    out: &mut Assembly,
+    p: NodeId,
+    n: NodeId,
+    cp: NodeId,
+    cn: NodeId,
+    gm: f64,
+) {
+    for (node, sign) in [(p, 1.0), (n, -1.0)] {
+        if let Some(row) = ckt.unknown_of_node(node) {
+            if let Some(icp) = ckt.unknown_of_node(cp) {
+                out.g.push(row, icp, sign * gm);
+            }
+            if let Some(icn) = ckt.unknown_of_node(cn) {
+                out.g.push(row, icn, -sign * gm);
+            }
+        }
+    }
+}
+
+/// Pushes `+val` at node `a`'s row and `−val` at node `b`'s row.
+fn push_pair(ckt: &Circuit, list: &mut Vec<(usize, f64)>, a: NodeId, b: NodeId, val: f64) {
+    if let Some(ia) = ckt.unknown_of_node(a) {
+        list.push((ia, val));
+    }
+    if let Some(ib) = ckt.unknown_of_node(b) {
+        list.push((ib, -val));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mismatch::MismatchKind;
+
+    fn divider() -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource("V1", vin, NodeId::GROUND, Waveform::Dc(2.0));
+        ckt.add_resistor("R1", vin, vout, 1000.0);
+        ckt.add_resistor("R2", vout, NodeId::GROUND, 1000.0);
+        (ckt, vin, vout)
+    }
+
+    #[test]
+    fn node_dedup_and_ground_aliases() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert!(ckt.node("0").is_ground());
+        assert!(ckt.node("gnd").is_ground());
+        assert_eq!(ckt.n_nodes(), 2);
+    }
+
+    #[test]
+    fn unknown_layout() {
+        let (ckt, vin, vout) = divider();
+        assert_eq!(ckt.n_unknowns(), 3);
+        assert_eq!(ckt.unknown_of_node(vin), Some(0));
+        assert_eq!(ckt.unknown_of_node(vout), Some(1));
+        assert_eq!(ckt.unknown_of_branch(0), 2);
+        assert_eq!(ckt.unknown_of_node(NodeId::GROUND), None);
+    }
+
+    #[test]
+    fn divider_residual_zero_at_solution() {
+        let (ckt, _, _) = divider();
+        // Exact solution: vin=2, vout=1, branch current = -(2-1)/1000 ...
+        // current through V1 from p to n inside source: KCL at vin:
+        // i_R1 + i_br = 0 -> i_br = -(2-1)/1000 = -1 mA.
+        let x = vec![2.0, 1.0, -1.0e-3];
+        let asm = ckt.assemble(&x, 0.0);
+        for (i, f) in asm.f.iter().enumerate() {
+            assert!(f.abs() < 1e-12, "row {i}: {f}");
+        }
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference_linear() {
+        let (ckt, _, _) = divider();
+        jac_fd_check(&ckt, &[1.7, 0.4, 2.0e-3]);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference_mosfet() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(1.2));
+        ckt.add_vsource("VG", g, NodeId::GROUND, Waveform::Dc(0.8));
+        ckt.add_resistor("RD", vdd, d, 5e3);
+        ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            2e-6,
+            0.13e-6,
+        );
+        jac_fd_check(&ckt, &[1.2, 0.8, 0.63, -1e-4, 2e-5]);
+    }
+
+    fn jac_fd_check(ckt: &Circuit, x0: &[f64]) {
+        let n = ckt.n_unknowns();
+        assert_eq!(x0.len(), n);
+        let asm0 = ckt.assemble(x0, 0.0);
+        let gd = asm0.g.to_csc().to_dense();
+        let cd = asm0.c.to_csc().to_dense();
+        let h = 1e-7;
+        for j in 0..n {
+            let mut xp = x0.to_vec();
+            xp[j] += h;
+            let mut xm = x0.to_vec();
+            xm[j] -= h;
+            let ap = ckt.assemble(&xp, 0.0);
+            let am = ckt.assemble(&xm, 0.0);
+            for i in 0..n {
+                let dfd = (ap.f[i] - am.f[i]) / (2.0 * h);
+                let dqd = (ap.q[i] - am.q[i]) / (2.0 * h);
+                let tolg = 1e-4 * gd[(i, j)].abs().max(1e-6);
+                assert!(
+                    (gd[(i, j)] - dfd).abs() < tolg,
+                    "G[{i}][{j}] {} vs fd {dfd}",
+                    gd[(i, j)]
+                );
+                let tolc = 1e-4 * cd[(i, j)].abs().max(1e-12);
+                assert!(
+                    (cd[(i, j)] - dqd).abs() < tolc,
+                    "C[{i}][{j}] {} vs fd {dqd}",
+                    cd[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn param_deriv_matches_finite_difference() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(1.2));
+        ckt.add_vsource("VG", g, NodeId::GROUND, Waveform::Dc(0.9));
+        let rd = ckt.add_resistor("RD", vdd, d, 3e3);
+        let m1 = ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            4e-6,
+            0.13e-6,
+        );
+        ckt.annotate_pelgrom(m1, 6.5e-9, 3.25e-8);
+        ckt.annotate_resistor_mismatch(rd, 30.0);
+        let x = vec![1.2, 0.9, 0.5, -1e-4, 1e-5];
+
+        for k in 0..ckt.mismatch_params().len() {
+            let pd = ckt.d_residual_dparam(k, &x).unwrap();
+            // Finite difference by perturbing the circuit.
+            let h_for = |kind: MismatchKind| match kind {
+                MismatchKind::MosVt => 1e-6,
+                MismatchKind::MosBetaRel => 1e-6,
+                MismatchKind::ResAbs => 1e-3,
+                _ => 1e-9,
+            };
+            let kind = ckt.mismatch_params()[k].kind;
+            let h = h_for(kind);
+            let mut deltas = vec![0.0; ckt.mismatch_params().len()];
+            deltas[k] = h;
+            let mut cp = ckt.clone();
+            cp.apply_mismatch(&deltas);
+            let ap = cp.assemble(&x, 0.0);
+            deltas[k] = -h;
+            let mut cm = ckt.clone();
+            cm.apply_mismatch(&deltas);
+            let am = cm.assemble(&x, 0.0);
+            let mut df_fd = vec![0.0; ckt.n_unknowns()];
+            let mut dq_fd = vec![0.0; ckt.n_unknowns()];
+            for i in 0..ckt.n_unknowns() {
+                df_fd[i] = (ap.f[i] - am.f[i]) / (2.0 * h);
+                dq_fd[i] = (ap.q[i] - am.q[i]) / (2.0 * h);
+            }
+            let mut df = vec![0.0; ckt.n_unknowns()];
+            for (i, val) in &pd.df {
+                df[*i] += val;
+            }
+            let mut dq = vec![0.0; ckt.n_unknowns()];
+            for (i, val) in &pd.dq {
+                dq[*i] += val;
+            }
+            for i in 0..ckt.n_unknowns() {
+                assert!(
+                    (df[i] - df_fd[i]).abs() < 1e-4 * df_fd[i].abs().max(1e-7),
+                    "param {k} df[{i}]: {} vs {}",
+                    df[i],
+                    df_fd[i]
+                );
+                assert!(
+                    (dq[i] - dq_fd[i]).abs() < 1e-4 * dq_fd[i].abs().max(1e-12),
+                    "param {k} dq[{i}]: {} vs {}",
+                    dq[i],
+                    dq_fd[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pelgrom_sigma_scaling() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let m = ckt.add_mosfet(
+            "M1",
+            d,
+            d,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            8.32e-6,
+            0.13e-6,
+        );
+        // AVT = 6.5 mV·µm = 6.5e-9 V·m
+        let (ivt, ibeta) = ckt.annotate_pelgrom(m, 6.5e-9, 3.25e-8);
+        let area_sqrt = (8.32e-6_f64 * 0.13e-6).sqrt();
+        let svt = ckt.mismatch_params()[ivt].sigma;
+        let sbeta = ckt.mismatch_params()[ibeta].sigma;
+        assert!((svt - 6.5e-9 / area_sqrt).abs() < 1e-12);
+        assert!((sbeta - 3.25e-8 / area_sqrt).abs() < 1e-12);
+        // For the paper's device this is about 6.25 mV and 3.1%.
+        assert!((svt - 6.25e-3).abs() < 0.2e-3, "sigma_vt = {svt}");
+        assert!((sbeta - 0.0312).abs() < 0.002, "sigma_beta = {sbeta}");
+    }
+
+    #[test]
+    fn apply_and_reset_mismatch() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let m = ckt.add_mosfet(
+            "M1",
+            d,
+            d,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            1e-6,
+            0.13e-6,
+        );
+        ckt.annotate_pelgrom(m, 6.5e-9, 3.25e-8);
+        ckt.apply_mismatch(&[0.01, 0.05]);
+        match ckt.device(m) {
+            Device::Mosfet(mm) => {
+                assert!((mm.vt_shift - 0.01).abs() < 1e-15);
+                assert!((mm.beta_scale - 1.05).abs() < 1e-15);
+            }
+            _ => unreachable!(),
+        }
+        ckt.reset_mismatch();
+        match ckt.device(m) {
+            Device::Mosfet(mm) => {
+                assert_eq!(mm.vt_shift, 0.0);
+                assert_eq!(mm.beta_scale, 1.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn vccs_stamps_correctly() {
+        // VCCS from a controlled by itself: i = gm*v flows a->gnd.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource("I1", NodeId::GROUND, a, Waveform::Dc(1e-3));
+        ckt.add_vccs("G1", a, NodeId::GROUND, a, NodeId::GROUND, 1e-3);
+        // KCL: -1mA (injected) + gm*v = 0 -> v = 1.0
+        let x = vec![1.0];
+        let asm = ckt.assemble(&x, 0.0);
+        assert!(asm.f[0].abs() < 1e-15);
+    }
+
+    #[test]
+    fn inductor_dc_steady_state() {
+        // V -- L -- R to ground: at DC steady state i = V/R, q_branch = -L*i.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_inductor("L1", a, b, 1e-6);
+        ckt.add_resistor("R1", b, NodeId::GROUND, 100.0);
+        // unknowns: va, vb, i_V (branch 0, added first), i_L (branch 1).
+        // At steady state: va=1, vb=1, i_L = 10 mA (a->b), i_V = -10 mA.
+        let x = vec![1.0, 1.0, -0.01, 0.01];
+        let asm = ckt.assemble(&x, 0.0);
+        for (i, f) in asm.f.iter().enumerate() {
+            assert!(f.abs() < 1e-12, "row {i}: {f}");
+        }
+        // Inductor flux on its branch row.
+        let bi = ckt.unknown_of_branch(ckt_branch(&ckt, "L1"));
+        assert!((asm.q[bi] + 1e-6 * 0.01).abs() < 1e-18);
+    }
+
+    fn ckt_branch(ckt: &Circuit, label: &str) -> usize {
+        let id = ckt.find_device(label).unwrap();
+        match ckt.device(id) {
+            Device::Inductor { branch, .. } => *branch,
+            Device::Vsource { branch, .. } => *branch,
+            Device::Vcvs { branch, .. } => *branch,
+            _ => panic!("no branch"),
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for circuit construction and assembly.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or evaluating a circuit.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A node name was referenced that does not exist.
+    UnknownNode {
+        /// The requested name.
+        name: String,
+    },
+    /// A device index was out of range.
+    UnknownDevice {
+        /// The requested index.
+        index: usize,
+    },
+    /// A device parameter was invalid (non-positive resistance, etc.).
+    InvalidParameter {
+        /// Device label.
+        device: String,
+        /// Explanation of the problem.
+        reason: String,
+    },
+    /// A mismatch parameter index was out of range.
+    UnknownMismatchParam {
+        /// The requested index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownNode { name } => write!(f, "unknown node `{name}`"),
+            CircuitError::UnknownDevice { index } => write!(f, "unknown device index {index}"),
+            CircuitError::InvalidParameter { device, reason } => {
+                write!(f, "invalid parameter on `{device}`: {reason}")
+            }
+            CircuitError::UnknownMismatchParam { index } => {
+                write!(f, "unknown mismatch parameter index {index}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::UnknownNode {
+            name: "vdd".into(),
+        };
+        assert!(e.to_string().contains("vdd"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

@@ -1,0 +1,108 @@
+//! Mismatch parameter descriptors (Pelgrom model and passive mismatch).
+//!
+//! Each parameter is an independent zero-mean Gaussian with standard
+//! deviation `sigma`, attached to one device. The paper's pseudo-noise
+//! sources carry PSD = σ² at 1 Hz (Section III); in this workspace the same
+//! descriptor drives three consumers:
+//!
+//! 1. the LPTV pseudo-noise analysis (injection = `∂residual/∂p`),
+//! 2. the Monte-Carlo sampler (perturbs the device by a Gaussian draw),
+//! 3. the DC-match and transient-sensitivity baselines.
+
+use crate::circuit::DeviceId;
+
+/// What physical parameter of the attached device varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MismatchKind {
+    /// Additive MOSFET threshold-voltage mismatch δV_T (V); Pelgrom
+    /// `σ = A_VT/√(WL)` (paper eq. 4).
+    MosVt,
+    /// Relative MOSFET current-factor mismatch δβ/β (dimensionless);
+    /// Pelgrom `σ = A_β/√(WL)` (paper eq. 5).
+    MosBetaRel,
+    /// Absolute resistance mismatch δR (Ω) (paper Fig. 3).
+    ResAbs,
+    /// Absolute capacitance mismatch δC (F) (paper Fig. 3).
+    CapAbs,
+    /// Absolute inductance mismatch δL (H) (paper Fig. 3).
+    IndAbs,
+}
+
+/// One independent mismatch random variable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MismatchParam {
+    /// Human-readable name, e.g. `"M2.dVT"`.
+    pub label: String,
+    /// The device this parameter perturbs.
+    pub device: DeviceId,
+    /// Which physical quantity varies.
+    pub kind: MismatchKind,
+    /// Standard deviation in the parameter's natural unit.
+    pub sigma: f64,
+}
+
+/// Pelgrom technology constants.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_circuit::mismatch::Pelgrom;
+/// // The paper's 0.13 µm process: AVT = 6.5 mV·µm, Aβ = 3.25 %·µm.
+/// let p = Pelgrom::paper_013();
+/// let (svt, sbeta) = p.sigmas(8.32e-6, 0.13e-6);
+/// assert!((svt - 6.25e-3).abs() < 0.2e-3);
+/// assert!((sbeta - 0.03125).abs() < 0.002);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pelgrom {
+    /// Threshold-matching coefficient (V·m); paper quotes 6.5 mV·µm.
+    pub avt: f64,
+    /// Current-factor matching coefficient (·m); paper quotes 3.25 %·µm.
+    pub abeta: f64,
+}
+
+impl Pelgrom {
+    /// The constants quoted in Section VI of the paper
+    /// (`AVT = 6.5 mV·µm`, `Aβ = 3.25 %·µm`).
+    pub fn paper_013() -> Self {
+        Pelgrom {
+            avt: 6.5e-9,
+            abeta: 3.25e-8,
+        }
+    }
+
+    /// Returns `(σ_VT, σ_{δβ/β})` for a device of drawn `w × l` (meters).
+    pub fn sigmas(&self, w: f64, l: f64) -> (f64, f64) {
+        let s = (w * l).sqrt();
+        (self.avt / s, self.abeta / s)
+    }
+
+    /// Scales both coefficients (used by the Fig. 11 mismatch sweep).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Pelgrom {
+            avt: self.avt * factor,
+            abeta: self.abeta * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_scales_inverse_sqrt_area() {
+        let p = Pelgrom::paper_013();
+        let (s1, _) = p.sigmas(1e-6, 1e-6);
+        let (s4, _) = p.sigmas(4e-6, 1e-6);
+        assert!((s1 / s4 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_both() {
+        let p = Pelgrom::paper_013().scaled(3.0);
+        assert!((p.avt - 19.5e-9).abs() < 1e-15);
+        assert!((p.abeta - 9.75e-8).abs() < 1e-15);
+    }
+}

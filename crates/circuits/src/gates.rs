@@ -1,0 +1,169 @@
+//! CMOS gate builders (inverter, NAND2) used by the logic-path and
+//! ring-oscillator benchmarks.
+
+use crate::tech::Tech;
+use tranvar_circuit::{Circuit, DeviceId, NodeId};
+
+/// Default NMOS width for a 1× gate (m).
+pub const WN_UNIT: f64 = 1.0e-6;
+/// Default PMOS width for a 1× gate (m).
+pub const WP_UNIT: f64 = 2.0e-6;
+
+/// Handles to the transistors of one gate (for sensitivity reporting).
+#[derive(Clone, Debug)]
+pub struct Gate {
+    /// Gate output node.
+    pub out: NodeId,
+    /// Devices of this gate.
+    pub devices: Vec<DeviceId>,
+}
+
+/// Adds a static CMOS inverter driving a fresh node named `{label}.out`.
+///
+/// `strength` scales both widths.
+pub fn inverter(
+    tech: &Tech,
+    ckt: &mut Circuit,
+    label: &str,
+    vdd: NodeId,
+    input: NodeId,
+    strength: f64,
+) -> Gate {
+    let out = ckt.node(&format!("{label}.out"));
+    let mp = tech.pmos(
+        ckt,
+        &format!("{label}.MP"),
+        out,
+        input,
+        vdd,
+        WP_UNIT * strength,
+    );
+    let mn = tech.nmos(
+        ckt,
+        &format!("{label}.MN"),
+        out,
+        input,
+        NodeId::GROUND,
+        WN_UNIT * strength,
+    );
+    Gate {
+        out,
+        devices: vec![mp, mn],
+    }
+}
+
+/// Adds a two-input NAND driving `{label}.out`; the series NMOS stack is
+/// upsized by 2× to balance drive.
+pub fn nand2(
+    tech: &Tech,
+    ckt: &mut Circuit,
+    label: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    strength: f64,
+) -> Gate {
+    let out = ckt.node(&format!("{label}.out"));
+    let mid = ckt.node(&format!("{label}.mid"));
+    let mpa = tech.pmos(
+        ckt,
+        &format!("{label}.MPA"),
+        out,
+        a,
+        vdd,
+        WP_UNIT * strength,
+    );
+    let mpb = tech.pmos(
+        ckt,
+        &format!("{label}.MPB"),
+        out,
+        b,
+        vdd,
+        WP_UNIT * strength,
+    );
+    let mna = tech.nmos(
+        ckt,
+        &format!("{label}.MNA"),
+        out,
+        a,
+        mid,
+        2.0 * WN_UNIT * strength,
+    );
+    let mnb = tech.nmos(
+        ckt,
+        &format!("{label}.MNB"),
+        mid,
+        b,
+        NodeId::GROUND,
+        2.0 * WN_UNIT * strength,
+    );
+    Gate {
+        out,
+        devices: vec![mpa, mpb, mna, mnb],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::Waveform;
+    use tranvar_engine::dc::{dc_operating_point, DcOptions};
+
+    #[test]
+    fn inverter_truth_table() {
+        let tech = Tech::t013();
+        for (vin, want_high) in [(0.0, true), (1.2, false)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let inp = ckt.node("in");
+            ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(tech.vdd));
+            ckt.add_vsource("VIN", inp, NodeId::GROUND, Waveform::Dc(vin));
+            let g = inverter(&tech, &mut ckt, "I1", vdd, inp, 1.0);
+            let x = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+            let vo = ckt.voltage(&x, g.out);
+            if want_high {
+                assert!(vo > 1.1, "vin={vin} vo={vo}");
+            } else {
+                assert!(vo < 0.1, "vin={vin} vo={vo}");
+            }
+        }
+    }
+
+    #[test]
+    fn nand_truth_table() {
+        let tech = Tech::t013();
+        for (va, vb, want_high) in [
+            (0.0, 0.0, true),
+            (1.2, 0.0, true),
+            (0.0, 1.2, true),
+            (1.2, 1.2, false),
+        ] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(tech.vdd));
+            ckt.add_vsource("VA", a, NodeId::GROUND, Waveform::Dc(va));
+            ckt.add_vsource("VB", b, NodeId::GROUND, Waveform::Dc(vb));
+            let g = nand2(&tech, &mut ckt, "G1", vdd, a, b, 1.0);
+            let x = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+            let vo = ckt.voltage(&x, g.out);
+            if want_high {
+                assert!(vo > 1.05, "a={va} b={vb} vo={vo}");
+            } else {
+                assert!(vo < 0.1, "a={va} b={vb} vo={vo}");
+            }
+        }
+    }
+
+    #[test]
+    fn gate_devices_are_annotated() {
+        let tech = Tech::t013();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let g = inverter(&tech, &mut ckt, "I1", vdd, inp, 1.0);
+        assert_eq!(g.devices.len(), 2);
+        assert_eq!(ckt.mismatch_params().len(), 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! The Fig. 7 logic path: two outputs whose critical paths share gates `a`
+//! and `b` when input X rises before Y, and are disjoint when Y rises first
+//! — the Table I correlation experiment.
+//!
+//! Topology (all edges rising at the inputs, falling at the outputs):
+//!
+//! ```text
+//! Y ──▷ inv_a ──▷ inv_b ──┬──▷ NAND_A ──▷ A
+//!                          │       ▲
+//! X ──▷ inv1 ──▷ inv2 ─────┼───────┘
+//!      └─▷ inv3 ──▷ inv4 ──┴──▷ NAND_B ──▷ B
+//! ```
+//!
+//! A NAND output falls when its *later-arriving* input rises. With X early,
+//! both outputs are timed by Y's path through the shared `a`,`b` pair
+//! (ρ ≈ 0.9); with Y early, each output is timed by its own private X buffer
+//! chain (ρ ≈ 0).
+
+use crate::gates::{inverter, nand2, Gate};
+use crate::tech::Tech;
+use tranvar_circuit::{Circuit, NodeId, Pulse, Waveform};
+use tranvar_core::{Metric, MetricSpec};
+use tranvar_engine::measure::delay_from;
+use tranvar_engine::tran::{transient, TranOptions};
+use tranvar_engine::EngineError;
+use tranvar_num::interp::Edge;
+use tranvar_pss::PssOptions;
+
+/// Which input arrives first (Table I's two rows).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArrivalOrder {
+    /// X rises before Y: critical paths share gates a and b.
+    XFirst,
+    /// Y rises before X: critical paths are disjoint.
+    YFirst,
+}
+
+/// The constructed logic path and its measurement bindings.
+#[derive(Clone, Debug)]
+pub struct LogicPath {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Output A.
+    pub out_a: NodeId,
+    /// Output B.
+    pub out_b: NodeId,
+    /// Clock/stimulus period (s).
+    pub period: f64,
+    /// Rising-edge time of the *later* input — the delay reference.
+    pub t_edge: f64,
+    /// Mid-supply threshold used for crossings.
+    pub threshold: f64,
+    /// Gate handles: shared chain `[a, b]`.
+    pub shared: Vec<Gate>,
+    /// Gate handles on the private X branches.
+    pub x_branches: Vec<Gate>,
+    /// The two output NANDs.
+    pub nands: Vec<Gate>,
+}
+
+impl LogicPath {
+    /// Builds the benchmark with the given input arrival order.
+    pub fn new(tech: &Tech, order: ArrivalOrder) -> Self {
+        let period = 4e-9;
+        let (t_x, t_y): (f64, f64) = match order {
+            ArrivalOrder::XFirst => (0.4e-9, 1.0e-9),
+            ArrivalOrder::YFirst => (1.0e-9, 0.4e-9),
+        };
+        let t_edge = t_x.max(t_y);
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(tech.vdd));
+        let x = ckt.node("X");
+        let y = ckt.node("Y");
+        let pulse = |delay: f64| {
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: tech.vdd,
+                delay,
+                rise: 30e-12,
+                fall: 30e-12,
+                width: 1.5e-9,
+                period,
+            })
+        };
+        ckt.add_vsource("VX", x, NodeId::GROUND, pulse(t_x));
+        ckt.add_vsource("VY", y, NodeId::GROUND, pulse(t_y));
+
+        // Shared chain from Y: gates a and b (Fig. 7's labels).
+        // Small shared gates (more mismatch) vs upsized output NANDs (less):
+        // sets the variance split that the paper's rho = 0.885 reflects.
+        let ga = inverter(tech, &mut ckt, "a", vdd, y, 0.75);
+        let gb = inverter(tech, &mut ckt, "b", vdd, ga.out, 0.75);
+        // Private X buffers.
+        let i1 = inverter(tech, &mut ckt, "i1", vdd, x, 1.0);
+        let i2 = inverter(tech, &mut ckt, "i2", vdd, i1.out, 1.0);
+        let i3 = inverter(tech, &mut ckt, "i3", vdd, x, 1.0);
+        let i4 = inverter(tech, &mut ckt, "i4", vdd, i3.out, 1.0);
+        // Output NANDs.
+        let na = nand2(tech, &mut ckt, "nandA", vdd, i2.out, gb.out, 2.0);
+        let nb = nand2(tech, &mut ckt, "nandB", vdd, i4.out, gb.out, 2.0);
+        let out_a = na.out;
+        let out_b = nb.out;
+        // Output loading.
+        ckt.add_capacitor("CA", out_a, NodeId::GROUND, 5e-15);
+        ckt.add_capacitor("CB", out_b, NodeId::GROUND, 5e-15);
+        LogicPath {
+            circuit: ckt,
+            out_a,
+            out_b,
+            period,
+            t_edge,
+            threshold: tech.vdd / 2.0,
+            shared: vec![ga, gb],
+            x_branches: vec![i1, i2, i3, i4],
+            nands: vec![na, nb],
+        }
+    }
+
+    /// The two delay metrics (input rising edge → output falling edge, paper
+    /// Fig. 7 caption).
+    pub fn delay_metrics(&self) -> Vec<MetricSpec> {
+        let mk = |name: &str, node: NodeId| {
+            MetricSpec::new(
+                name,
+                Metric::CrossingShift {
+                    node,
+                    threshold: self.threshold,
+                    edge: Edge::Falling,
+                    t_after: self.t_edge,
+                    t_ref: self.t_edge,
+                },
+            )
+        };
+        vec![mk("delay_A", self.out_a), mk("delay_B", self.out_b)]
+    }
+
+    /// PSS options tuned for this circuit class.
+    pub fn pss_options(&self) -> PssOptions {
+        let mut o = PssOptions::default();
+        o.n_steps = 800;
+        o.warmup_cycles = 2;
+        o
+    }
+
+    /// Nonlinear transient measurement of both delays (the Monte-Carlo
+    /// kernel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement failures.
+    pub fn measure_delays_transient(&self, ckt: &Circuit) -> Result<Vec<f64>, EngineError> {
+        let mut opts = TranOptions::new(self.period, self.period / 2000.0);
+        opts.gmin = 1e-12;
+        let res = transient(ckt, &opts)?;
+        let da = delay_from(
+            ckt,
+            &res,
+            self.out_a,
+            self.threshold,
+            Edge::Falling,
+            self.t_edge,
+        )?;
+        let db = delay_from(
+            ckt,
+            &res,
+            self.out_b,
+            self.threshold,
+            Edge::Falling,
+            self.t_edge,
+        )?;
+        Ok(vec![da, db])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_core::prelude::*;
+
+    #[test]
+    fn delays_are_plausible_and_match_pss_nominal() {
+        let tech = Tech::t013();
+        let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
+        let delays = path.measure_delays_transient(&path.circuit).unwrap();
+        // Three gate delays of tens of ps each.
+        for d in &delays {
+            assert!(*d > 10e-12 && *d < 600e-12, "delay {d:.3e}");
+        }
+        let res = analyze(
+            &path.circuit,
+            &PssConfig::Driven {
+                period: path.period,
+                opts: path.pss_options(),
+            },
+            &path.delay_metrics(),
+        )
+        .unwrap();
+        for (rep, d) in res.reports.iter().zip(delays.iter()) {
+            assert!(
+                (rep.nominal - d).abs() < 0.03 * d,
+                "{}: pss {} vs tran {}",
+                rep.metric,
+                rep.nominal,
+                d
+            );
+        }
+    }
+
+    /// The headline Table I result: shared critical path ⇒ high correlation,
+    /// disjoint paths ⇒ near-zero correlation.
+    #[test]
+    fn table1_correlation_structure() {
+        let tech = Tech::t013();
+        let shared = LogicPath::new(&tech, ArrivalOrder::XFirst);
+        let res = analyze(
+            &shared.circuit,
+            &PssConfig::Driven {
+                period: shared.period,
+                opts: shared.pss_options(),
+            },
+            &shared.delay_metrics(),
+        )
+        .unwrap();
+        let rho_shared = res.reports[0].correlation(&res.reports[1]);
+        assert!(rho_shared > 0.6, "shared-path rho = {rho_shared:.3}");
+
+        let disjoint = LogicPath::new(&tech, ArrivalOrder::YFirst);
+        let res2 = analyze(
+            &disjoint.circuit,
+            &PssConfig::Driven {
+                period: disjoint.period,
+                opts: disjoint.pss_options(),
+            },
+            &disjoint.delay_metrics(),
+        )
+        .unwrap();
+        let rho_disjoint = res2.reports[0].correlation(&res2.reports[1]);
+        assert!(
+            rho_disjoint.abs() < 0.15,
+            "disjoint-path rho = {rho_disjoint:.3}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! N-stage ring oscillator — the paper's Section IV-C / Figs. 11–12
+//! benchmark (5 stages in the paper's evaluation).
+
+use crate::gates::{inverter, Gate};
+use crate::tech::Tech;
+use tranvar_circuit::{Circuit, NodeId, Waveform};
+use tranvar_engine::dc::{dc_operating_point, DcOptions};
+use tranvar_engine::measure::average_frequency;
+use tranvar_engine::tran::{transient, TranOptions};
+use tranvar_engine::{EngineError, Integrator};
+use tranvar_pss::OscOptions;
+
+/// A constructed ring oscillator and its measurement bindings.
+#[derive(Clone, Debug)]
+pub struct RingOsc {
+    /// The netlist (with Pelgrom annotations on every transistor).
+    pub circuit: Circuit,
+    /// Stage output nodes; `stages[0]` is the PSS phase node.
+    pub stages: Vec<NodeId>,
+    /// Gate handles per stage.
+    pub gates: Vec<Gate>,
+    /// Supply node.
+    pub vdd: NodeId,
+    /// Order-of-magnitude period estimate (s) for PSS warm-up.
+    pub period_hint: f64,
+    /// Phase-condition level (V).
+    pub phase_value: f64,
+}
+
+impl RingOsc {
+    /// Builds an `n_stages`-stage ring (must be odd) with `cload` per stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_stages` is even or < 3.
+    pub fn new(tech: &Tech, n_stages: usize, cload: f64) -> Self {
+        assert!(
+            n_stages >= 3 && n_stages % 2 == 1,
+            "ring oscillator needs an odd stage count >= 3"
+        );
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(tech.vdd));
+        // Pre-create the stage nodes so gate outputs wire the loop.
+        let stages: Vec<NodeId> = (0..n_stages).map(|i| ckt.node(&format!("inv{i}.out"))).collect();
+        let mut gates = Vec::with_capacity(n_stages);
+        for i in 0..n_stages {
+            let input = stages[(i + n_stages - 1) % n_stages];
+            let g = inverter(tech, &mut ckt, &format!("inv{i}"), vdd, input, 1.0);
+            debug_assert_eq!(g.out, stages[i]);
+            ckt.add_capacitor(&format!("CL{i}"), stages[i], NodeId::GROUND, cload);
+            gates.push(g);
+        }
+        // Rough delay estimate: t_d ≈ C·V/I_drive.
+        let beta = tech.nmos.kp * crate::gates::WN_UNIT / tech.lmin;
+        let i_on = 0.5 * beta * (tech.vdd - tech.nmos.vt0).powi(2);
+        let ctot = cload + 4.0 * tech.nmos.cox * crate::gates::WN_UNIT * tech.lmin;
+        let period_hint = 2.0 * n_stages as f64 * ctot * tech.vdd / i_on;
+        RingOsc {
+            circuit: ckt,
+            stages,
+            gates,
+            vdd,
+            period_hint,
+            phase_value: tech.vdd / 2.0,
+        }
+    }
+
+    /// The paper's 5-stage configuration with 10 fF stage loads.
+    pub fn paper(tech: &Tech) -> Self {
+        RingOsc::new(tech, 5, 10e-15)
+    }
+
+    /// Oscillator shooting options tuned for this circuit class.
+    pub fn osc_options(&self) -> OscOptions {
+        let mut o = OscOptions::default();
+        o.pss.n_steps = 192;
+        o.pss.tol = 1e-8;
+        o
+    }
+
+    /// Nonlinear transient frequency measurement (the Monte-Carlo kernel):
+    /// kick, settle, and average the period over trailing cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement failures.
+    pub fn measure_frequency_transient(&self, ckt: &Circuit) -> Result<f64, EngineError> {
+        let mut x0 = dc_operating_point(ckt, &DcOptions::default())?;
+        if let Some(i) = ckt.unknown_of_node(self.stages[0]) {
+            x0[i] += 0.1;
+        }
+        let mut opts = TranOptions::new(20.0 * self.period_hint, self.period_hint / 150.0);
+        opts.method = Integrator::Trapezoidal;
+        opts.x0 = Some(x0);
+        let res = transient(ckt, &opts)?;
+        average_frequency(ckt, &res, self.stages[0], self.phase_value, 5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_core::prelude::*;
+    use tranvar_pss::autonomous_pss;
+
+    #[test]
+    fn five_stage_ring_oscillates_and_locks() {
+        let tech = Tech::t013();
+        let ring = RingOsc::paper(&tech);
+        let f_tran = ring.measure_frequency_transient(&ring.circuit).unwrap();
+        assert!(f_tran > 1e8 && f_tran < 5e10, "f = {f_tran:.3e}");
+        let sol = autonomous_pss(
+            &ring.circuit,
+            ring.period_hint,
+            ring.stages[0],
+            ring.phase_value,
+            &ring.osc_options(),
+        )
+        .unwrap();
+        assert!(
+            (sol.fundamental() - f_tran).abs() < 0.01 * f_tran,
+            "pss {:.4e} vs transient {f_tran:.4e}",
+            sol.fundamental()
+        );
+    }
+
+    #[test]
+    fn frequency_variation_analysis_runs() {
+        let tech = Tech::t013();
+        let ring = RingOsc::paper(&tech);
+        let res = analyze(
+            &ring.circuit,
+            &PssConfig::Autonomous {
+                period_hint: ring.period_hint,
+                phase_node: ring.stages[0],
+                phase_value: ring.phase_value,
+                opts: ring.osc_options(),
+            },
+            &[MetricSpec::new("f0", Metric::Frequency)],
+        )
+        .unwrap();
+        let rep = &res.reports[0];
+        // All 20 parameters (5 stages × 2 FETs × 2 params) contribute.
+        assert_eq!(rep.contributions.len(), 20);
+        let rel = rep.sigma() / rep.nominal;
+        // Per-stage current mismatch of a ~1 µm device is σ(I)/I ≈ 10%;
+        // averaging over 2·5 delay edges gives roughly σ_f/f ≈ 2–4%.
+        assert!(rel > 0.005 && rel < 0.10, "sigma_f/f = {rel:.4}");
+    }
+
+    #[test]
+    fn even_stage_count_panics() {
+        let tech = Tech::t013();
+        let result = std::panic::catch_unwind(|| RingOsc::new(&tech, 4, 1e-15));
+        assert!(result.is_err());
+    }
+}

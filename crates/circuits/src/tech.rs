@@ -1,0 +1,134 @@
+//! The 0.13 µm-class technology used by every benchmark circuit.
+//!
+//! Calibrated against the operating point quoted in Section VI of the paper:
+//! `AVT = 6.5 mV·µm`, `Aβ = 3.25 %·µm`, and a 8.32 µm/0.13 µm nMOS at
+//! `V_GS = 1.0 V` whose drain-current 3σ mismatch lands near the paper's
+//! ≈14% (our smoothed square-law model gives a slightly lower g_m/I_D than
+//! the authors' BSIM cards, so the exact figure is recorded in
+//! EXPERIMENTS.md and asserted within a tolerance band here).
+
+use tranvar_circuit::{Circuit, DeviceId, MosModel, MosType, NodeId, Pelgrom};
+
+/// A process corner: model cards plus matching coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tech {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Minimum drawn length (m).
+    pub lmin: f64,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+    /// Pelgrom matching coefficients.
+    pub pelgrom: Pelgrom,
+}
+
+impl Tech {
+    /// The paper's 0.13 µm process.
+    pub fn t013() -> Self {
+        let mut nmos = MosModel::nmos_013();
+        let mut pmos = MosModel::pmos_013();
+        // Threshold choice trades logic speed against the g_m/I_D that sets
+        // the V_T share of current mismatch at the paper's quoted bias.
+        nmos.vt0 = 0.50;
+        pmos.vt0 = 0.45;
+        Tech {
+            vdd: 1.2,
+            lmin: 0.13e-6,
+            nmos,
+            pmos,
+            pelgrom: Pelgrom::paper_013(),
+        }
+    }
+
+    /// Same process with mismatch scaled by `factor` (the Fig. 11 sweep).
+    pub fn with_mismatch_scale(mut self, factor: f64) -> Self {
+        self.pelgrom = self.pelgrom.scaled(factor);
+        self
+    }
+
+    /// Adds a minimum-length NMOS with Pelgrom annotations.
+    pub fn nmos(
+        &self,
+        ckt: &mut Circuit,
+        label: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
+        let id = ckt.add_mosfet(label, d, g, s, MosType::Nmos, self.nmos, w, self.lmin);
+        ckt.annotate_pelgrom(id, self.pelgrom.avt, self.pelgrom.abeta);
+        id
+    }
+
+    /// Adds a minimum-length PMOS with Pelgrom annotations.
+    pub fn pmos(
+        &self,
+        ckt: &mut Circuit,
+        label: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
+        let id = ckt.add_mosfet(label, d, g, s, MosType::Pmos, self.pmos, w, self.lmin);
+        ckt.annotate_pelgrom(id, self.pelgrom.avt, self.pelgrom.abeta);
+        id
+    }
+
+    /// Relative 1-σ drain-current mismatch of a device at the given bias:
+    /// `σ(I_D)/I_D = √((g_m/I_D·σ_VT)² + σ_β²)` — the quantity whose 3σ the
+    /// paper quotes as ≈14% for the 8.32/0.13 device at V_GS = 1 V.
+    pub fn ids_rel_sigma(&self, ty: MosType, w: f64, vgs: f64, vds: f64) -> f64 {
+        let model = match ty {
+            MosType::Nmos => self.nmos,
+            MosType::Pmos => self.pmos,
+        };
+        let op = tranvar_circuit::mosfet::eval_mosfet(
+            ty, &model, w, self.lmin, 0.0, 1.0, vds, vgs, 0.0,
+        );
+        let (svt, sbeta) = self.pelgrom.sigmas(w, self.lmin);
+        let gm_over_id = if op.ids.abs() > 0.0 {
+            (op.di_dvg / op.ids).abs()
+        } else {
+            0.0
+        };
+        ((gm_over_id * svt).powi(2) + sbeta * sbeta).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's calibration point: 8.32/0.13 nMOS at V_GS = 1.0 V has
+    /// 3σ(I_DS) ≈ 14%. Our model card is asserted within [11%, 17%] and the
+    /// measured value is reported in EXPERIMENTS.md.
+    #[test]
+    fn paper_bias_point_current_mismatch() {
+        let t = Tech::t013();
+        let s3 = 3.0 * t.ids_rel_sigma(MosType::Nmos, 8.32e-6, 1.0, 1.2);
+        assert!(s3 > 0.11 && s3 < 0.17, "3sigma(IDS) = {:.3}", s3);
+    }
+
+    #[test]
+    fn mismatch_scale_multiplies_sigmas() {
+        let t = Tech::t013();
+        let t3 = t.with_mismatch_scale(3.0);
+        let s1 = t.ids_rel_sigma(MosType::Nmos, 8.32e-6, 1.0, 1.2);
+        let s3 = t3.ids_rel_sigma(MosType::Nmos, 8.32e-6, 1.0, 1.2);
+        assert!((s3 / s1 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn helpers_annotate_pelgrom() {
+        let t = Tech::t013();
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        t.nmos(&mut ckt, "M1", d, d, NodeId::GROUND, 2e-6);
+        t.pmos(&mut ckt, "M2", d, d, NodeId::GROUND, 2e-6);
+        assert_eq!(ckt.mismatch_params().len(), 4);
+    }
+}

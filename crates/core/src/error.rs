@@ -1,0 +1,95 @@
+//! Error type for the mismatch-analysis flow.
+
+use std::error::Error;
+use std::fmt;
+use tranvar_circuit::CircuitError;
+use tranvar_engine::EngineError;
+use tranvar_lptv::LptvError;
+use tranvar_num::NumError;
+use tranvar_pss::PssError;
+
+/// Errors produced by the pseudo-noise mismatch analysis.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A metric could not be extracted from the PSS waveforms.
+    Metric(String),
+    /// Invalid configuration.
+    BadConfig(String),
+    /// Underlying PSS failure.
+    Pss(PssError),
+    /// Underlying LPTV failure.
+    Lptv(LptvError),
+    /// Underlying engine failure.
+    Engine(EngineError),
+    /// Underlying circuit failure.
+    Circuit(CircuitError),
+    /// Underlying numerical failure.
+    Num(NumError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Metric(msg) => write!(f, "metric extraction failed: {msg}"),
+            CoreError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CoreError::Pss(e) => write!(f, "pss failure: {e}"),
+            CoreError::Lptv(e) => write!(f, "lptv failure: {e}"),
+            CoreError::Engine(e) => write!(f, "engine failure: {e}"),
+            CoreError::Circuit(e) => write!(f, "circuit failure: {e}"),
+            CoreError::Num(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Pss(e) => Some(e),
+            CoreError::Lptv(e) => Some(e),
+            CoreError::Engine(e) => Some(e),
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Num(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PssError> for CoreError {
+    fn from(e: PssError) -> Self {
+        CoreError::Pss(e)
+    }
+}
+impl From<LptvError> for CoreError {
+    fn from(e: LptvError) -> Self {
+        CoreError::Lptv(e)
+    }
+}
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+impl From<CircuitError> for CoreError {
+    fn from(e: CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+impl From<NumError> for CoreError {
+    fn from(e: NumError) -> Self {
+        CoreError::Num(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        let e = CoreError::Metric("no crossing".into());
+        assert!(e.to_string().contains("no crossing"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! Section V of the paper: interpreting simulated cyclostationary noise PSDs
+//! as performance variations (eqs. 7–9), plus the consistency bridges
+//! between the PSD route and the direct time-domain route used by
+//! [`crate::metric`].
+//!
+//! The pseudo-noise convention is the paper's: a mismatch of variance σ² is
+//! a 1/f source with PSD σ² at 1 Hz, so reading the output PSD at 1 Hz
+//! offset from the chosen sideband yields the variance directly.
+
+/// Variance of a DC-type quantity from its baseband (N=0) PSD at 1 Hz
+/// (Section V-A): the PSD value *is* the variance.
+///
+/// # Examples
+///
+/// ```
+/// // The paper's example: PSD 8.24e-4 V²/Hz → σ = 28.7 mV.
+/// let sigma = tranvar_core::interpret::dc_sigma_from_psd(8.24e-4);
+/// assert!((sigma - 28.7e-3).abs() < 0.1e-3);
+/// ```
+pub fn dc_sigma_from_psd(psd_baseband_1hz: f64) -> f64 {
+    psd_baseband_1hz.max(0.0).sqrt()
+}
+
+/// Phase variance from the first-sideband PSD `P1` (V²/Hz at 1 Hz offset)
+/// and the fundamental amplitude `A_c` (V), by the narrowband-PM
+/// approximation of eq. (7): `σ_φ² = 2·P1/A_c²`.
+pub fn phase_variance_from_p1(p1: f64, a_c: f64) -> f64 {
+    2.0 * p1 / (a_c * a_c)
+}
+
+/// Delay variance from the first-sideband PSD (eq. 8):
+/// `σ_D² = σ_φ²/(2πf₀)² = 2·P1/((2πf₀)²·A_c²)`.
+pub fn delay_variance_from_p1(p1: f64, a_c: f64, f0: f64) -> f64 {
+    let w0 = 2.0 * std::f64::consts::PI * f0;
+    phase_variance_from_p1(p1, a_c) / (w0 * w0)
+}
+
+/// Frequency variance from the first-sideband PSD (eq. 9) with the
+/// pseudo-noise read at `f_m` (1 Hz by convention): narrowband FM gives
+/// `σ_f² = 4·P1·f_m²/A_c²`.
+pub fn frequency_variance_from_p1(p1: f64, a_c: f64, f_m: f64) -> f64 {
+    4.0 * p1 * f_m * f_m / (a_c * a_c)
+}
+
+/// Inverse of eq. (8): the first-sideband PSD a delay variance corresponds
+/// to (used to cross-check the time-domain crossing-shift route against the
+/// paper's PSD presentation).
+pub fn p1_from_delay_variance(sigma_d2: f64, a_c: f64, f0: f64) -> f64 {
+    let w0 = 2.0 * std::f64::consts::PI * f0;
+    0.5 * sigma_d2 * w0 * w0 * a_c * a_c
+}
+
+/// Inverse of eq. (9): the first-sideband PSD a frequency variance
+/// corresponds to.
+pub fn p1_from_frequency_variance(sigma_f2: f64, a_c: f64, f_m: f64) -> f64 {
+    sigma_f2 * a_c * a_c / (4.0 * f_m * f_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numeric_example() {
+        // Section V-A: 8.24e-4 V²/Hz ⇒ 28.7 mV.
+        assert!((dc_sigma_from_psd(8.24e-4) - 0.0287).abs() < 1e-4);
+        assert_eq!(dc_sigma_from_psd(-1.0), 0.0);
+    }
+
+    #[test]
+    fn delay_and_phase_are_consistent() {
+        let (p1, ac, f0) = (1e-9, 0.8, 1e9);
+        let sphi2 = phase_variance_from_p1(p1, ac);
+        let sd2 = delay_variance_from_p1(p1, ac, f0);
+        let w0 = 2.0 * std::f64::consts::PI * f0;
+        assert!((sd2 * w0 * w0 - sphi2).abs() < 1e-30);
+    }
+
+    #[test]
+    fn p1_roundtrips() {
+        let (ac, f0, fm) = (1.1, 2.5e9, 1.0);
+        let sd2 = 1e-23;
+        let p1 = p1_from_delay_variance(sd2, ac, f0);
+        assert!((delay_variance_from_p1(p1, ac, f0) - sd2).abs() < 1e-12 * sd2);
+        let sf2 = 1e12;
+        let p1f = p1_from_frequency_variance(sf2, ac, fm);
+        assert!((frequency_variance_from_p1(p1f, ac, fm) - sf2).abs() < 1e-12 * sf2);
+    }
+
+    #[test]
+    fn variance_scales_linearly_with_psd() {
+        let v1 = delay_variance_from_p1(1e-9, 1.0, 1e9);
+        let v2 = delay_variance_from_p1(2e-9, 1.0, 1e9);
+        assert!((v2 / v1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,218 @@
+//! Non-Gaussian mismatch via Gaussian mixtures — the extension sketched in
+//! Section VIII / Fig. 13 of the paper.
+//!
+//! A non-Gaussian mismatch distribution on one parameter is decomposed into
+//! a sum of narrow Gaussians. Each component gets its *own* linearization:
+//! the circuit is re-biased at the component mean (one extra PSS per
+//! component — the cost growth the paper warns about), the pseudo-noise
+//! analysis runs locally, and the performance distribution is the mixture of
+//! the projected Gaussians — which can be arbitrarily non-Gaussian.
+
+use crate::analysis::{analyze, MetricSpec, PssConfig};
+use crate::error::CoreError;
+use tranvar_circuit::Circuit;
+use tranvar_num::stats::gaussian_pdf;
+
+/// One Gaussian component of a mismatch distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MixtureComponent {
+    /// Mixture weight (components should sum to 1; normalized internally).
+    pub weight: f64,
+    /// Component mean of the mismatch parameter (natural units).
+    pub mean: f64,
+    /// Component standard deviation.
+    pub sigma: f64,
+}
+
+/// The projected performance distribution: a Gaussian mixture.
+#[derive(Clone, Debug)]
+pub struct MixtureResult {
+    /// Per-component `(weight, metric mean, metric sigma)`.
+    pub components: Vec<(f64, f64, f64)>,
+}
+
+impl MixtureResult {
+    /// Probability density of the performance metric.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|&(w, m, s)| w * gaussian_pdf(x, m, s))
+            .sum()
+    }
+
+    /// Mixture mean.
+    pub fn mean(&self) -> f64 {
+        self.components.iter().map(|&(w, m, _)| w * m).sum()
+    }
+
+    /// Mixture variance.
+    pub fn variance(&self) -> f64 {
+        let mu = self.mean();
+        self.components
+            .iter()
+            .map(|&(w, m, s)| w * (s * s + (m - mu) * (m - mu)))
+            .sum()
+    }
+
+    /// Mixture standard deviation.
+    pub fn sigma(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Mixture skewness `μ₃/σ³` — nonzero when the input mismatch is
+    /// asymmetric, which a single linearization cannot produce.
+    pub fn skewness(&self) -> f64 {
+        let mu = self.mean();
+        let sd = self.sigma();
+        if sd == 0.0 {
+            return 0.0;
+        }
+        let m3: f64 = self
+            .components
+            .iter()
+            .map(|&(w, m, s)| {
+                let d = m - mu;
+                // Third central moment of a shifted Gaussian: d³ + 3dσ².
+                w * (d * d * d + 3.0 * d * s * s)
+            })
+            .sum();
+        m3 / (sd * sd * sd)
+    }
+}
+
+/// Runs the mixture analysis: `param_index`'s distribution is replaced by
+/// the given Gaussian mixture; every component re-centers the circuit and
+/// re-runs the full pseudo-noise flow.
+///
+/// # Errors
+///
+/// Propagates analysis failures; rejects empty mixtures.
+pub fn mixture_analysis(
+    ckt: &Circuit,
+    config: &PssConfig,
+    metric: &MetricSpec,
+    param_index: usize,
+    components: &[MixtureComponent],
+) -> Result<MixtureResult, CoreError> {
+    if components.is_empty() {
+        return Err(CoreError::BadConfig("mixture needs components".into()));
+    }
+    if param_index >= ckt.mismatch_params().len() {
+        return Err(CoreError::BadConfig(format!(
+            "mismatch parameter {param_index} out of range"
+        )));
+    }
+    let wsum: f64 = components.iter().map(|c| c.weight).sum();
+    if wsum <= 0.0 {
+        return Err(CoreError::BadConfig("mixture weights must sum > 0".into()));
+    }
+    let n_params = ckt.mismatch_params().len();
+    let mut out = Vec::with_capacity(components.len());
+    for comp in components {
+        // Re-center the parameter at the component mean and set its local σ.
+        let mut local = ckt.clone();
+        let mut deltas = vec![0.0; n_params];
+        deltas[param_index] = comp.mean;
+        local.apply_mismatch(&deltas);
+        let comp_sigma = comp.sigma;
+        let mut idx = 0usize;
+        local.rescale_mismatch_sigmas(|p| {
+            let k = if idx == param_index {
+                comp_sigma / p.sigma.max(f64::MIN_POSITIVE)
+            } else {
+                1.0
+            };
+            idx += 1;
+            k
+        });
+        let res = analyze(&local, config, std::slice::from_ref(metric))?;
+        let rep = &res.reports[0];
+        out.push((comp.weight / wsum, rep.nominal, rep.sigma()));
+    }
+    Ok(MixtureResult { components: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use tranvar_circuit::{NodeId, Waveform};
+    use tranvar_pss::PssOptions;
+
+    #[test]
+    fn mixture_moments_closed_form() {
+        // 50/50 mixture of N(-1, 0.1) and N(+1, 0.1).
+        let r = MixtureResult {
+            components: vec![(0.5, -1.0, 0.1), (0.5, 1.0, 0.1)],
+        };
+        assert!(r.mean().abs() < 1e-12);
+        assert!((r.variance() - (1.0 + 0.01)).abs() < 1e-12);
+        assert!(r.skewness().abs() < 1e-12, "symmetric mixture");
+        // Asymmetric mixture has skew.
+        let r2 = MixtureResult {
+            components: vec![(0.8, 0.0, 0.1), (0.2, 2.0, 0.1)],
+        };
+        assert!(r2.skewness() > 0.5, "skew {}", r2.skewness());
+        // PDF is bimodal: dip at 0 for the symmetric mixture.
+        assert!(r.pdf(0.0) < r.pdf(1.0));
+    }
+
+    #[test]
+    fn divider_bimodal_resistance() {
+        // Divider whose R1 mismatch is bimodal: the output distribution must
+        // be bimodal too, with the mixture mean tracking the component means.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 16;
+        let config = PssConfig::Driven {
+            period: 1e-6,
+            opts,
+        };
+        let spec = MetricSpec::new("vout", Metric::DcAverage { node: b });
+        let comps = [
+            MixtureComponent {
+                weight: 0.5,
+                mean: -50.0,
+                sigma: 5.0,
+            },
+            MixtureComponent {
+                weight: 0.5,
+                mean: 50.0,
+                sigma: 5.0,
+            },
+        ];
+        let res = mixture_analysis(&ckt, &config, &spec, 0, &comps).unwrap();
+        // Component means: vout(R1 = 950) ≈ 1.0256, vout(R1 = 1050) ≈ 0.9756.
+        let (_, m0, s0) = res.components[0];
+        let (_, m1, _) = res.components[1];
+        assert!((m0 - 2.0 * 1000.0 / 1950.0).abs() < 1e-4, "m0 = {m0}");
+        assert!((m1 - 2.0 * 1000.0 / 2050.0).abs() < 1e-4, "m1 = {m1}");
+        // Local σ uses the component width: |∂v/∂R1|·5 Ω ≈ 2.6 mV.
+        assert!((s0 - 2.6e-3).abs() < 0.3e-3, "s0 = {s0}");
+        // Overall: nearly symmetric, tiny skew.
+        assert!(res.skewness().abs() < 0.1);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let ckt = Circuit::new();
+        let config = PssConfig::Driven {
+            period: 1e-6,
+            opts: PssOptions::default(),
+        };
+        let spec = MetricSpec::new(
+            "x",
+            Metric::DcAverage {
+                node: NodeId::GROUND,
+            },
+        );
+        assert!(mixture_analysis(&ckt, &config, &spec, 0, &[]).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Variation reports: per-source contribution breakdowns, variances,
+//! correlations (paper eqs. 1–2 and 10–13).
+//!
+//! The linear perturbation model `ΔP = Σᵢ Sᵢ·ΔPᵢ` (eq. 2) makes every
+//! second-order statistic of the performance a cheap combination of the
+//! per-source contributions `Sᵢσᵢ` — no additional simulation required.
+
+/// One mismatch parameter's contribution to a performance variation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contribution {
+    /// Mismatch-parameter label (e.g. `"M2.dVT"`).
+    pub label: String,
+    /// Index of the parameter in the circuit's mismatch list.
+    pub param_index: usize,
+    /// Linear sensitivity `Sᵢ = ∂P/∂pᵢ` in the metric's unit per parameter
+    /// unit.
+    pub sensitivity: f64,
+    /// Parameter standard deviation σᵢ.
+    pub sigma: f64,
+}
+
+impl Contribution {
+    /// The 1-σ contribution `Sᵢ·σᵢ` (signed).
+    pub fn weighted(&self) -> f64 {
+        self.sensitivity * self.sigma
+    }
+
+    /// Variance contribution `(Sᵢσᵢ)²` (one term of eq. 1).
+    pub fn variance(&self) -> f64 {
+        self.weighted() * self.weighted()
+    }
+}
+
+/// The variation of one performance metric under device mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_core::report::{Contribution, VariationReport};
+/// let rep = VariationReport {
+///     metric: "offset".into(),
+///     nominal: 0.0,
+///     contributions: vec![
+///         Contribution { label: "M1.dVT".into(), param_index: 0, sensitivity: 1.0, sigma: 3e-3 },
+///         Contribution { label: "M2.dVT".into(), param_index: 1, sensitivity: -1.0, sigma: 4e-3 },
+///     ],
+/// };
+/// assert!((rep.sigma() - 5e-3).abs() < 1e-12); // RSS of 3 and 4 mV
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct VariationReport {
+    /// Metric name.
+    pub metric: String,
+    /// Nominal (mismatch-free) value of the metric.
+    pub nominal: f64,
+    /// Per-parameter breakdown.
+    pub contributions: Vec<Contribution>,
+}
+
+impl VariationReport {
+    /// Total variance `σ² = Σ (Sᵢσᵢ)²` (paper eq. 1).
+    pub fn variance(&self) -> f64 {
+        self.contributions.iter().map(|c| c.variance()).sum()
+    }
+
+    /// Standard deviation of the metric.
+    pub fn sigma(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Covariance with another metric measured from the *same* parameter
+    /// set: `σ_AB = Σ (S_{A,i}σᵢ)(S_{B,i}σᵢ)` (paper eq. 12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two reports cover different parameter lists.
+    pub fn covariance(&self, other: &VariationReport) -> f64 {
+        assert_eq!(
+            self.contributions.len(),
+            other.contributions.len(),
+            "covariance needs matching parameter sets"
+        );
+        self.contributions
+            .iter()
+            .zip(other.contributions.iter())
+            .map(|(a, b)| {
+                debug_assert_eq!(a.param_index, b.param_index);
+                a.weighted() * b.weighted()
+            })
+            .sum()
+    }
+
+    /// Correlation coefficient `ρ = σ_AB/(σ_A·σ_B)` (paper Section V-D).
+    pub fn correlation(&self, other: &VariationReport) -> f64 {
+        let sa = self.sigma();
+        let sb = other.sigma();
+        if sa == 0.0 || sb == 0.0 {
+            0.0
+        } else {
+            self.covariance(other) / (sa * sb)
+        }
+    }
+
+    /// Contributions sorted by decreasing variance share (the SpectreRF-style
+    /// breakdown list of paper Section V).
+    pub fn ranked(&self) -> Vec<&Contribution> {
+        let mut v: Vec<&Contribution> = self.contributions.iter().collect();
+        v.sort_by(|a, b| b.variance().partial_cmp(&a.variance()).unwrap());
+        v
+    }
+
+    /// Fraction of the total variance carried by parameter `param_index`.
+    pub fn variance_share(&self, param_index: usize) -> f64 {
+        let total = self.variance();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.contributions
+            .iter()
+            .filter(|c| c.param_index == param_index)
+            .map(|c| c.variance())
+            .sum::<f64>()
+            / total
+    }
+}
+
+/// Standard deviation of the difference `B − A` of two metrics sharing a
+/// parameter set: `σ² = σ_A² + σ_B² − 2σ_AB` (paper eq. 13 — the DAC DNL
+/// example).
+pub fn difference_sigma(a: &VariationReport, b: &VariationReport) -> f64 {
+    (a.variance() + b.variance() - 2.0 * a.covariance(b)).max(0.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rep(sens: &[f64], sigmas: &[f64]) -> VariationReport {
+        VariationReport {
+            metric: "m".into(),
+            nominal: 0.0,
+            contributions: sens
+                .iter()
+                .zip(sigmas.iter())
+                .enumerate()
+                .map(|(i, (&s, &sg))| Contribution {
+                    label: format!("p{i}"),
+                    param_index: i,
+                    sensitivity: s,
+                    sigma: sg,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn variance_is_rss() {
+        let r = rep(&[2.0, -1.0], &[1.0, 2.0]);
+        assert!((r.variance() - 8.0).abs() < 1e-12);
+        assert!((r.sigma() - 8.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_reports_are_fully_correlated() {
+        let r = rep(&[1.0, 2.0, -0.5], &[1.0, 0.5, 2.0]);
+        assert!((r.correlation(&r) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_support_is_uncorrelated() {
+        let a = rep(&[1.0, 0.0], &[1.0, 1.0]);
+        let b = rep(&[0.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(a.correlation(&b), 0.0);
+    }
+
+    #[test]
+    fn shared_contributions_drive_correlation() {
+        // A and B share a dominant source plus small independent ones —
+        // the Table I situation.
+        let a = rep(&[1.0, 0.2, 0.0], &[1.0, 1.0, 1.0]);
+        let b = rep(&[1.0, 0.0, 0.2], &[1.0, 1.0, 1.0]);
+        let rho = a.correlation(&b);
+        assert!(rho > 0.9, "rho = {rho}");
+    }
+
+    #[test]
+    fn difference_sigma_of_correlated_pair_shrinks() {
+        let a = rep(&[1.0, 0.1], &[1.0, 1.0]);
+        let b = rep(&[1.0, -0.1], &[1.0, 1.0]);
+        // Nearly identical metrics: difference σ is small.
+        let d = difference_sigma(&a, &b);
+        assert!((d - 0.2).abs() < 1e-12, "d = {d}");
+        // Independent metrics: difference σ is the RSS.
+        let c = rep(&[0.0, 1.0], &[1.0, 1.0]);
+        let e = rep(&[1.0, 0.0], &[1.0, 1.0]);
+        assert!((difference_sigma(&c, &e) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranked_orders_by_variance() {
+        let r = rep(&[0.1, 3.0, 1.0], &[1.0, 1.0, 1.0]);
+        let ranked = r.ranked();
+        assert_eq!(ranked[0].label, "p1");
+        assert_eq!(ranked[1].label, "p2");
+        assert_eq!(ranked[2].label, "p0");
+        assert!((r.variance_share(1) - 9.0 / 10.01).abs() < 1e-9);
+    }
+}

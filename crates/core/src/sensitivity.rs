@@ -1,0 +1,223 @@
+//! Mismatch sensitivity of performance variation to design parameters —
+//! Section VII of the paper (eqs. 14–16) and the Fig. 10 experiment.
+//!
+//! Pelgrom variances scale as 1/(W·L), so each transistor's contribution to
+//! the performance variance falls as 1/W at fixed L:
+//!
+//! ```text
+//! ∂σ_P²/∂W = −(σ²_{P,VT} + σ²_{P,β})/W        (eq. 16)
+//! ```
+//!
+//! Both terms come straight from the breakdown list of a single pseudo-noise
+//! analysis — no extra simulation — which is what makes yield optimization
+//! loops tractable (Section VII).
+
+use crate::report::VariationReport;
+use tranvar_circuit::{Circuit, Device, DeviceId, MismatchKind};
+
+/// The width sensitivity of one transistor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WidthSensitivity {
+    /// Transistor label.
+    pub device: String,
+    /// Device handle.
+    pub device_id: DeviceId,
+    /// Drawn width (m).
+    pub width: f64,
+    /// This device's total variance contribution σ²_{P,VT} + σ²_{P,β}.
+    pub variance_contribution: f64,
+    /// `∂σ_P²/∂W` (metric-unit² per meter) — negative: upsizing helps.
+    pub dvar_dw: f64,
+    /// `∂σ_P/∂W` (metric-unit per meter).
+    pub dsigma_dw: f64,
+}
+
+/// Computes per-transistor width sensitivities of a performance variation
+/// (paper eqs. 14–16) from its contribution breakdown.
+///
+/// Devices without Pelgrom annotations are skipped.
+pub fn width_sensitivities(ckt: &Circuit, report: &VariationReport) -> Vec<WidthSensitivity> {
+    let sigma_total = report.sigma();
+    let params = ckt.mismatch_params();
+    let mut out: Vec<WidthSensitivity> = Vec::new();
+    for (k, contrib) in report.contributions.iter().enumerate() {
+        let param = &params[k];
+        if !matches!(param.kind, MismatchKind::MosVt | MismatchKind::MosBetaRel) {
+            continue;
+        }
+        let (label, w) = match ckt.device(param.device) {
+            Device::Mosfet(m) => (ckt.label(param.device).to_string(), m.w),
+            _ => continue,
+        };
+        let var = contrib.variance();
+        match out.iter_mut().find(|ws| ws.device_id == param.device) {
+            Some(ws) => {
+                ws.variance_contribution += var;
+            }
+            None => out.push(WidthSensitivity {
+                device: label,
+                device_id: param.device,
+                width: w,
+                variance_contribution: var,
+                dvar_dw: 0.0,
+                dsigma_dw: 0.0,
+            }),
+        }
+    }
+    for ws in out.iter_mut() {
+        ws.dvar_dw = -ws.variance_contribution / ws.width;
+        ws.dsigma_dw = if sigma_total > 0.0 {
+            0.5 * ws.dvar_dw / sigma_total
+        } else {
+            0.0
+        };
+    }
+    // Most impactful first.
+    out.sort_by(|a, b| {
+        b.variance_contribution
+            .partial_cmp(&a.variance_contribution)
+            .unwrap()
+    });
+    out
+}
+
+/// One gradient-descent step of width-based yield optimization: scales the
+/// widths of the `n_resize` most sensitive transistors by `factor` (> 1
+/// upsizes them) and returns the resized circuit together with the predicted
+/// variance after resizing (first-order).
+///
+/// The prediction uses eq. 16: a width change `ΔW` changes the variance by
+/// `∂σ²/∂W·ΔW`; exact recomputation requires a new analysis, which the
+/// caller can run on the returned circuit.
+pub fn resize_most_sensitive(
+    ckt: &Circuit,
+    report: &VariationReport,
+    n_resize: usize,
+    factor: f64,
+) -> (Circuit, f64) {
+    let sens = width_sensitivities(ckt, report);
+    let mut out = ckt.clone();
+    let mut predicted = report.variance();
+    for ws in sens.iter().take(n_resize) {
+        let dw = (factor - 1.0) * ws.width;
+        predicted += ws.dvar_dw * dw;
+        if let Device::Mosfet(m) = device_mut(&mut out, ws.device_id) {
+            m.w *= factor;
+        }
+    }
+    // Re-derive σ for the Pelgrom parameters of resized devices.
+    refresh_pelgrom_sigmas(&mut out, factor, &sens[..n_resize.min(sens.len())]);
+    (out, predicted.max(0.0))
+}
+
+fn device_mut(ckt: &mut Circuit, id: DeviceId) -> &mut Device {
+    // Circuit exposes no public &mut device accessor by design; widths are a
+    // sanctioned mutation for optimization, routed through this helper.
+    ckt.device_mut(id)
+}
+
+fn refresh_pelgrom_sigmas(ckt: &mut Circuit, factor: f64, resized: &[WidthSensitivity]) {
+    let ids: Vec<DeviceId> = resized.iter().map(|w| w.device_id).collect();
+    ckt.rescale_mismatch_sigmas(|param| {
+        if ids.contains(&param.device)
+            && matches!(
+                param.kind,
+                MismatchKind::MosVt | MismatchKind::MosBetaRel
+            )
+        {
+            // σ ∝ 1/√(WL): width × factor ⇒ σ / √factor.
+            1.0 / factor.sqrt()
+        } else {
+            1.0
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Contribution;
+    use tranvar_circuit::{MosModel, MosType, NodeId, Pelgrom};
+
+    fn two_fet_circuit() -> (Circuit, DeviceId, DeviceId) {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let m1 = ckt.add_mosfet(
+            "M1",
+            d,
+            d,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            2e-6,
+            0.13e-6,
+        );
+        let m2 = ckt.add_mosfet(
+            "M2",
+            d,
+            d,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            4e-6,
+            0.13e-6,
+        );
+        let p = Pelgrom::paper_013();
+        ckt.annotate_pelgrom(m1, p.avt, p.abeta);
+        ckt.annotate_pelgrom(m2, p.avt, p.abeta);
+        (ckt, m1, m2)
+    }
+
+    fn report_for(ckt: &Circuit, sens: &[f64]) -> VariationReport {
+        VariationReport {
+            metric: "m".into(),
+            nominal: 0.0,
+            contributions: ckt
+                .mismatch_params()
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Contribution {
+                    label: p.label.clone(),
+                    param_index: i,
+                    sensitivity: sens[i],
+                    sigma: p.sigma,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn width_sensitivity_follows_eq16() {
+        let (ckt, m1, _) = two_fet_circuit();
+        let rep = report_for(&ckt, &[1.0, 0.5, 0.2, 0.1]);
+        let ws = width_sensitivities(&ckt, &rep);
+        assert_eq!(ws.len(), 2);
+        // M1 has the larger contribution (its σ is larger and its sens too).
+        assert_eq!(ws[0].device_id, m1);
+        let var_m1: f64 = rep.contributions[..2].iter().map(|c| c.variance()).sum();
+        assert!((ws[0].variance_contribution - var_m1).abs() < 1e-18);
+        assert!((ws[0].dvar_dw + var_m1 / 2e-6).abs() < 1e-12 * var_m1 / 2e-6);
+        assert!(ws[0].dvar_dw < 0.0, "upsizing reduces variance");
+    }
+
+    #[test]
+    fn resize_reduces_predicted_variance() {
+        let (ckt, m1, _) = two_fet_circuit();
+        let rep = report_for(&ckt, &[1.0, 0.5, 0.2, 0.1]);
+        let (resized, predicted) = resize_most_sensitive(&ckt, &rep, 1, 2.0);
+        assert!(predicted < rep.variance());
+        // Width doubled, σ reduced by √2.
+        match resized.device(m1) {
+            Device::Mosfet(m) => assert!((m.w - 4e-6).abs() < 1e-12),
+            _ => unreachable!(),
+        }
+        let s_old = ckt.mismatch_params()[0].sigma;
+        let s_new = resized.mismatch_params()[0].sigma;
+        assert!((s_new - s_old / 2.0f64.sqrt()).abs() < 1e-12 * s_old);
+        // Untouched device keeps its σ.
+        assert_eq!(
+            ckt.mismatch_params()[2].sigma,
+            resized.mismatch_params()[2].sigma
+        );
+    }
+}

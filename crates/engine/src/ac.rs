@@ -1,0 +1,158 @@
+//! Small-signal AC analysis around a DC operating point.
+//!
+//! Solves `(G + jωC)·δx = −(∂f/∂p + jω·∂q/∂p)` for a unit perturbation of a
+//! parameter or source. Besides being a useful analysis in its own right, it
+//! is the LTI special case the LPTV machinery must reduce to (a key
+//! validation: for a circuit with a *constant* steady state, PNOISE at
+//! sideband 0 equals `.NOISE`/`.AC`).
+
+use crate::error::EngineError;
+use tranvar_circuit::{Circuit, Device, DeviceId, ParamDeriv};
+use tranvar_num::{Complex, DMat};
+
+/// Dense complex system `(G + jωC)` at the operating point `x_op`.
+fn complex_system(ckt: &Circuit, x_op: &[f64], omega: f64, gmin: f64) -> DMat<Complex> {
+    let asm = ckt.assemble(x_op, 0.0);
+    let n = asm.n;
+    let n_node = ckt.n_nodes() - 1;
+    let mut m = DMat::<Complex>::zeros(n, n);
+    for &(r, c, v) in asm.g.iter() {
+        m[(r, c)] += Complex::new(v, 0.0);
+    }
+    for &(r, c, v) in asm.c.iter() {
+        m[(r, c)] += Complex::new(0.0, omega * v);
+    }
+    for i in 0..n_node {
+        m[(i, i)] += Complex::new(gmin, 0.0);
+    }
+    m
+}
+
+/// Solves the AC response to a unit sinusoidal injection described by a
+/// [`ParamDeriv`] (the same injection format used by the noise analyses).
+///
+/// Returns the complex phasor of every unknown.
+///
+/// # Errors
+///
+/// Returns a numerical error if the small-signal matrix is singular.
+pub fn ac_solve(
+    ckt: &Circuit,
+    x_op: &[f64],
+    freq: f64,
+    injection: &ParamDeriv,
+) -> Result<Vec<Complex>, EngineError> {
+    let omega = 2.0 * std::f64::consts::PI * freq;
+    let m = complex_system(ckt, x_op, omega, 1e-12);
+    let n = m.rows();
+    let mut rhs = vec![Complex::ZERO; n];
+    for &(i, v) in &injection.df {
+        rhs[i] -= Complex::new(v, 0.0);
+    }
+    for &(i, v) in &injection.dq {
+        rhs[i] -= Complex::new(0.0, omega * v);
+    }
+    Ok(m.lu()?.solve(&rhs))
+}
+
+/// Injection vector for a unit AC magnitude on an independent voltage source
+/// (`∂residual/∂V = −1` on its branch row).
+///
+/// # Errors
+///
+/// Returns an error if the device is not a voltage source.
+pub fn vsource_injection(ckt: &Circuit, dev: DeviceId) -> Result<ParamDeriv, EngineError> {
+    match ckt.device(dev) {
+        Device::Vsource { branch, .. } => {
+            let row = ckt.unknown_of_branch(*branch);
+            Ok(ParamDeriv {
+                df: vec![(row, -1.0)],
+                dq: vec![],
+            })
+        }
+        other => Err(EngineError::BadConfig(format!(
+            "vsource_injection on non-vsource {other:?}"
+        ))),
+    }
+}
+
+/// Injection vector for a unit AC magnitude on an independent current source.
+///
+/// # Errors
+///
+/// Returns an error if the device is not a current source.
+pub fn isource_injection(ckt: &Circuit, dev: DeviceId) -> Result<ParamDeriv, EngineError> {
+    match ckt.device(dev) {
+        Device::Isource { p, n, .. } => {
+            let mut df = Vec::new();
+            if let Some(ip) = ckt.unknown_of_node(*p) {
+                df.push((ip, 1.0));
+            }
+            if let Some(inn) = ckt.unknown_of_node(*n) {
+                df.push((inn, -1.0));
+            }
+            Ok(ParamDeriv { df, dq: vec![] })
+        }
+        other => Err(EngineError::BadConfig(format!(
+            "isource_injection on non-isource {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{dc_operating_point, DcOptions};
+    use tranvar_circuit::{NodeId, Waveform};
+
+    #[test]
+    fn rc_lowpass_transfer() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v1 = ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(0.0));
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        let x_op = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        let inj = vsource_injection(&ckt, v1).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        for (f, mag_expect) in [(fc / 100.0, 0.99995), (fc, 1.0 / 2.0_f64.sqrt())] {
+            let resp = ac_solve(&ckt, &x_op, f, &inj).unwrap();
+            let out = resp[ckt.unknown_of_node(b).unwrap()];
+            let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+            assert!(
+                (out.abs() - expect).abs() < 1e-3,
+                "f={f}: |H|={} vs {expect} ({mag_expect})",
+                out.abs()
+            );
+        }
+        // Phase at the corner is −45°.
+        let resp = ac_solve(&ckt, &x_op, fc, &inj).unwrap();
+        let out = resp[ckt.unknown_of_node(b).unwrap()];
+        assert!((out.arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn isource_into_parallel_rc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let i1 = ckt.add_isource("I1", NodeId::GROUND, a, Waveform::Dc(0.0));
+        ckt.add_resistor("R1", a, NodeId::GROUND, 2e3);
+        ckt.add_capacitor("C1", a, NodeId::GROUND, 1e-9);
+        let x_op = vec![0.0];
+        let inj = isource_injection(&ckt, i1).unwrap();
+        // At DC-ish frequency the impedance is R.
+        let resp = ac_solve(&ckt, &x_op, 1.0, &inj).unwrap();
+        // Unit current out of ground into a -> v_a = +R·I.
+        assert!((resp[0].re - 2e3).abs() < 1.0, "got {}", resp[0]);
+    }
+
+    #[test]
+    fn rejects_wrong_device_kind() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.add_resistor("R1", a, NodeId::GROUND, 1.0);
+        assert!(vsource_injection(&ckt, r).is_err());
+        assert!(isource_injection(&ckt, r).is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for circuit analyses.
+
+use std::error::Error;
+use std::fmt;
+use tranvar_circuit::CircuitError;
+use tranvar_num::NumError;
+
+/// Errors produced by the analysis engines.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// An iterative solve (Newton, gmin/source stepping, shooting) failed to
+    /// converge.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: String,
+        /// Diagnostic detail (iterations, final residual, ...).
+        detail: String,
+    },
+    /// A numerical kernel failed (singular matrix, ...).
+    Num(NumError),
+    /// Circuit construction or lookup failed.
+    Circuit(CircuitError),
+    /// A waveform measurement could not be taken (no crossing found, ...).
+    Measurement(String),
+    /// Invalid analysis configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoConvergence { analysis, detail } => {
+                write!(f, "{analysis} failed to converge: {detail}")
+            }
+            EngineError::Num(e) => write!(f, "numerical failure: {e}"),
+            EngineError::Circuit(e) => write!(f, "circuit error: {e}"),
+            EngineError::Measurement(msg) => write!(f, "measurement failed: {msg}"),
+            EngineError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Num(e) => Some(e),
+            EngineError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for EngineError {
+    fn from(e: NumError) -> Self {
+        EngineError::Num(e)
+    }
+}
+
+impl From<CircuitError> for EngineError {
+    fn from(e: CircuitError) -> Self {
+        EngineError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = EngineError::from(NumError::Singular { col: 2 });
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

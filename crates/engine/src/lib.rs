@@ -1,0 +1,38 @@
+//! # tranvar-engine
+//!
+//! Circuit analyses for the `tranvar` workspace: the SPICE-class machinery
+//! the paper assumes as its substrate.
+//!
+//! - [`dc`]: operating point via damped Newton with gmin/source stepping,
+//! - [`tran`]: fixed-step BE/trapezoidal transient, plus the one-period
+//!   integrator with per-step factorization records reused by PSS and LPTV,
+//! - [`ac`]: small-signal analysis (the LTI limit the LPTV solver must
+//!   reduce to),
+//! - [`sens`]: DC sensitivities (`.SENS`, paper refs. [20],[26]) and the
+//!   shared θ-method parameter RHS,
+//! - [`transens`]: transient forward sensitivity — the expensive baseline
+//!   of paper ref. [23] (cost ∝ #parameters, integrates through settling),
+//! - [`mc`]: deterministic parallel Monte-Carlo driver (the paper's
+//!   reference method, Table II),
+//! - [`measure`]: delay/period/settled-value measurements shared by the
+//!   Monte-Carlo and LPTV paths.
+
+#![warn(missing_docs)]
+
+pub mod ac;
+pub mod dc;
+pub mod error;
+pub mod mc;
+pub mod measure;
+pub mod sens;
+pub mod solver;
+pub mod tran;
+pub mod transens;
+
+pub use dc::{dc_operating_point, DcOptions, NewtonOptions};
+pub use error::EngineError;
+pub use mc::{monte_carlo, monte_carlo_multi, McOptions, McResult};
+pub use solver::{FactoredJacobian, SolverKind};
+pub use tran::{
+    integrate_cycle, transient, CycleResult, Integrator, StepRecord, TranOptions, TranResult,
+};

@@ -1,0 +1,182 @@
+//! Waveform measurements on transient results: delays, periods, settled
+//! values — the nonlinear measurements Monte-Carlo repeats per sample.
+
+use crate::error::EngineError;
+use crate::tran::TranResult;
+use tranvar_circuit::{Circuit, NodeId};
+use tranvar_num::interp::{crossings, first_crossing_after, Edge};
+
+/// Measures the time of the first `edge` crossing of `threshold` on `node`
+/// at or after `t_min`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Measurement`] when no crossing exists.
+pub fn crossing_time(
+    ckt: &Circuit,
+    res: &TranResult,
+    node: NodeId,
+    threshold: f64,
+    edge: Edge,
+    t_min: f64,
+) -> Result<f64, EngineError> {
+    let w = res.node_waveform(ckt, node);
+    first_crossing_after(&res.times, &w, threshold, edge, t_min).ok_or_else(|| {
+        EngineError::Measurement(format!(
+            "no {edge:?} crossing of {threshold} on `{}` after t={t_min:.3e}",
+            ckt.node_name(node)
+        ))
+    })
+}
+
+/// Measures a delay as `crossing(out) − t_ref`.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Measurement`] when no crossing exists after
+/// `t_ref`.
+pub fn delay_from(
+    ckt: &Circuit,
+    res: &TranResult,
+    out: NodeId,
+    threshold: f64,
+    edge: Edge,
+    t_ref: f64,
+) -> Result<f64, EngineError> {
+    Ok(crossing_time(ckt, res, out, threshold, edge, t_ref)? - t_ref)
+}
+
+/// Measures the average oscillation period on `node` using the last
+/// `n_periods` same-direction crossings of `threshold` (discarding the
+/// start-up transient automatically).
+///
+/// # Errors
+///
+/// Returns [`EngineError::Measurement`] if fewer than `n_periods + 1`
+/// crossings exist.
+pub fn average_period(
+    ckt: &Circuit,
+    res: &TranResult,
+    node: NodeId,
+    threshold: f64,
+    n_periods: usize,
+) -> Result<f64, EngineError> {
+    let w = res.node_waveform(ckt, node);
+    let rises = crossings(&res.times, &w, threshold, Edge::Rising);
+    if rises.len() < n_periods + 1 {
+        return Err(EngineError::Measurement(format!(
+            "only {} rising crossings on `{}`, need {}",
+            rises.len(),
+            ckt.node_name(node),
+            n_periods + 1
+        )));
+    }
+    let last = rises.len() - 1;
+    Ok((rises[last] - rises[last - n_periods]) / n_periods as f64)
+}
+
+/// Measures the average oscillation frequency (see [`average_period`]).
+///
+/// # Errors
+///
+/// See [`average_period`].
+pub fn average_frequency(
+    ckt: &Circuit,
+    res: &TranResult,
+    node: NodeId,
+    threshold: f64,
+    n_periods: usize,
+) -> Result<f64, EngineError> {
+    Ok(1.0 / average_period(ckt, res, node, threshold, n_periods)?)
+}
+
+/// Mean value of a node over the trailing `fraction` of the run (settled-DC
+/// readout, e.g. the comparator testbench's offset node).
+pub fn settled_mean(ckt: &Circuit, res: &TranResult, node: NodeId, fraction: f64) -> f64 {
+    let w = res.node_waveform(ckt, node);
+    let n = w.len();
+    let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+    let tail = &w[start.min(n - 1)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tran::{transient, TranOptions};
+    use tranvar_circuit::{Pulse, Waveform};
+
+    fn pulsed_rc() -> (Circuit, NodeId, TranResult) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 5e-6,
+                period: 20e-6,
+            }),
+        );
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9); // tau = 1 us
+        let res = transient(&ckt, &TranOptions::new(20e-6, 5e-9)).unwrap();
+        (ckt, b, res)
+    }
+
+    #[test]
+    fn rc_delay_is_ln2_tau() {
+        let (ckt, b, res) = pulsed_rc();
+        // Input edge at 1 us; output crosses 0.5 ln(2)·tau later.
+        let d = delay_from(&ckt, &res, b, 0.5, Edge::Rising, 1e-6).unwrap();
+        let expect = 1e-6 * std::f64::consts::LN_2;
+        assert!((d - expect).abs() < 0.01 * expect, "{d} vs {expect}");
+    }
+
+    #[test]
+    fn missing_crossing_is_error() {
+        let (ckt, b, res) = pulsed_rc();
+        assert!(crossing_time(&ckt, &res, b, 2.0, Edge::Rising, 0.0).is_err());
+    }
+
+    #[test]
+    fn settled_mean_of_flat_tail() {
+        let (ckt, b, res) = pulsed_rc();
+        // Tail of the run: input back at 0, output discharged.
+        let m = settled_mean(&ckt, &res, b, 0.1);
+        assert!(m.abs() < 1e-2, "tail mean {m}");
+    }
+
+    #[test]
+    fn average_period_of_pulse_train() {
+        // Drive a node directly with a pulse source; period = 20 us.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 9e-6,
+                period: 20e-6,
+            }),
+        );
+        ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        let res = transient(&ckt, &TranOptions::new(100e-6, 1e-8)).unwrap();
+        let p = average_period(&ckt, &res, a, 0.5, 3).unwrap();
+        assert!((p - 20e-6).abs() < 1e-8, "period {p}");
+        let f = average_frequency(&ckt, &res, a, 0.5, 3).unwrap();
+        assert!((f - 5e4).abs() < 50.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Linear-solver selection and Jacobian construction shared by all analyses.
+//!
+//! Circuit Jacobians are assembled as sparse triplets; depending on
+//! [`SolverKind`] they are factored densely (fast and simple for the
+//! paper-scale benchmarks, tens of unknowns) or with the sparse
+//! Gilbert–Peierls kernel (larger substrates such as long RC ladders and wide
+//! ring oscillators). Both paths share one interface so the PSS/LPTV layers
+//! can cache per-timestep factorizations regardless of backend.
+
+use tranvar_circuit::Assembly;
+use tranvar_num::{Csc, DMat, Lu, NumError, SparseLu, Triplets};
+
+/// Which linear-algebra backend factors the MNA Jacobians.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Dense LU with partial pivoting (default; ideal below ~300 unknowns).
+    #[default]
+    Dense,
+    /// Sparse left-looking LU (for larger circuits).
+    Sparse,
+}
+
+/// A factored Jacobian, solvable for many right-hand sides.
+#[derive(Clone, Debug)]
+pub enum FactoredJacobian {
+    /// Dense factorization.
+    Dense(Lu<f64>),
+    /// Sparse factorization.
+    Sparse(SparseLu<f64>),
+}
+
+impl FactoredJacobian {
+    /// Factors `alpha_g·G + alpha_c·C (+ gmin on node diagonals)`.
+    ///
+    /// `n_node_unknowns` bounds the rows that receive the `gmin` diagonal
+    /// (branch-current rows must not be regularized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix errors from the factorization.
+    pub fn factor(
+        kind: SolverKind,
+        asm: &Assembly,
+        alpha_g: f64,
+        alpha_c: f64,
+        gmin: f64,
+        n_node_unknowns: usize,
+    ) -> Result<Self, NumError> {
+        let csc = combine(asm, alpha_g, alpha_c, gmin, n_node_unknowns);
+        match kind {
+            SolverKind::Dense => Ok(FactoredJacobian::Dense(csc.to_dense().lu()?)),
+            SolverKind::Sparse => Ok(FactoredJacobian::Sparse(csc.lu()?)),
+        }
+    }
+
+    /// Solves `J·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        match self {
+            FactoredJacobian::Dense(lu) => lu.solve(b),
+            FactoredJacobian::Sparse(lu) => lu.solve(b),
+        }
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        match self {
+            FactoredJacobian::Dense(lu) => lu.n(),
+            FactoredJacobian::Sparse(lu) => lu.n(),
+        }
+    }
+}
+
+/// Builds `alpha_g·G + alpha_c·C (+ gmin·I on node rows)` as CSC.
+pub fn combine(
+    asm: &Assembly,
+    alpha_g: f64,
+    alpha_c: f64,
+    gmin: f64,
+    n_node_unknowns: usize,
+) -> Csc<f64> {
+    let mut t = Triplets::new(asm.n, asm.n);
+    if alpha_g != 0.0 {
+        for &(r, c, v) in asm.g.iter() {
+            t.push(r, c, alpha_g * v);
+        }
+    }
+    if alpha_c != 0.0 {
+        for &(r, c, v) in asm.c.iter() {
+            t.push(r, c, alpha_c * v);
+        }
+    }
+    if gmin != 0.0 {
+        for i in 0..n_node_unknowns.min(asm.n) {
+            t.push(i, i, gmin);
+        }
+    }
+    t.to_csc()
+}
+
+/// Builds the same combination densely (monodromy assembly).
+pub fn combine_dense(
+    asm: &Assembly,
+    alpha_g: f64,
+    alpha_c: f64,
+    gmin: f64,
+    n_node_unknowns: usize,
+) -> DMat<f64> {
+    combine(asm, alpha_g, alpha_c, gmin, n_node_unknowns).to_dense()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::{Circuit, NodeId, Waveform};
+
+    fn rc() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        ckt
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let ckt = rc();
+        let x = vec![1.0, 0.3, -7e-4];
+        let asm = ckt.assemble(&x, 0.0);
+        let nn = ckt.n_nodes() - 1;
+        let b = vec![1.0, -2.0, 0.5];
+        let xd = FactoredJacobian::factor(SolverKind::Dense, &asm, 1.0, 1e9, 1e-12, nn)
+            .unwrap()
+            .solve(&b);
+        let xs = FactoredJacobian::factor(SolverKind::Sparse, &asm, 1.0, 1e9, 1e-12, nn)
+            .unwrap()
+            .solve(&b);
+        for (u, v) in xd.iter().zip(xs.iter()) {
+            assert!((u - v).abs() < 1e-9 * u.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn gmin_applies_to_node_rows_only() {
+        let ckt = rc();
+        let x = vec![0.0; 3];
+        let asm = ckt.assemble(&x, 0.0);
+        let nn = ckt.n_nodes() - 1;
+        let m = combine_dense(&asm, 0.0, 0.0, 1e-3, nn);
+        assert_eq!(m[(0, 0)], 1e-3);
+        assert_eq!(m[(1, 1)], 1e-3);
+        assert_eq!(m[(2, 2)], 0.0); // branch row untouched
+    }
+}

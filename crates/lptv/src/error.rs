@@ -1,0 +1,83 @@
+//! Error types for the LPTV analyses.
+
+use std::error::Error;
+use std::fmt;
+use tranvar_circuit::CircuitError;
+use tranvar_engine::EngineError;
+use tranvar_num::NumError;
+
+/// Errors produced by the LPTV periodic solver and noise analyses.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum LptvError {
+    /// The PSS solution lacks step records (was solved without recording).
+    MissingRecords,
+    /// An autonomous solution lacks `∂Φ/∂T`/phase data.
+    MissingAutonomousData,
+    /// Invalid configuration.
+    BadConfig(String),
+    /// Underlying numerical failure.
+    Num(NumError),
+    /// Underlying engine failure.
+    Engine(EngineError),
+    /// Underlying circuit failure.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for LptvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LptvError::MissingRecords => {
+                write!(f, "pss solution carries no step records")
+            }
+            LptvError::MissingAutonomousData => {
+                write!(f, "autonomous analysis needs dΦ/dT and a phase condition")
+            }
+            LptvError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            LptvError::Num(e) => write!(f, "numerical failure: {e}"),
+            LptvError::Engine(e) => write!(f, "engine failure: {e}"),
+            LptvError::Circuit(e) => write!(f, "circuit failure: {e}"),
+        }
+    }
+}
+
+impl Error for LptvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LptvError::Num(e) => Some(e),
+            LptvError::Engine(e) => Some(e),
+            LptvError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumError> for LptvError {
+    fn from(e: NumError) -> Self {
+        LptvError::Num(e)
+    }
+}
+
+impl From<EngineError> for LptvError {
+    fn from(e: EngineError) -> Self {
+        LptvError::Engine(e)
+    }
+}
+
+impl From<CircuitError> for LptvError {
+    fn from(e: CircuitError) -> Self {
+        LptvError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        assert!(!LptvError::MissingRecords.to_string().is_empty());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LptvError>();
+    }
+}

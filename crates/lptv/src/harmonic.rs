@@ -1,0 +1,236 @@
+//! Quasi-periodic (frequency-offset) LPTV transfer functions.
+//!
+//! A stationary source at frequency `ν = f + m·f₀` injected into an LPTV
+//! circuit produces output power at every sideband `N·f₀ + f` — the noise
+//! folding of paper Section III. The response to `w(t)·e^{j2πνt}` is
+//! `e^{j2πft}·p(t)` with `p` periodic; on the PSS grid this becomes a complex
+//! linear BVP with the *same* real per-step factorizations as the mismatch
+//! analysis and the quasi-periodic boundary condition
+//! `δx_N = e^{j2πfT}·δx₀ + particular`.
+//!
+//! [`harmonic_transfer`] returns the Fourier coefficients `H_N(f)` of the
+//! envelope — the harmonic transfer functions a PNOISE analysis combines
+//! into cyclostationary PSDs.
+
+use crate::error::LptvError;
+use crate::periodic::PeriodicSolver;
+use tranvar_circuit::{Circuit, NoiseSource};
+use tranvar_num::fft::fourier_coeff_complex;
+use tranvar_num::{Complex, DMat, Lu};
+
+/// Complex boundary factorization `(e^{j2πfT}·I − M)` shared by every source
+/// at one offset frequency.
+#[derive(Debug)]
+pub struct QuasiPeriodicBoundary {
+    lu: Lu<Complex>,
+    /// Offset frequency (Hz) this boundary was built for.
+    pub f_offset: f64,
+}
+
+impl QuasiPeriodicBoundary {
+    /// Factors the boundary system for offset `f_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Numerical error if the matrix is singular (for oscillators this
+    /// happens as `f_offset → 0`, which is the physical 1/f² phase-noise
+    /// divergence — use the period-sensitivity route for mismatch instead).
+    pub fn new(solver: &PeriodicSolver<'_>, f_offset: f64) -> Result<Self, LptvError> {
+        let sol = solver.pss();
+        let n = sol.monodromy.rows();
+        let phi = Complex::cis(2.0 * std::f64::consts::PI * f_offset * sol.period);
+        let mut a = DMat::<Complex>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::from_real(-sol.monodromy[(i, j)]);
+            }
+            a[(i, i)] += phi;
+        }
+        Ok(QuasiPeriodicBoundary {
+            lu: a.lu()?,
+            f_offset,
+        })
+    }
+}
+
+/// Step-integrated complex source terms for a noise source modulated by
+/// `e^{j2πνt}` (`ν = f_offset + m·f₀`): the θ-method generalization of the
+/// mismatch RHS with complex carrier weights.
+///
+/// # Errors
+///
+/// Propagates injection-evaluation failures.
+pub fn noise_step_rhs(
+    ckt: &Circuit,
+    solver: &PeriodicSolver<'_>,
+    src: &NoiseSource,
+    nu: f64,
+) -> Result<Vec<Vec<Complex>>, LptvError> {
+    let sol = solver.pss();
+    let n = ckt.n_unknowns();
+    let omega = 2.0 * std::f64::consts::PI * nu;
+    // Injections along the orbit (bias-dependent).
+    let mut inj = Vec::with_capacity(sol.states.len());
+    for x in &sol.states {
+        inj.push(src.injection(ckt, x)?);
+    }
+    let mut out = Vec::with_capacity(sol.records.len());
+    for (s, rec) in sol.records.iter().enumerate() {
+        let xi0 = Complex::cis(omega * sol.times[s]);
+        let xi1 = Complex::cis(omega * sol.times[s + 1]);
+        let theta = rec.theta;
+        let mut w = vec![Complex::ZERO; n];
+        for &(i, v) in &inj[s + 1].df {
+            w[i] += xi1 * (theta * v);
+        }
+        for &(i, v) in &inj[s].df {
+            w[i] += xi0 * ((1.0 - theta) * v);
+        }
+        for &(i, v) in &inj[s + 1].dq {
+            w[i] += xi1 * (v / rec.h);
+        }
+        for &(i, v) in &inj[s].dq {
+            w[i] -= xi0 * (v / rec.h);
+        }
+        out.push(w);
+    }
+    Ok(out)
+}
+
+/// Solves the quasi-periodic BVP for complex per-step sources and returns
+/// the *envelope* `p_k = δx_k·e^{−j2πf t_k}` at every grid point.
+///
+/// # Errors
+///
+/// Returns [`LptvError::BadConfig`] on length mismatch.
+pub fn solve_quasi_periodic(
+    solver: &PeriodicSolver<'_>,
+    boundary: &QuasiPeriodicBoundary,
+    w: &[Vec<Complex>],
+) -> Result<Vec<Vec<Complex>>, LptvError> {
+    let sol = solver.pss();
+    let recs = &sol.records;
+    if w.len() != recs.len() {
+        return Err(LptvError::BadConfig(format!(
+            "rhs has {} steps, pss has {}",
+            w.len(),
+            recs.len()
+        )));
+    }
+    let n = sol.monodromy.rows();
+    let zero = vec![Complex::ZERO; n];
+    // Complex propagation with real factors: solve re/im separately.
+    let prop = |rec: &tranvar_engine::StepRecord, d: &[Complex], wk: &[Complex]| {
+        let mut re = vec![0.0; n];
+        let mut im = vec![0.0; n];
+        for (i, v) in d.iter().enumerate() {
+            re[i] = v.re;
+            im[i] = v.im;
+        }
+        let bre = rec.b.mat_vec(&re);
+        let bim = rec.b.mat_vec(&im);
+        let mut rhs_re = bre;
+        let mut rhs_im = bim;
+        for (i, wv) in wk.iter().enumerate() {
+            rhs_re[i] -= wv.re;
+            rhs_im[i] -= wv.im;
+        }
+        let sre = rec.lu.solve(&rhs_re);
+        let sim = rec.lu.solve(&rhs_im);
+        (0..n).map(|i| Complex::new(sre[i], sim[i])).collect::<Vec<_>>()
+    };
+    // Particular pass.
+    let mut d = zero.clone();
+    for (rec, wk) in recs.iter().zip(w.iter()) {
+        d = prop(rec, &d, wk);
+    }
+    // Boundary: δ0 = (φI − M)⁻¹ δ_N^p.
+    let d0 = boundary.lu.solve(&d);
+    // Re-propagate.
+    let mut dx = Vec::with_capacity(recs.len() + 1);
+    dx.push(d0.clone());
+    let mut cur = d0;
+    for (rec, wk) in recs.iter().zip(w.iter()) {
+        cur = prop(rec, &cur, wk);
+        dx.push(cur.clone());
+    }
+    // Demodulate to the periodic envelope.
+    let omega = 2.0 * std::f64::consts::PI * boundary.f_offset;
+    for (k, state) in dx.iter_mut().enumerate() {
+        let carrier = Complex::cis(-omega * sol.times[k]);
+        for v in state.iter_mut() {
+            *v *= carrier;
+        }
+    }
+    Ok(dx)
+}
+
+/// Harmonic transfer function `H_N(f)`: the `N`-th Fourier coefficient of
+/// the envelope response at `out_row`, for a source whose injection is given
+/// by `src` carried at `ν = f_offset + fold·f₀`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn harmonic_transfer(
+    ckt: &Circuit,
+    solver: &PeriodicSolver<'_>,
+    boundary: &QuasiPeriodicBoundary,
+    src: &NoiseSource,
+    fold: i64,
+    out_row: usize,
+    sideband: i64,
+) -> Result<Complex, LptvError> {
+    let sol = solver.pss();
+    let nu = boundary.f_offset + fold as f64 * sol.fundamental();
+    let w = noise_step_rhs(ckt, solver, src, nu)?;
+    let env = solve_quasi_periodic(solver, boundary, &w)?;
+    // Drop the duplicated endpoint for the Fourier sum.
+    let samples: Vec<Complex> = env[..env.len() - 1].iter().map(|s| s[out_row]).collect();
+    Ok(fourier_coeff_complex(&samples, sideband))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::{NodeId, NoiseKind, Waveform};
+    use tranvar_pss::{shooting_pss, PssOptions};
+
+    /// For a *time-invariant* circuit (DC drive), the LPTV transfer at
+    /// sideband 0 must equal the classic AC transfer at the offset frequency.
+    #[test]
+    fn lti_limit_matches_ac() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        // Thermal noise of R1 as the test source.
+        let src = NoiseSource {
+            label: "R1.thermal".into(),
+            device: r1,
+            kind: NoiseKind::ResistorThermal,
+        };
+        let period = 1e-6;
+        let mut opts = PssOptions::default();
+        opts.n_steps = 4096;
+        let sol = shooting_pss(&ckt, period, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let ib = ckt.unknown_of_node(b).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        for f in [fc / 10.0, fc] {
+            let boundary = QuasiPeriodicBoundary::new(&solver, f).unwrap();
+            let h = harmonic_transfer(&ckt, &solver, &boundary, &src, 0, ib, 0).unwrap();
+            // AC reference.
+            let x_op = vec![1.0, 1.0, 0.0];
+            let inj = src.injection(&ckt, &x_op).unwrap();
+            let ac = tranvar_engine::ac::ac_solve(&ckt, &x_op, f, &inj).unwrap();
+            let expect = ac[ib];
+            assert!(
+                (h - expect).abs() < 2e-2 * expect.abs(),
+                "f={f:.3e}: H={h} vs AC={expect}"
+            );
+        }
+    }
+}

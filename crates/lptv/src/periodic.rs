@@ -1,0 +1,312 @@
+//! Periodic linear boundary-value solver around a PSS orbit.
+//!
+//! A mismatch parameter is quasi-DC pseudo-noise (paper Section III): over
+//! one period its value is effectively constant, so the linearized response
+//! of the circuit is the *periodic* solution of
+//!
+//! ```text
+//! C(t)·δẋ + G(t)·δx = −∂F/∂p(t),   δx(0) = δx(T)
+//! ```
+//!
+//! which, discretized on the PSS grid, is
+//! `J_k·δx_k = B_k·δx_{k−1} − w_k` with periodic boundary conditions.
+//! All `J_k` are already factored (stored in the PSS records) and the
+//! monodromy `M` is known, so the boundary condition costs one dense solve of
+//! `(I − M)` — factored *once* and shared across every noise source. Each
+//! source then costs `2N` triangular sweeps: this is the entire cost model
+//! behind the paper's 100–1000× speedup claim.
+//!
+//! For autonomous (oscillator) orbits, `I − M` is singular along the phase
+//! mode; the system is bordered with the stored phase condition and period
+//! derivative, and the extra unknown `δT` *is* the period sensitivity that
+//! Section V-C turns into frequency variance.
+
+use crate::error::LptvError;
+use tranvar_circuit::Circuit;
+use tranvar_engine::sens::param_step_rhs;
+use tranvar_num::dense::vecops;
+use tranvar_num::{DMat, Lu};
+use tranvar_pss::PssSolution;
+
+/// The periodic response of the circuit to a unit value of one quasi-DC
+/// parameter (or σ-scaled pseudo-noise source).
+#[derive(Clone, Debug)]
+pub struct PeriodicResponse {
+    /// `n_steps + 1` perturbation states sampled on the PSS grid.
+    pub dx: Vec<Vec<f64>>,
+    /// Period sensitivity `δT` (0 for driven circuits).
+    pub dperiod: f64,
+}
+
+impl PeriodicResponse {
+    /// Extracts one node's perturbation waveform.
+    pub fn node_waveform(&self, ckt: &Circuit, node: tranvar_circuit::NodeId) -> Vec<f64> {
+        self.dx.iter().map(|x| ckt.voltage(x, node)).collect()
+    }
+}
+
+/// Shared factorizations for solving many periodic BVPs around one PSS orbit.
+#[derive(Debug)]
+pub struct PeriodicSolver<'a> {
+    ckt: &'a Circuit,
+    sol: &'a PssSolution,
+    /// Factored `(I − M)` for driven, or the bordered `(n+1)` system for
+    /// autonomous orbits.
+    boundary: Lu<f64>,
+    autonomous: bool,
+}
+
+impl<'a> PeriodicSolver<'a> {
+    /// Prepares the boundary factorization for a PSS solution.
+    ///
+    /// # Errors
+    ///
+    /// - [`LptvError::MissingRecords`] if the solution has no step records,
+    /// - [`LptvError::MissingAutonomousData`] if an oscillator solution lacks
+    ///   the phase/period data,
+    /// - numerical errors if the boundary matrix is singular (e.g. a driven
+    ///   circuit with an undamped mode).
+    pub fn new(ckt: &'a Circuit, sol: &'a PssSolution) -> Result<Self, LptvError> {
+        if sol.records.is_empty() {
+            return Err(LptvError::MissingRecords);
+        }
+        let n = ckt.n_unknowns();
+        let autonomous = sol.dphi_dt.is_some();
+        let boundary = if autonomous {
+            let dphi = sol
+                .dphi_dt
+                .as_ref()
+                .ok_or(LptvError::MissingAutonomousData)?;
+            let pi = sol.phase_unknown.ok_or(LptvError::MissingAutonomousData)?;
+            let mut a = DMat::<f64>::zeros(n + 1, n + 1);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = -sol.monodromy[(i, j)];
+                }
+                a[(i, i)] += 1.0;
+                a[(i, n)] = -dphi[i];
+            }
+            a[(n, pi)] = 1.0;
+            a.lu()?
+        } else {
+            let mut a = DMat::<f64>::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = -sol.monodromy[(i, j)];
+                }
+                a[(i, i)] += 1.0;
+            }
+            a.lu()?
+        };
+        Ok(PeriodicSolver {
+            ckt,
+            sol,
+            boundary,
+            autonomous,
+        })
+    }
+
+    /// The underlying PSS solution.
+    pub fn pss(&self) -> &PssSolution {
+        self.sol
+    }
+
+    /// `true` if the orbit is autonomous (oscillator).
+    pub fn is_autonomous(&self) -> bool {
+        self.autonomous
+    }
+
+    /// Builds the per-step source terms `w_k` for mismatch parameter `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter-lookup failures.
+    pub fn param_rhs(&self, k: usize) -> Result<Vec<Vec<f64>>, LptvError> {
+        let recs = &self.sol.records;
+        let mut out = Vec::with_capacity(recs.len());
+        for (s, rec) in recs.iter().enumerate() {
+            let x1 = &self.sol.states[s + 1];
+            let x0 = &self.sol.states[s];
+            out.push(param_step_rhs(self.ckt, k, x1, x0, rec.h, rec.theta)?);
+        }
+        Ok(out)
+    }
+
+    /// Solves the periodic BVP for arbitrary per-step sources `w`
+    /// (length `n_steps`, each of length `n_unknowns`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LptvError::BadConfig`] on a length mismatch.
+    pub fn solve_rhs(&self, w: &[Vec<f64>]) -> Result<PeriodicResponse, LptvError> {
+        let recs = &self.sol.records;
+        if w.len() != recs.len() {
+            return Err(LptvError::BadConfig(format!(
+                "rhs has {} steps, pss has {}",
+                w.len(),
+                recs.len()
+            )));
+        }
+        let n = self.ckt.n_unknowns();
+        // Particular solution from zero initial state.
+        let mut d = vec![0.0; n];
+        for (rec, wk) in recs.iter().zip(w.iter()) {
+            let mut rhs = rec.b.mat_vec(&d);
+            vecops::axpy(&mut rhs, -1.0, wk);
+            d = rec.lu.solve(&rhs);
+        }
+        // Boundary solve.
+        let (d0, dperiod) = if self.autonomous {
+            let mut rhs = vec![0.0; n + 1];
+            rhs[..n].copy_from_slice(&d);
+            let sol = self.boundary.solve(&rhs);
+            (sol[..n].to_vec(), sol[n])
+        } else {
+            (self.boundary.solve(&d), 0.0)
+        };
+        // Re-propagate from the periodic initial condition.
+        let mut dx = Vec::with_capacity(recs.len() + 1);
+        dx.push(d0.clone());
+        let mut cur = d0;
+        for (rec, wk) in recs.iter().zip(w.iter()) {
+            let mut rhs = rec.b.mat_vec(&cur);
+            vecops::axpy(&mut rhs, -1.0, wk);
+            cur = rec.lu.solve(&rhs);
+            dx.push(cur.clone());
+        }
+        Ok(PeriodicResponse { dx, dperiod })
+    }
+
+    /// Periodic response to a *unit* value of mismatch parameter `k`
+    /// (multiply by σ_k for the 1-σ response).
+    ///
+    /// # Errors
+    ///
+    /// See [`PeriodicSolver::solve_rhs`].
+    pub fn param_response(&self, k: usize) -> Result<PeriodicResponse, LptvError> {
+        let w = self.param_rhs(k)?;
+        self.solve_rhs(&w)
+    }
+
+    /// Responses for every registered mismatch parameter, reusing all
+    /// factorizations (the paper's "no additional simulation cost" claim).
+    ///
+    /// # Errors
+    ///
+    /// See [`PeriodicSolver::param_response`].
+    pub fn all_param_responses(&self) -> Result<Vec<PeriodicResponse>, LptvError> {
+        (0..self.ckt.mismatch_params().len())
+            .map(|k| self.param_response(k))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::{NodeId, Waveform};
+    use tranvar_pss::{shooting_pss, PssOptions};
+
+    /// Driven divider + cap with resistor mismatch: at DC drive, the periodic
+    /// response must equal the DC sensitivity.
+    #[test]
+    fn reduces_to_dc_sensitivity_for_static_circuit() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 32;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let resp = solver.param_response(0).unwrap();
+        let ib = ckt.unknown_of_node(b).unwrap();
+        // Analytic ∂vb/∂R1 = −V·R2/(R1+R2)² = −0.5 mV/Ω.
+        for state in &resp.dx {
+            assert!(
+                (state[ib] + 0.5e-3).abs() < 1e-9,
+                "dvb = {} vs -0.5e-3",
+                state[ib]
+            );
+        }
+        assert_eq!(resp.dperiod, 0.0);
+        assert!(!solver.is_autonomous());
+    }
+
+    /// The periodic response to a parameter must match finite-difference
+    /// re-solution of the PSS (the golden test of the whole method).
+    #[test]
+    fn matches_finite_difference_of_pss() {
+        use tranvar_circuit::Pulse;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let period = 10e-6;
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-7,
+                fall: 1e-7,
+                width: 4e-6,
+                period,
+            }),
+        );
+        let r1 = ckt.add_resistor("R1", a, b, 10e3);
+        let c1 = ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        ckt.annotate_resistor_mismatch(r1, 100.0);
+        ckt.annotate_capacitor_mismatch(c1, 1e-11);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 200;
+        let sol = shooting_pss(&ckt, period, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let ib = ckt.unknown_of_node(b).unwrap();
+
+        for (k, h) in [(0usize, 1.0), (1usize, 1e-13)] {
+            let resp = solver.param_response(k).unwrap();
+            // FD: re-run the PSS with the parameter bumped both ways.
+            let mut deltas = vec![0.0, 0.0];
+            deltas[k] = h;
+            let mut cp = ckt.clone();
+            cp.apply_mismatch(&deltas);
+            let sp = shooting_pss(&cp, period, &opts).unwrap();
+            deltas[k] = -h;
+            let mut cm = ckt.clone();
+            cm.apply_mismatch(&deltas);
+            let sm = shooting_pss(&cm, period, &opts).unwrap();
+            for step in [0usize, 50, 120, 199] {
+                let fd = (cp.voltage(&sp.states[step], b) - cm.voltage(&sm.states[step], b))
+                    / (2.0 * h);
+                let got = resp.dx[step][ib];
+                assert!(
+                    (got - fd).abs() < 2e-3 * fd.abs().max(1e-10),
+                    "param {k} step {step}: {got} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_missing_records() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 8;
+        let mut sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        sol.records.clear();
+        assert!(matches!(
+            PeriodicSolver::new(&ckt, &sol),
+            Err(LptvError::MissingRecords)
+        ));
+    }
+}

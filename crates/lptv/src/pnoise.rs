@@ -1,0 +1,271 @@
+//! Cyclostationary noise analysis (PNOISE) and statistical waveforms.
+//!
+//! Reproduces the SpectreRF-style presentation the paper relies on: the
+//! cyclostationary output noise is reported as a stack of stationary PSDs,
+//! one per sideband `N·f₀ + f` (Section V), each with a per-source
+//! contribution breakdown — the breakdown is what makes correlations
+//! (eqs. 10–12) and yield sensitivities (eqs. 14–16) free.
+//!
+//! Folding is handled by summing input bands `ν = f + m·f₀` for
+//! `|m| ≤ max_folds`; the 1/f-shaped mismatch pseudo-noise dies off in the
+//! folded bands automatically, which is precisely why the paper chooses a
+//! low-frequency pseudo-noise shape (Section III).
+
+use crate::error::LptvError;
+use crate::harmonic::{harmonic_transfer, QuasiPeriodicBoundary};
+use crate::periodic::PeriodicSolver;
+use tranvar_circuit::{Circuit, NodeId, NoiseSource};
+
+/// One source's contribution to a sideband PSD.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NoiseContribution {
+    /// Source label.
+    pub label: String,
+    /// Contribution to the output PSD (V²/Hz), summed over folds.
+    pub psd: f64,
+}
+
+/// The output noise PSD at one sideband offset.
+#[derive(Clone, Debug)]
+pub struct SidebandPsd {
+    /// Sideband index `N` (output frequency `N·f₀ + f`).
+    pub sideband: i64,
+    /// Offset `f` from the sideband center (Hz).
+    pub f_offset: f64,
+    /// Absolute output frequency (Hz).
+    pub freq: f64,
+    /// Total output PSD (V²/Hz).
+    pub total: f64,
+    /// Per-source breakdown (sums to `total`).
+    pub contributions: Vec<NoiseContribution>,
+}
+
+/// PNOISE controls.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PnoiseOptions {
+    /// Maximum folding band `|m|` summed per source (0 is enough for the
+    /// quasi-DC mismatch pseudo-noise; use a few bands for white sources in
+    /// strongly switching circuits).
+    pub max_folds: usize,
+}
+
+impl Default for PnoiseOptions {
+    fn default() -> Self {
+        PnoiseOptions { max_folds: 2 }
+    }
+}
+
+/// Computes the output noise PSD at sideband `N·f₀ + f_offset` on `node`,
+/// with per-source breakdown.
+///
+/// # Errors
+///
+/// - [`LptvError::BadConfig`] if `node` is ground,
+/// - numerical errors from the quasi-periodic boundary solve.
+pub fn pnoise_sideband(
+    ckt: &Circuit,
+    solver: &PeriodicSolver<'_>,
+    sources: &[NoiseSource],
+    node: NodeId,
+    sideband: i64,
+    f_offset: f64,
+    opts: &PnoiseOptions,
+) -> Result<SidebandPsd, LptvError> {
+    let out_row = ckt
+        .unknown_of_node(node)
+        .ok_or_else(|| LptvError::BadConfig("output node cannot be ground".into()))?;
+    let sol = solver.pss();
+    let f0 = sol.fundamental();
+    let boundary = QuasiPeriodicBoundary::new(solver, f_offset)?;
+    let mut contributions = Vec::with_capacity(sources.len());
+    let mut total = 0.0;
+    for src in sources {
+        let mut acc = 0.0;
+        let folds = opts.max_folds as i64;
+        for m in -folds..=folds {
+            let h = harmonic_transfer(ckt, solver, &boundary, src, m, out_row, sideband)?;
+            let nu = (f_offset + m as f64 * f0).abs();
+            acc += h.norm_sqr() * src.psd(nu);
+        }
+        total += acc;
+        contributions.push(NoiseContribution {
+            label: src.label.clone(),
+            psd: acc,
+        });
+    }
+    Ok(SidebandPsd {
+        sideband,
+        f_offset,
+        freq: sideband as f64 * f0 + f_offset,
+        total,
+        contributions,
+    })
+}
+
+/// The paper's Fig. 8 "statistical waveform": the nominal PSS waveform of a
+/// node together with the 1-σ mismatch envelope
+/// `σ(t)² = Σ_src (σ_src·δv_src(t))²`, computed from the periodic responses
+/// of every mismatch parameter (quasi-DC pseudo-noise → the mismatch acts as
+/// a random constant, so the per-time standard deviation is the RSS of the
+/// per-source periodic responses).
+///
+/// Returns `(times, nominal, sigma)` sampled on the PSS grid.
+///
+/// # Errors
+///
+/// Propagates periodic-solver failures.
+pub fn statistical_waveform(
+    ckt: &Circuit,
+    solver: &PeriodicSolver<'_>,
+    node: NodeId,
+) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>), LptvError> {
+    let sol = solver.pss();
+    let nominal = sol.node_waveform(ckt, node);
+    let sigmas = ckt.mismatch_sigmas();
+    let mut var = vec![0.0; nominal.len()];
+    for (k, sigma) in sigmas.iter().enumerate() {
+        let resp = solver.param_response(k)?;
+        let w = resp.node_waveform(ckt, node);
+        for (v, dv) in var.iter_mut().zip(w.iter()) {
+            *v += (sigma * dv) * (sigma * dv);
+        }
+    }
+    let sigma_t = var.iter().map(|v| v.sqrt()).collect();
+    Ok((sol.times.clone(), nominal, sigma_t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::{noise, NoiseKind, Waveform};
+    use tranvar_pss::{shooting_pss, PssOptions};
+
+    /// DC-driven divider with resistor mismatch: the baseband pseudo-noise
+    /// PSD at 1 Hz must equal the DC-match variance Σ(Sᵢσᵢ)².
+    #[test]
+    fn baseband_psd_equals_dc_match_variance() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        let r2 = ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        ckt.annotate_resistor_mismatch(r2, 10.0);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 64;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let srcs = noise::mismatch_pseudo_noise(&ckt);
+        let bnode = ckt.find_node("b").unwrap();
+        let psd = pnoise_sideband(
+            &ckt,
+            &solver,
+            &srcs,
+            bnode,
+            0,
+            1.0,
+            &PnoiseOptions { max_folds: 0 },
+        )
+        .unwrap();
+        // Analytic: |∂vb/∂R1|σ = |∂vb/∂R2|σ = 0.5e-3·10 = 5 mV each,
+        // variance = 2·(5e-3)² = 5e-5 V².
+        let expect = 2.0 * (5e-3_f64).powi(2);
+        assert!(
+            (psd.total - expect).abs() < 1e-3 * expect,
+            "psd {} vs {expect}",
+            psd.total
+        );
+        assert_eq!(psd.contributions.len(), 2);
+        let sum: f64 = psd.contributions.iter().map(|c| c.psd).sum();
+        assert!((sum - psd.total).abs() < 1e-12 * psd.total);
+    }
+
+    /// Thermal noise of a DC-biased RC must reproduce kT/C when integrated —
+    /// we spot-check the Lorentzian PSD value at the corner instead.
+    #[test]
+    fn thermal_psd_of_rc_matches_analytic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        let src = NoiseSource {
+            label: "R1.thermal".into(),
+            device: r1,
+            kind: NoiseKind::ResistorThermal,
+        };
+        let mut opts = PssOptions::default();
+        opts.n_steps = 2048;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let bnode = ckt.find_node("b").unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let psd = pnoise_sideband(
+            &ckt,
+            &solver,
+            &[src],
+            bnode,
+            0,
+            fc,
+            &PnoiseOptions { max_folds: 0 },
+        )
+        .unwrap();
+        // S_v(fc) = 4kTR·|H|² = 4kTR/2.
+        let expect = 4.0 * tranvar_circuit::noise::KT * 1e3 / 2.0;
+        assert!(
+            (psd.total - expect).abs() < 0.05 * expect,
+            "psd {} vs {expect}",
+            psd.total
+        );
+    }
+
+    #[test]
+    fn statistical_waveform_rss() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 32;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let bnode = ckt.find_node("b").unwrap();
+        let (times, nominal, sigma) = statistical_waveform(&ckt, &solver, bnode).unwrap();
+        assert_eq!(times.len(), nominal.len());
+        assert_eq!(times.len(), sigma.len());
+        // Static circuit: nominal 1.0 V, σ = |∂vb/∂R1|·10 = 5 mV everywhere.
+        for (v, s) in nominal.iter().zip(sigma.iter()) {
+            assert!((v - 1.0).abs() < 1e-6);
+            assert!((s - 5e-3).abs() < 1e-6, "sigma(t) = {s}");
+        }
+    }
+
+    #[test]
+    fn ground_output_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 8;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let err = pnoise_sideband(
+            &ckt,
+            &solver,
+            &[],
+            NodeId::GROUND,
+            0,
+            1.0,
+            &PnoiseOptions::default(),
+        );
+        assert!(matches!(err, Err(LptvError::BadConfig(_))));
+    }
+}

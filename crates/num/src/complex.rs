@@ -1,0 +1,412 @@
+//! Minimal double-precision complex arithmetic.
+//!
+//! The workspace deliberately avoids external linear-algebra crates, so the
+//! complex number type used by the AC/LPTV analyses lives here. Only the
+//! operations the simulator needs are provided.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_num::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!((a * b).re, 5.0);
+/// assert_eq!((a * b).im, 5.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{jθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{jθ}` on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (uses `hypot` for robustness near overflow/underflow).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// Uses Smith's algorithm to avoid overflow for large components.
+    #[inline]
+    pub fn recip(self) -> Self {
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            Complex::new(1.0 / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            Complex::new(r / d, -1.0 / d)
+        }
+    }
+
+    /// Complex exponential.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Complex::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+/// Field of scalars the linear-algebra kernels are generic over.
+///
+/// Implemented for [`f64`] and [`Complex`]. The `magnitude` method is used for
+/// pivot selection in LU factorization.
+///
+/// This trait is sealed: it is not meant to be implemented outside this crate.
+pub trait Scalar:
+    Copy
+    + fmt::Debug
+    + Default
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + Send
+    + Sync
+    + private::Sealed
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivoting (absolute value / modulus).
+    fn magnitude(self) -> f64;
+    /// Embeds a real number into the field.
+    fn from_f64(x: f64) -> Self;
+    /// Returns `true` if any component is NaN.
+    fn is_nan(self) -> bool;
+}
+
+mod private {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for super::Complex {}
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+}
+
+impl Scalar for Complex {
+    #[inline]
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::ONE
+    }
+    #[inline]
+    fn magnitude(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Complex::from_real(x)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        Complex::is_nan(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(2.0, -3.0);
+        assert_eq!(a + Complex::ZERO, a);
+        assert_eq!(a * Complex::ONE, a);
+        assert!(close(a * a.recip(), Complex::ONE, 1e-14));
+        assert_eq!(-(-a), a);
+        assert_eq!(a - a, Complex::ZERO);
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_inverse() {
+        let a = Complex::new(1.5, 2.5);
+        let b = Complex::new(-0.5, 4.0);
+        let q = a / b;
+        assert!(close(q * b, a, 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-14);
+        assert!((z.arg() - 0.7).abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::PI / 3.0).exp();
+        assert!((z.abs() - 1.0).abs() < 1e-14);
+        assert!((z.re - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!(close(r * r, z, 1e-12));
+    }
+
+    #[test]
+    fn conj_flips_imaginary() {
+        let z = Complex::new(1.0, 2.0);
+        assert_eq!(z.conj(), Complex::new(1.0, -2.0));
+        assert!((z * z.conj()).im.abs() < 1e-15);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_is_robust_to_large_components() {
+        let z = Complex::new(1e300, 1e300);
+        let r = z.recip();
+        assert!(r.is_finite());
+        assert!(close(r * z, Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Complex = (0..4).map(|k| Complex::new(k as f64, 1.0)).sum();
+        assert_eq!(s, Complex::new(6.0, 4.0));
+    }
+}

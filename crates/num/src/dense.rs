@@ -1,0 +1,564 @@
+//! Dense matrices and LU factorization with partial pivoting.
+//!
+//! Circuit MNA systems in this workspace are small-to-medium (tens to a few
+//! hundred unknowns), so a cache-friendly row-major dense kernel is the
+//! workhorse for monodromy matrices and shooting-Newton updates. Larger
+//! per-timestep Jacobians can use the sparse kernels in [`crate::sparse`].
+
+use crate::complex::Scalar;
+use crate::error::NumError;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix over a [`Scalar`] field.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_num::DMat;
+/// let mut m = DMat::<f64>::zeros(2, 2);
+/// m[(0, 0)] = 2.0;
+/// m[(1, 1)] = 3.0;
+/// let y = m.mat_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![2.0, 3.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DMat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> DMat<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DMat {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "dense matrix data length mismatch");
+        DMat { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        DMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Borrows one row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows one row as a slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Sets every entry to zero, retaining the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = T::zero());
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = T::zero();
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn mat_mul(&self, b: &DMat<T>) -> DMat<T> {
+        assert_eq!(self.cols, b.rows, "mat_mul dimension mismatch");
+        let mut c = DMat::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.row(i)[k];
+                if aik == T::zero() {
+                    continue;
+                }
+                let brow = b.row(k);
+                let crow = c.row_mut(i);
+                for j in 0..b.cols {
+                    crow[j] += aik * brow[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DMat<T> {
+        DMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Adds `k·B` to `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, k: T, b: &DMat<T>) {
+        assert_eq!(self.rows, b.rows);
+        assert_eq!(self.cols, b.cols);
+        for (d, s) in self.data.iter_mut().zip(b.data.iter()) {
+            *d += k * *s;
+        }
+    }
+
+    /// Maximum entry magnitude (∞-like norm over all entries).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.magnitude()).fold(0.0, f64::max)
+    }
+
+    /// Factorizes the matrix as `P·A = L·U` with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] when a pivot column is numerically zero,
+    /// and [`NumError::NotSquare`] for non-square inputs.
+    pub fn lu(&self) -> Result<Lu<T>, NumError> {
+        Lu::factor(self.clone())
+    }
+
+    /// Solves `A·x = b` via a fresh LU factorization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization errors; see [`DMat::lu`].
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, NumError> {
+        Ok(self.lu()?.solve(b))
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for DMat<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for DMat<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DMat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DMat {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", &self.data[i * self.cols..(i + 1) * self.cols])?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An LU factorization `P·A = L·U` with partial pivoting.
+///
+/// Produced by [`DMat::lu`]; solves many right-hand sides cheaply, which the
+/// LPTV analysis exploits heavily (one factorization per timestep, one pair of
+/// triangular solves per noise source).
+#[derive(Clone, Debug)]
+pub struct Lu<T> {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: DMat<T>,
+    /// Row permutation: `perm[i]` is the original row in position `i`.
+    perm: Vec<usize>,
+    /// Parity of the permutation (+1/-1), used by `det`.
+    sign: f64,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factorizes `a` in place (consumes the matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] if `a` is not square and
+    /// [`NumError::Singular`] if a zero pivot is encountered.
+    pub fn factor(mut a: DMat<T>) -> Result<Self, NumError> {
+        if !a.is_square() {
+            return Err(NumError::NotSquare {
+                rows: a.rows,
+                cols: a.cols,
+            });
+        }
+        let n = a.rows;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Pivot: largest magnitude in column k at or below the diagonal.
+            let mut p = k;
+            let mut pmag = a[(k, k)].magnitude();
+            for i in (k + 1)..n {
+                let m = a[(i, k)].magnitude();
+                if m > pmag {
+                    p = i;
+                    pmag = m;
+                }
+            }
+            if pmag == 0.0 || pmag.is_nan() {
+                return Err(NumError::Singular { col: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = tmp;
+                }
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let m = a[(i, k)] / pivot;
+                a[(i, k)] = m;
+                if m == T::zero() {
+                    continue;
+                }
+                // Row update uses split_at_mut to satisfy the borrow checker
+                // while staying on the fast slice path.
+                let (top, bottom) = a.data.split_at_mut(i * n);
+                let krow = &top[k * n..k * n + n];
+                let irow = &mut bottom[..n];
+                for j in (k + 1)..n {
+                    let d = m * krow[j];
+                    irow[j] -= d;
+                }
+            }
+        }
+        Ok(Lu { lu: a, perm, sign })
+    }
+
+    /// Dimension of the factored system.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        self.solve_permuted_in_place(&mut x);
+        x
+    }
+
+    /// Solves `A·x = b`, overwriting `x` (which must already hold `b`).
+    pub fn solve_in_place(&self, x: &mut [T]) {
+        let b: Vec<T> = self.perm.iter().map(|&p| x[p]).collect();
+        x.copy_from_slice(&b);
+        self.solve_permuted_in_place(x);
+    }
+
+    fn solve_permuted_in_place(&self, x: &mut [T]) {
+        let n = self.n();
+        assert_eq!(x.len(), n, "rhs length mismatch");
+        // Forward substitution with unit lower factor.
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution with upper factor.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= row[j] * x[j];
+            }
+            x[i] = acc / row[i];
+        }
+    }
+
+    /// Solves `Aᵀ·x = b` (useful for adjoint sensitivity analysis).
+    pub fn solve_transposed(&self, b: &[T]) -> Vec<T> {
+        let n = self.n();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        let mut x = b.to_vec();
+        // Uᵀ is lower triangular: forward substitution.
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        // Lᵀ is unit upper triangular: back substitution.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Undo the permutation: Aᵀ = Uᵀ Lᵀ P, so x_orig[perm[i]] = x[i].
+        let mut out = vec![T::zero(); n];
+        for (i, &p) in self.perm.iter().enumerate() {
+            out[p] = x[i];
+        }
+        out
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.sign);
+        for i in 0..self.n() {
+            d = d * self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves for each column of `B`, returning `A⁻¹·B`.
+    pub fn solve_mat(&self, b: &DMat<T>) -> DMat<T> {
+        let n = self.n();
+        assert_eq!(b.rows(), n);
+        let mut out = DMat::zeros(n, b.cols());
+        let mut col = vec![T::zero(); n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+}
+
+/// Dense vector helpers used across the workspace.
+pub mod vecops {
+    use super::Scalar;
+
+    /// `y += k·x`.
+    pub fn axpy<T: Scalar>(y: &mut [T], k: T, x: &[T]) {
+        debug_assert_eq!(y.len(), x.len());
+        for (yi, xi) in y.iter_mut().zip(x.iter()) {
+            *yi += k * *xi;
+        }
+    }
+
+    /// Dot product `Σ xᵢ·yᵢ` (no conjugation).
+    pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+        debug_assert_eq!(x.len(), y.len());
+        let mut acc = T::zero();
+        for (a, b) in x.iter().zip(y.iter()) {
+            acc += *a * *b;
+        }
+        acc
+    }
+
+    /// Infinity norm `max |xᵢ|`.
+    pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+        x.iter().map(|v| v.magnitude()).fold(0.0, f64::max)
+    }
+
+    /// Euclidean norm for real vectors.
+    pub fn norm2(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub<T: Scalar>(a: &[T], b: &[T]) -> Vec<T> {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).map(|(x, y)| *x - *y).collect()
+    }
+
+    /// Scales a vector in place.
+    pub fn scale<T: Scalar>(x: &mut [T], k: T) {
+        for v in x.iter_mut() {
+            *v = *v * k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex;
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let i = DMat::<f64>::identity(4);
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        let x = i.solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solves_known_3x3() {
+        // A = [[2,1,1],[1,3,2],[1,0,0]], b = [4,5,6] -> x = [6,15,-23]
+        let a = DMat::from_vec(3, 3, vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.0]);
+        let x = a.solve(&[4.0, 5.0, 6.0]).unwrap();
+        assert!((x[0] - 6.0).abs() < 1e-12);
+        assert!((x[1] - 15.0).abs() < 1e-12);
+        assert!((x[2] + 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = DMat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        match a.lu() {
+            Err(NumError::Singular { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_reports_error() {
+        let a = DMat::<f64>::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(NumError::NotSquare { .. })));
+    }
+
+    #[test]
+    fn residual_is_small_for_random_system() {
+        // Deterministic pseudo-random fill.
+        let n = 24;
+        let mut seed = 1u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = DMat::from_fn(n, n, |i, j| rnd() + if i == j { 4.0 } else { 0.0 });
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let x = a.solve(&b).unwrap();
+        let r = vecops::sub(&a.mat_vec(&x), &b);
+        assert!(vecops::norm_inf(&r) < 1e-10, "residual too large");
+    }
+
+    #[test]
+    fn complex_solve_matches_manual() {
+        // (1+j)·x = 2 -> x = 1 - j
+        let a = DMat::from_vec(1, 1, vec![Complex::new(1.0, 1.0)]);
+        let x = a.solve(&[Complex::new(2.0, 0.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn transposed_solve_matches_direct() {
+        let a = DMat::from_vec(3, 3, vec![4.0, 1.0, 0.0, 2.0, 5.0, 1.0, 0.5, 1.0, 3.0]);
+        let at = a.transpose();
+        let b = [1.0, 2.0, 3.0];
+        let lu = a.lu().unwrap();
+        let x1 = lu.solve_transposed(&b);
+        let x2 = at.solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_of_permutation_has_sign() {
+        let a = DMat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let lu = a.lu().unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn mat_mul_matches_mat_vec() {
+        let a = DMat::from_fn(3, 3, |i, j| (i * 3 + j) as f64 + 1.0);
+        let b = DMat::identity(3);
+        assert_eq!(a.mat_mul(&b), a);
+    }
+
+    #[test]
+    fn solve_mat_inverts() {
+        let a = DMat::from_vec(2, 2, vec![3.0, 1.0, 1.0, 2.0]);
+        let lu = a.lu().unwrap();
+        let inv = lu.solve_mat(&DMat::identity(2));
+        let prod = a.mat_mul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for the numerical kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra and transform kernels.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumError {
+    /// A factorization encountered a numerically zero pivot.
+    Singular {
+        /// Column at which elimination broke down.
+        col: usize,
+    },
+    /// A square-matrix operation was invoked on a non-square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// A Cholesky factorization was attempted on a matrix that is not
+    /// positive semi-definite (within tolerance).
+    NotPositiveDefinite {
+        /// Row/column at which a negative pivot appeared.
+        index: usize,
+    },
+    /// An FFT was requested with a length that is not a power of two.
+    FftLength {
+        /// The offending length.
+        len: usize,
+    },
+    /// Generic dimension mismatch between operands.
+    DimensionMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for NumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumError::Singular { col } => {
+                write!(f, "matrix is singular (zero pivot at column {col})")
+            }
+            NumError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square ({rows}x{cols})")
+            }
+            NumError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (row {index})")
+            }
+            NumError::FftLength { len } => {
+                write!(f, "fft length {len} is not a power of two")
+            }
+            NumError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for NumError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            NumError::Singular { col: 3 },
+            NumError::NotSquare { rows: 2, cols: 3 },
+            NumError::NotPositiveDefinite { index: 1 },
+            NumError::FftLength { len: 12 },
+            NumError::DimensionMismatch {
+                expected: 4,
+                actual: 5,
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumError>();
+    }
+}

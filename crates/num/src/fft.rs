@@ -1,0 +1,225 @@
+//! Radix-2 FFT and Fourier-series helpers.
+//!
+//! The LPTV analysis needs Fourier coefficients of periodic waveforms sampled
+//! on a uniform grid (Section V of the paper reads performance variations off
+//! specific harmonic sidebands). A hand-rolled iterative radix-2 transform is
+//! plenty: the PSS grids used by the solvers are powers of two by default, and
+//! a direct DFT fallback covers other lengths.
+
+use crate::complex::Complex;
+use crate::error::NumError;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// Computes `X[k] = Σ_n x[n]·e^{-j2πkn/N}` (engineering sign convention).
+///
+/// # Errors
+///
+/// Returns [`NumError::FftLength`] if `x.len()` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_num::{fft, Complex};
+/// let mut x = vec![Complex::ONE; 4];
+/// fft::fft(&mut x)?;
+/// assert!((x[0].re - 4.0).abs() < 1e-12);
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok::<(), tranvar_num::NumError>(())
+/// ```
+pub fn fft(x: &mut [Complex]) -> Result<(), NumError> {
+    transform(x, -1.0)
+}
+
+/// In-place inverse FFT (includes the 1/N normalization).
+///
+/// # Errors
+///
+/// Returns [`NumError::FftLength`] if `x.len()` is not a power of two.
+pub fn ifft(x: &mut [Complex]) -> Result<(), NumError> {
+    transform(x, 1.0)?;
+    let n = x.len() as f64;
+    for v in x.iter_mut() {
+        *v = *v / n;
+    }
+    Ok(())
+}
+
+fn transform(x: &mut [Complex], sign: f64) -> Result<(), NumError> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(NumError::FftLength { len: n });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            x.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex::ONE;
+            for k in 0..half {
+                let a = x[start + k];
+                let b = x[start + k + half] * w;
+                x[start + k] = a + b;
+                x[start + k + half] = a - b;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Complex Fourier-series coefficient `c_k` of uniformly sampled periodic
+/// data: `c_k = (1/N)·Σ_n v[n]·e^{-j2πkn/N}`, so that
+/// `v(t) ≈ Σ_k c_k·e^{+j2πk t/T}` and `c_0` is the cycle mean.
+///
+/// Works for any sample count (direct summation); `k` may be negative.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_num::fft::fourier_coeff;
+/// let n = 64;
+/// let v: Vec<f64> = (0..n)
+///     .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos())
+///     .collect();
+/// let c1 = fourier_coeff(&v, 1);
+/// assert!((c1.re - 0.5).abs() < 1e-12); // cos = (e^{jθ}+e^{-jθ})/2
+/// ```
+pub fn fourier_coeff(samples: &[f64], k: i64) -> Complex {
+    let n = samples.len();
+    let mut acc = Complex::ZERO;
+    let w = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    for (i, &v) in samples.iter().enumerate() {
+        acc += Complex::cis(w * i as f64) * v;
+    }
+    acc / n as f64
+}
+
+/// Fourier-series coefficient of complex periodic samples (see
+/// [`fourier_coeff`]).
+pub fn fourier_coeff_complex(samples: &[Complex], k: i64) -> Complex {
+    let n = samples.len();
+    let mut acc = Complex::ZERO;
+    let w = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+    for (i, &v) in samples.iter().enumerate() {
+        acc += Complex::cis(w * i as f64) * v;
+    }
+    acc / n as f64
+}
+
+/// Amplitude of the fundamental component of a real periodic waveform:
+/// `A_c = 2·|c_1|`. This is the `A_c` appearing in eqs. (7)–(9) of the paper.
+pub fn fundamental_amplitude(samples: &[f64]) -> f64 {
+    2.0 * fourier_coeff(samples, 1).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Complex::ZERO; 6];
+        assert!(matches!(fft(&mut x), Err(NumError::FftLength { len: 6 })));
+    }
+
+    #[test]
+    fn fft_of_delta_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        fft(&mut x).unwrap();
+        for v in x {
+            assert!((v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let n = 128;
+        let orig: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut x = orig.clone();
+        fft(&mut x).unwrap();
+        ifft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(orig.iter()) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_direct_dft() {
+        let n = 16;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        for k in 0..n {
+            let direct: Complex = (0..n)
+                .map(|i| {
+                    x[i] * Complex::cis(-2.0 * std::f64::consts::PI * (k * i) as f64 / n as f64)
+                })
+                .sum();
+            assert!((fast[k] - direct).abs() < 1e-10, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.2).cos(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = x.clone();
+        fft(&mut f).unwrap();
+        let freq_energy: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fourier_coeff_dc_is_mean() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let c0 = fourier_coeff(&v, 0);
+        assert!((c0.re - 3.0).abs() < 1e-13);
+        assert!(c0.im.abs() < 1e-13);
+    }
+
+    #[test]
+    fn fourier_coeff_sine_phase() {
+        let n = 100;
+        let v: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / n as f64).sin())
+            .collect();
+        // sin(θ) = (e^{jθ} - e^{-jθ})/(2j) -> c1 = 1/(2j) = -0.5j
+        let c1 = fourier_coeff(&v, 1);
+        assert!(c1.re.abs() < 1e-12);
+        assert!((c1.im + 0.5).abs() < 1e-12);
+        let cm1 = fourier_coeff(&v, -1);
+        assert!((cm1.im - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fundamental_amplitude_of_cosine() {
+        let n = 256;
+        let amp = 3.3;
+        let v: Vec<f64> = (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos() + 1.0)
+            .collect();
+        assert!((fundamental_amplitude(&v) - amp).abs() < 1e-10);
+    }
+}

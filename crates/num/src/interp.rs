@@ -1,0 +1,173 @@
+//! Interpolation and waveform-measurement helpers.
+//!
+//! Delay extraction (Section IV-B of the paper) measures threshold crossings
+//! of periodic waveforms; these free functions do the sample-level work and
+//! are shared by the transient, Monte-Carlo and LPTV paths so that nominal
+//! and perturbed measurements are bit-consistent.
+
+/// Direction of a threshold crossing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Crossing from below to above the threshold.
+    Rising,
+    /// Crossing from above to below the threshold.
+    Falling,
+    /// Either direction.
+    Any,
+}
+
+/// Linear interpolation of `y(x)` on a sorted abscissa grid.
+///
+/// Clamps outside the grid.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` lengths differ or are empty.
+pub fn lerp_at(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(!xs.is_empty());
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let idx = match xs.binary_search_by(|v| v.partial_cmp(&x).unwrap()) {
+        Ok(i) => return ys[i],
+        Err(i) => i,
+    };
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// Finds all threshold crossings of a sampled waveform, returning
+/// linearly interpolated crossing times.
+pub fn crossings(times: &[f64], values: &[f64], threshold: f64, edge: Edge) -> Vec<f64> {
+    assert_eq!(times.len(), values.len());
+    let mut out = Vec::new();
+    for i in 1..values.len() {
+        let (a, b) = (values[i - 1], values[i]);
+        let rising = a < threshold && b >= threshold;
+        let falling = a > threshold && b <= threshold;
+        let take = match edge {
+            Edge::Rising => rising,
+            Edge::Falling => falling,
+            Edge::Any => rising || falling,
+        };
+        if take {
+            let frac = (threshold - a) / (b - a);
+            out.push(times[i - 1] + frac * (times[i] - times[i - 1]));
+        }
+    }
+    out
+}
+
+/// First crossing at or after `t_min`, if any.
+pub fn first_crossing_after(
+    times: &[f64],
+    values: &[f64],
+    threshold: f64,
+    edge: Edge,
+    t_min: f64,
+) -> Option<f64> {
+    crossings(times, values, threshold, edge)
+        .into_iter()
+        .find(|&t| t >= t_min)
+}
+
+/// Centered finite-difference slope of a sampled waveform at sample `i`
+/// (one-sided at the ends).
+pub fn slope_at(times: &[f64], values: &[f64], i: usize) -> f64 {
+    assert_eq!(times.len(), values.len());
+    let n = times.len();
+    assert!(n >= 2 && i < n);
+    if i == 0 {
+        (values[1] - values[0]) / (times[1] - times[0])
+    } else if i == n - 1 {
+        (values[n - 1] - values[n - 2]) / (times[n - 1] - times[n - 2])
+    } else {
+        (values[i + 1] - values[i - 1]) / (times[i + 1] - times[i - 1])
+    }
+}
+
+/// Index of the sample nearest to time `t` on a sorted grid.
+pub fn nearest_index(times: &[f64], t: f64) -> usize {
+    match times.binary_search_by(|v| v.partial_cmp(&t).unwrap()) {
+        Ok(i) => i,
+        Err(0) => 0,
+        Err(i) if i >= times.len() => times.len() - 1,
+        Err(i) => {
+            if (t - times[i - 1]).abs() <= (times[i] - t).abs() {
+                i - 1
+            } else {
+                i
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_interior_and_clamp() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 0.0];
+        assert_eq!(lerp_at(&xs, &ys, 0.5), 5.0);
+        assert_eq!(lerp_at(&xs, &ys, 1.5), 5.0);
+        assert_eq!(lerp_at(&xs, &ys, -1.0), 0.0);
+        assert_eq!(lerp_at(&xs, &ys, 5.0), 0.0);
+        assert_eq!(lerp_at(&xs, &ys, 1.0), 10.0);
+    }
+
+    #[test]
+    fn finds_rising_crossing() {
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let v = [0.0, 0.0, 1.0, 1.0];
+        let c = crossings(&t, &v, 0.5, Edge::Rising);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 1.5).abs() < 1e-12);
+        assert!(crossings(&t, &v, 0.5, Edge::Falling).is_empty());
+    }
+
+    #[test]
+    fn finds_falling_crossing() {
+        let t = [0.0, 1.0, 2.0];
+        let v = [1.0, 0.0, 1.0];
+        let c = crossings(&t, &v, 0.25, Edge::Falling);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 0.75).abs() < 1e-12);
+        let any = crossings(&t, &v, 0.25, Edge::Any);
+        assert_eq!(any.len(), 2);
+    }
+
+    #[test]
+    fn first_crossing_after_skips_early() {
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = [0.0, 1.0, 0.0, 1.0, 0.0];
+        let c = first_crossing_after(&t, &v, 0.5, Edge::Rising, 1.2).unwrap();
+        assert!((c - 2.5).abs() < 1e-12);
+        assert!(first_crossing_after(&t, &v, 0.5, Edge::Rising, 4.0).is_none());
+    }
+
+    #[test]
+    fn slope_of_line_is_constant() {
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let v = [1.0, 3.0, 5.0, 7.0];
+        for i in 0..4 {
+            assert!((slope_at(&t, &v, i) - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nearest_index_picks_closest() {
+        let t = [0.0, 1.0, 2.0];
+        assert_eq!(nearest_index(&t, -5.0), 0);
+        assert_eq!(nearest_index(&t, 0.4), 0);
+        assert_eq!(nearest_index(&t, 0.6), 1);
+        assert_eq!(nearest_index(&t, 1.0), 1);
+        assert_eq!(nearest_index(&t, 9.0), 2);
+    }
+}

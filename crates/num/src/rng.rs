@@ -1,0 +1,145 @@
+//! Normal (Gaussian) and correlated-normal sampling on top of the `rand`
+//! crate's uniform generator.
+//!
+//! Monte-Carlo mismatch analysis draws device-parameter offsets from
+//! `N(0, σ²)`; correlated draws use a Cholesky factor per eq. (6) of the
+//! paper. `rand` (without `rand_distr`) only provides uniforms, so the
+//! Box–Muller transform lives here.
+
+use crate::cholesky::cholesky;
+use crate::dense::DMat;
+use crate::error::NumError;
+use rand::Rng;
+
+/// Draws one standard-normal sample via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = tranvar_num::rng::standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller: u1 in (0,1], u2 in [0,1).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Fills a vector with independent `N(0,1)` samples.
+pub fn standard_normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| standard_normal(rng)).collect()
+}
+
+/// A sampler for correlated zero-mean Gaussian vectors with a fixed
+/// covariance matrix, realized as `y = L·x` with `C = L·Lᵀ` (paper eq. 6).
+#[derive(Clone, Debug)]
+pub struct CorrelatedNormal {
+    factor: DMat<f64>,
+}
+
+impl CorrelatedNormal {
+    /// Builds the sampler from a covariance matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the covariance is not positive semi-definite.
+    pub fn from_covariance(cov: &DMat<f64>) -> Result<Self, NumError> {
+        Ok(CorrelatedNormal {
+            factor: cholesky(cov, 0.0)?,
+        })
+    }
+
+    /// Builds the sampler directly from a mixing matrix `A` (so samples are
+    /// `A·x`, covariance `A·Aᵀ`), matching the paper's construction of
+    /// correlated pseudo-noise sources.
+    pub fn from_mixing(a: DMat<f64>) -> Self {
+        CorrelatedNormal { factor: a }
+    }
+
+    /// Number of output variables per draw.
+    pub fn dim(&self) -> usize {
+        self.factor.rows()
+    }
+
+    /// Draws one correlated sample vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let x = standard_normal_vec(rng, self.factor.cols());
+        self.factor.mat_vec(&x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_right() {
+        let mut rng = StdRng::seed_from_u64(12345);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_tail_fraction() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let beyond_2sigma = (0..n)
+            .filter(|_| standard_normal(&mut rng).abs() > 2.0)
+            .count() as f64
+            / n as f64;
+        // True value 4.55%.
+        assert!((beyond_2sigma - 0.0455).abs() < 0.005);
+    }
+
+    #[test]
+    fn correlated_sampler_matches_requested_covariance() {
+        let cov = DMat::from_vec(2, 2, vec![4.0, 2.4, 2.4, 9.0]); // rho = 0.4
+        let sampler = CorrelatedNormal::from_covariance(&cov).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let (mut s00, mut s01, mut s11) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let y = sampler.sample(&mut rng);
+            s00 += y[0] * y[0];
+            s01 += y[0] * y[1];
+            s11 += y[1] * y[1];
+        }
+        assert!((s00 / n as f64 - 4.0).abs() < 0.15);
+        assert!((s01 / n as f64 - 2.4).abs() < 0.15);
+        assert!((s11 / n as f64 - 9.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn mixing_matrix_covariance_is_aat() {
+        // A = [[1,0],[1,1]] -> C = [[1,1],[1,2]]
+        let a = DMat::from_vec(2, 2, vec![1.0, 0.0, 1.0, 1.0]);
+        let sampler = CorrelatedNormal::from_mixing(a);
+        let mut rng = StdRng::seed_from_u64(8);
+        let n = 100_000;
+        let (mut s00, mut s01, mut s11) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let y = sampler.sample(&mut rng);
+            s00 += y[0] * y[0];
+            s01 += y[0] * y[1];
+            s11 += y[1] * y[1];
+        }
+        assert!((s00 / n as f64 - 1.0).abs() < 0.05);
+        assert!((s01 / n as f64 - 1.0).abs() < 0.05);
+        assert!((s11 / n as f64 - 2.0).abs() < 0.08);
+    }
+}

@@ -1,0 +1,544 @@
+//! Sparse matrices in triplet and compressed-sparse-column form, with a
+//! left-looking LU factorization (Gilbert–Peierls style) and partial pivoting.
+//!
+//! MNA matrices of circuits are extremely sparse (a handful of entries per
+//! row). The transient/PSS inner loops factor one Jacobian per Newton
+//! iteration, then the LPTV noise analysis re-uses those factors for many
+//! right-hand sides — so the split between `factor` and `solve` mirrors the
+//! dense kernel in [`crate::dense`].
+
+use crate::complex::Scalar;
+use crate::error::NumError;
+
+/// A sparse-matrix builder accumulating `(row, col, value)` triplets.
+///
+/// Duplicate coordinates are summed when compressed, matching the way MNA
+/// stamps accumulate conductances.
+///
+/// # Examples
+///
+/// ```
+/// use tranvar_num::sparse::Triplets;
+/// let mut t = Triplets::<f64>::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicates sum
+/// let csc = t.to_csc();
+/// assert_eq!(csc.get(0, 0), 3.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Triplets<T> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Triplets<T> {
+    /// Creates an empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: T) {
+        assert!(row < self.rows && col < self.cols, "triplet out of range");
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of accumulated (pre-compression) triplets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Removes all triplets, retaining the allocation (hot-loop reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the raw (row, col, value) triplets.
+    pub fn iter(&self) -> impl Iterator<Item = &(usize, usize, T)> {
+        self.entries.iter()
+    }
+
+    /// Returns `true` if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Compresses to CSC, summing duplicates.
+    pub fn to_csc(&self) -> Csc<T> {
+        // Count entries per column.
+        let mut counts = vec![0usize; self.cols];
+        for &(_, c, _) in &self.entries {
+            counts[c] += 1;
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for c in 0..self.cols {
+            col_ptr[c + 1] = col_ptr[c] + counts[c];
+        }
+        let nnz = col_ptr[self.cols];
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![T::zero(); nnz];
+        let mut next = col_ptr.clone();
+        for &(r, c, v) in &self.entries {
+            let slot = next[c];
+            row_idx[slot] = r;
+            values[slot] = v;
+            next[c] += 1;
+        }
+        // Sort each column by row and merge duplicates.
+        let mut out_ptr = vec![0usize; self.cols + 1];
+        let mut out_rows = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, T)> = Vec::new();
+        for c in 0..self.cols {
+            scratch.clear();
+            for k in col_ptr[c]..col_ptr[c + 1] {
+                scratch.push((row_idx[k], values[k]));
+            }
+            scratch.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == r {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_rows.push(r);
+                out_vals.push(v);
+                i = j;
+            }
+            out_ptr[c + 1] = out_rows.len();
+        }
+        Csc {
+            rows: self.rows,
+            cols: self.cols,
+            col_ptr: out_ptr,
+            row_idx: out_rows,
+            values: out_vals,
+        }
+    }
+}
+
+/// A compressed-sparse-column matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the entry at `(row, col)`, or zero if not stored.
+    pub fn get(&self, row: usize, col: usize) -> T {
+        let lo = self.col_ptr[col];
+        let hi = self.col_ptr[col + 1];
+        match self.row_idx[lo..hi].binary_search(&row) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        let mut y = vec![T::zero(); self.rows];
+        for c in 0..self.cols {
+            let xc = x[c];
+            if xc == T::zero() {
+                continue;
+            }
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[k]] += self.values[k] * xc;
+            }
+        }
+        y
+    }
+
+    /// Converts to dense form (small systems, tests, monodromy assembly).
+    pub fn to_dense(&self) -> crate::dense::DMat<T> {
+        let mut m = crate::dense::DMat::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                m[(self.row_idx[k], c)] = self.values[k];
+            }
+        }
+        m
+    }
+
+    /// Factorizes `A = P⁻¹·L·U` with partial pivoting (left-looking,
+    /// Gilbert–Peierls with a dense working column; adequate for the
+    /// moderate dimensions of circuit Jacobians).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`] or [`NumError::Singular`].
+    pub fn lu(&self) -> Result<SparseLu<T>, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        // row_perm[i] = original row currently in pivot position i; inv maps
+        // original row -> pivot position (usize::MAX while unassigned).
+        let mut pinv = vec![usize::MAX; n];
+        let mut perm = vec![usize::MAX; n];
+
+        // L and U stored column-wise as (row-position, value) pairs, where L
+        // uses pivot positions and U uses pivot positions for rows.
+        let mut l_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+        let mut u_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+
+        // Dense scatter workspace indexed by *original* row.
+        let mut work = vec![T::zero(); n];
+        let mut touched: Vec<usize> = Vec::with_capacity(n);
+
+        for col in 0..n {
+            // Scatter column `col` of A into the workspace.
+            touched.clear();
+            for k in self.col_ptr[col]..self.col_ptr[col + 1] {
+                let r = self.row_idx[k];
+                work[r] = self.values[k];
+                touched.push(r);
+            }
+            // Left-looking update: for each prior pivot j (in order), if the
+            // workspace has a value at the pivot row of j, eliminate with
+            // column j of L. Processing j in increasing order is a correct
+            // topological order for the dense-workspace variant.
+            for j in 0..col {
+                let pr = perm[j]; // original row holding pivot j
+                let ujc = work[pr];
+                if ujc == T::zero() {
+                    continue;
+                }
+                // Record U entry (pivot position j, column col).
+                u_cols[j].push((col, ujc));
+                // work -= ujc * L[:, j]
+                for &(orig_row, lv) in &l_cols[j] {
+                    if work[orig_row] == T::zero() {
+                        touched.push(orig_row);
+                    }
+                    work[orig_row] -= lv * ujc;
+                }
+                work[pr] = T::zero();
+            }
+            // Pivot: largest magnitude among unassigned original rows.
+            let mut prow = usize::MAX;
+            let mut pmag = 0.0;
+            for &r in touched.iter() {
+                if pinv[r] != usize::MAX {
+                    continue;
+                }
+                let m = work[r].magnitude();
+                if m > pmag {
+                    pmag = m;
+                    prow = r;
+                }
+            }
+            // `touched` can contain duplicates/stale zero entries; also scan
+            // all unassigned rows if nothing usable was touched.
+            if prow == usize::MAX || pmag == 0.0 {
+                for r in 0..n {
+                    if pinv[r] == usize::MAX {
+                        let m = work[r].magnitude();
+                        if m > pmag {
+                            pmag = m;
+                            prow = r;
+                        }
+                    }
+                }
+            }
+            if prow == usize::MAX || pmag == 0.0 || pmag.is_nan() {
+                return Err(NumError::Singular { col });
+            }
+            let pivot = work[prow];
+            perm[col] = prow;
+            pinv[prow] = col;
+
+            // Store L column (unit diagonal implicit) and clear workspace.
+            let mut lcol: Vec<(usize, T)> = Vec::new();
+            for &r in touched.iter() {
+                let v = work[r];
+                if v == T::zero() {
+                    continue;
+                }
+                if r == prow {
+                    continue;
+                }
+                if pinv[r] == usize::MAX {
+                    // below-diagonal: belongs to L (scaled)
+                    lcol.push((r, v / pivot));
+                } else {
+                    // This row was already pivotal: belongs to U.
+                    u_cols[pinv[r]].push((col, v));
+                }
+                work[r] = T::zero();
+            }
+            work[prow] = T::zero();
+            // Deduplicate L entries (duplicate `touched` rows leave zeros
+            // behind, which we already skipped; dedupe defensively).
+            lcol.sort_by_key(|&(r, _)| r);
+            lcol.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            l_cols.push(lcol);
+            u_cols.push(vec![(col, pivot)]);
+        }
+        // Sort U columns by row position for deterministic solves.
+        for ucol in u_cols.iter_mut() {
+            ucol.sort_by_key(|&(r, _)| r);
+            ucol.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        Ok(SparseLu {
+            n,
+            perm,
+            l_cols,
+            u_rows_by_col: u_cols,
+        })
+    }
+}
+
+/// A sparse LU factorization produced by [`Csc::lu`].
+#[derive(Clone, Debug)]
+pub struct SparseLu<T> {
+    n: usize,
+    /// perm[j] = original row chosen as pivot for elimination step j.
+    perm: Vec<usize>,
+    /// L columns: (original row, multiplier), strictly below-diagonal.
+    l_cols: Vec<Vec<(usize, T)>>,
+    /// For pivot-row j: list of (column, value) entries of U in that row,
+    /// stored per column index ascending; first entry is the diagonal? No —
+    /// entries are (col, value) with col >= j, sorted ascending.
+    u_rows_by_col: Vec<Vec<(usize, T)>>,
+}
+
+impl<T: Scalar> SparseLu<T> {
+    /// Dimension of the factored system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let n = self.n;
+        // Forward: y indexed by pivot position.
+        let mut work = b.to_vec(); // indexed by original row
+        let mut y = vec![T::zero(); n];
+        for j in 0..n {
+            let pr = self.perm[j];
+            let yj = work[pr];
+            y[j] = yj;
+            if yj == T::zero() {
+                continue;
+            }
+            for &(orig_row, lv) in &self.l_cols[j] {
+                work[orig_row] -= lv * yj;
+            }
+        }
+        // Back substitution on U: U is upper triangular in pivot coordinates.
+        // u_rows_by_col[j] holds row j of U as (col, value) pairs sorted by col.
+        let mut x = y;
+        for j in (0..n).rev() {
+            let row = &self.u_rows_by_col[j];
+            // First entry must be the diagonal (col == j).
+            let mut acc = x[j];
+            let mut diag = T::zero();
+            for &(c, v) in row.iter() {
+                if c == j {
+                    diag = v;
+                } else {
+                    acc -= v * x[c];
+                }
+            }
+            x[j] = acc / diag;
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{vecops, DMat};
+
+    fn dense_random(n: usize, seed: &mut u64, density: f64) -> (Csc<f64>, DMat<f64>) {
+        let rnd = move |seed: &mut u64| {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((*seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut t = Triplets::new(n, n);
+        let mut d = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let r = rnd(seed);
+                if i == j {
+                    let v = 4.0 + r;
+                    t.push(i, j, v);
+                    d[(i, j)] = v;
+                } else if r.abs() < density {
+                    t.push(i, j, r);
+                    d[(i, j)] = r;
+                }
+            }
+        }
+        (t.to_csc(), d)
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let mut t = Triplets::<f64>::new(3, 3);
+        t.push(1, 1, 2.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, -1.0);
+        let m = t.to_csc();
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 2), -1.0);
+        assert_eq!(m.get(2, 2), 0.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn mat_vec_matches_dense() {
+        let mut seed = 42u64;
+        let (s, d) = dense_random(12, &mut seed, 0.4);
+        let x: Vec<f64> = (0..12).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let ys = s.mat_vec(&x);
+        let yd = d.mat_vec(&x);
+        for (a, b) in ys.iter().zip(yd.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sparse_lu_matches_dense_lu() {
+        for trial in 0..6 {
+            let mut seed = 1000 + trial;
+            let n = 20;
+            let (s, d) = dense_random(n, &mut seed, 0.3);
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+            let xs = s.lu().unwrap().solve(&b);
+            let xd = d.solve(&b).unwrap();
+            for (a, bb) in xs.iter().zip(xd.iter()) {
+                assert!((a - bb).abs() < 1e-9, "trial {trial}: {a} vs {bb}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_lu_residual_small() {
+        let mut seed = 7u64;
+        let n = 40;
+        let (s, _) = dense_random(n, &mut seed, 0.15);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = s.lu().unwrap().solve(&b);
+        let r = vecops::sub(&s.mat_vec(&x), &b);
+        assert!(vecops::norm_inf(&r) < 1e-9);
+    }
+
+    #[test]
+    fn pivoting_zero_diagonal() {
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        let x = t.to_csc().lu().unwrap().solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(1, 0, 1.0);
+        // column 1 empty -> singular
+        assert!(matches!(
+            t.to_csc().lu(),
+            Err(NumError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn structurally_dense_column_ok() {
+        // Arrow matrix: dense last row/col, diagonal elsewhere.
+        let n = 15;
+        let mut t = Triplets::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 3.0);
+            if i + 1 < n {
+                t.push(i, n - 1, 1.0);
+                t.push(n - 1, i, 1.0);
+            }
+        }
+        let m = t.to_csc();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = m.lu().unwrap().solve(&b);
+        let r = vecops::sub(&m.mat_vec(&x), &b);
+        assert!(vecops::norm_inf(&r) < 1e-10);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let mut t = Triplets::<f64>::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 2, 5.0);
+        let d = t.to_csc().to_dense();
+        assert_eq!(d[(0, 0)], 1.0);
+        assert_eq!(d[(1, 2)], 5.0);
+        assert_eq!(d[(0, 1)], 0.0);
+    }
+}

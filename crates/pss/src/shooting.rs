@@ -1,0 +1,375 @@
+//! Shooting-Newton periodic steady-state (PSS) analysis.
+//!
+//! Instead of integrating through the whole settling transient, shooting
+//! finds the fixed point of the one-period flow map `Φ_T`: solve
+//! `Φ_T(x₀) − x₀ = 0` with Newton, whose Jacobian is the monodromy matrix
+//! `M = ∂Φ_T/∂x₀` assembled from the per-step records of
+//! [`tranvar_engine::integrate_cycle`] (paper Section IV, refs. [12],[16]).
+//!
+//! Because shooting is a root-finder rather than a forward simulation it
+//! converges to *unstable or marginally stable* periodic orbits as well —
+//! which is exactly what the clocked-comparator metastability testbench of
+//! paper Fig. 6 requires.
+
+use crate::error::PssError;
+use tranvar_circuit::{Circuit, NodeId};
+use tranvar_engine::dc::{dc_operating_point, DcOptions, NewtonOptions};
+use tranvar_engine::tran::{integrate_cycle, CycleResult, Integrator, StepRecord};
+use tranvar_num::dense::vecops;
+use tranvar_num::DMat;
+
+/// PSS analysis controls.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PssOptions {
+    /// Time steps per period.
+    pub n_steps: usize,
+    /// Maximum shooting-Newton iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on `|Φ(x₀) − x₀|_∞`.
+    pub tol: f64,
+    /// Integration scheme (trapezoidal recommended for oscillators).
+    pub method: Integrator,
+    /// Inner Newton controls per timestep.
+    pub newton: NewtonOptions,
+    /// Node-row gmin.
+    pub gmin: f64,
+    /// Forward warm-up cycles integrated before shooting starts.
+    pub warmup_cycles: usize,
+    /// Clamp on the shooting update ∞-norm.
+    pub update_limit: f64,
+}
+
+impl Default for PssOptions {
+    fn default() -> Self {
+        PssOptions {
+            n_steps: 256,
+            max_iter: 40,
+            tol: 1e-9,
+            method: Integrator::BackwardEuler,
+            newton: NewtonOptions::default(),
+            gmin: 1e-12,
+            warmup_cycles: 2,
+            update_limit: 0.6,
+        }
+    }
+}
+
+/// A converged periodic steady state with everything the LPTV layer needs.
+#[derive(Clone, Debug)]
+pub struct PssSolution {
+    /// Period (s); for autonomous circuits this is the *solved* period.
+    pub period: f64,
+    /// `n_steps + 1` sample times spanning one period.
+    pub times: Vec<f64>,
+    /// `n_steps + 1` states; `states[0] ≈ states[n_steps]`.
+    pub states: Vec<Vec<f64>>,
+    /// Per-step factorization records (length `n_steps`).
+    pub records: Vec<StepRecord>,
+    /// Monodromy matrix `∂Φ_T/∂x₀`.
+    pub monodromy: DMat<f64>,
+    /// Integration scheme used (θ needed by the LPTV source terms).
+    pub method: Integrator,
+    /// `∂Φ/∂T` — only present for autonomous solutions.
+    pub dphi_dt: Option<Vec<f64>>,
+    /// Unknown index pinned by the oscillator phase condition.
+    pub phase_unknown: Option<usize>,
+    /// Final shooting residual ∞-norm.
+    pub residual: f64,
+}
+
+impl PssSolution {
+    /// Fundamental frequency `1/T`.
+    pub fn fundamental(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    /// Extracts one node's periodic waveform (`n_steps + 1` samples).
+    pub fn node_waveform(&self, ckt: &Circuit, node: NodeId) -> Vec<f64> {
+        self.states.iter().map(|x| ckt.voltage(x, node)).collect()
+    }
+
+    /// Time-derivative of a node waveform by centered differences on the
+    /// periodic grid (used for delay-sensitivity extraction).
+    pub fn node_slope(&self, ckt: &Circuit, node: NodeId) -> Vec<f64> {
+        let w = self.node_waveform(ckt, node);
+        let n = w.len() - 1; // w[0] == w[n]
+        let h = self.period / n as f64;
+        let mut out = vec![0.0; n + 1];
+        for (i, o) in out.iter_mut().enumerate().take(n) {
+            let prev = w[(i + n - 1) % n];
+            let next = w[(i + 1) % n];
+            *o = (next - prev) / (2.0 * h);
+        }
+        out[n] = out[0];
+        out
+    }
+}
+
+/// Propagates the monodromy matrix `M = ∏ J_k⁻¹ B_k` from cycle records.
+pub fn monodromy(records: &[StepRecord], n: usize) -> DMat<f64> {
+    let mut m = DMat::<f64>::identity(n);
+    let mut col = vec![0.0; n];
+    for rec in records {
+        let mut next = DMat::<f64>::zeros(n, n);
+        for j in 0..n {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = m[(i, j)];
+            }
+            let bx = rec.b.mat_vec(&col);
+            let sx = rec.lu.solve(&bx);
+            for i in 0..n {
+                next[(i, j)] = sx[i];
+            }
+        }
+        m = next;
+    }
+    m
+}
+
+/// Solves the driven PSS problem for a circuit whose stimuli are periodic in
+/// `period` (paper Section IV-B: every source must be DC or divide the
+/// period).
+///
+/// # Errors
+///
+/// - [`PssError::NotPeriodic`] if a source is incompatible with `period`,
+/// - [`PssError::NoConvergence`] if shooting stalls,
+/// - engine errors from the inner integrations.
+pub fn shooting_pss(
+    ckt: &Circuit,
+    period: f64,
+    opts: &PssOptions,
+) -> Result<PssSolution, PssError> {
+    check_periodicity(ckt, period)?;
+    let n = ckt.n_unknowns();
+
+    // Initial guess: DC operating point, then a few forward cycles.
+    let mut x0 = dc_operating_point(
+        ckt,
+        &DcOptions {
+            newton: opts.newton,
+            ..DcOptions::default()
+        },
+    )?;
+    for _ in 0..opts.warmup_cycles {
+        let cyc = integrate_cycle(
+            ckt,
+            &x0,
+            0.0,
+            period,
+            opts.n_steps,
+            opts.method,
+            &opts.newton,
+            opts.gmin,
+            false,
+        )?;
+        x0 = cyc.states.last().expect("cycle states").clone();
+    }
+
+    let mut last_residual = f64::INFINITY;
+    for _iter in 0..opts.max_iter {
+        let cyc = integrate_cycle(
+            ckt,
+            &x0,
+            0.0,
+            period,
+            opts.n_steps,
+            opts.method,
+            &opts.newton,
+            opts.gmin,
+            true,
+        )?;
+        let x_end = cyc.states.last().expect("cycle states").clone();
+        let r = vecops::sub(&x_end, &x0);
+        last_residual = vecops::norm_inf(&r);
+        let m = monodromy(&cyc.records, n);
+        if last_residual < opts.tol {
+            return Ok(finish(cyc, period, m, opts.method, None, None, last_residual));
+        }
+        // Newton: (M − I)·Δ = −r.
+        let mut a = m.clone();
+        for i in 0..n {
+            a[(i, i)] -= 1.0;
+        }
+        let mut delta = a.lu()?.solve(&r);
+        vecops::scale(&mut delta, -1.0);
+        let dmax = vecops::norm_inf(&delta);
+        if dmax > opts.update_limit {
+            let k = opts.update_limit / dmax;
+            vecops::scale(&mut delta, k);
+        }
+        for (xi, di) in x0.iter_mut().zip(delta.iter()) {
+            *xi += di;
+        }
+    }
+    Err(PssError::NoConvergence {
+        analysis: "shooting".into(),
+        detail: format!(
+            "residual {last_residual:.3e} after {} iterations (tol {:.1e})",
+            opts.max_iter, opts.tol
+        ),
+    })
+}
+
+pub(crate) fn finish(
+    cyc: CycleResult,
+    period: f64,
+    monodromy: DMat<f64>,
+    method: Integrator,
+    dphi_dt: Option<Vec<f64>>,
+    phase_unknown: Option<usize>,
+    residual: f64,
+) -> PssSolution {
+    PssSolution {
+        period,
+        times: cyc.times,
+        states: cyc.states,
+        records: cyc.records,
+        monodromy,
+        method,
+        dphi_dt,
+        phase_unknown,
+        residual,
+    }
+}
+
+pub(crate) fn check_periodicity(ckt: &Circuit, period: f64) -> Result<(), PssError> {
+    if period <= 0.0 {
+        return Err(PssError::BadConfig("period must be positive".into()));
+    }
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        let wave = match dev {
+            tranvar_circuit::Device::Vsource { wave, .. } => wave,
+            tranvar_circuit::Device::Isource { wave, .. } => wave,
+            _ => continue,
+        };
+        if !wave.is_periodic_in(period) {
+            return Err(PssError::NotPeriodic {
+                device: ckt.label(tranvar_circuit::DeviceId::from_index(i)).into(),
+                period,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tranvar_circuit::{Pulse, Waveform};
+
+    /// Driven RC: the PSS of a sine-driven RC matches the AC phasor.
+    #[test]
+    fn sine_driven_rc_matches_ac() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let freq = 1.0e5;
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq,
+                delay: 0.0,
+            },
+        );
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1.59155e-9); // fc = 1e5 Hz
+        let mut opts = PssOptions::default();
+        opts.method = Integrator::Trapezoidal;
+        opts.n_steps = 512;
+        let sol = shooting_pss(&ckt, 1.0 / freq, &opts).unwrap();
+        assert!(sol.residual < 1e-9);
+        // |H| at the corner = 1/√2; amplitude of b's waveform should match.
+        let w = sol.node_waveform(&ckt, b);
+        let amp = tranvar_num::fft::fundamental_amplitude(&w[..w.len() - 1]);
+        assert!(
+            (amp - 1.0 / 2.0_f64.sqrt()).abs() < 2e-3,
+            "amplitude {amp}"
+        );
+    }
+
+    /// Pulse-driven RC: check `x(T) = x(0)` and periodic repeatability.
+    #[test]
+    fn pulse_driven_rc_is_periodic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let period = 10e-6;
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 4e-6,
+                period,
+            }),
+        );
+        ckt.add_resistor("R1", a, b, 10e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9); // tau = 10 us >> period
+        let sol = shooting_pss(&ckt, period, &PssOptions::default()).unwrap();
+        let first = &sol.states[0];
+        let last = sol.states.last().unwrap();
+        for (u, v) in first.iter().zip(last.iter()) {
+            assert!((u - v).abs() < 1e-8);
+        }
+        // The slow RC reaches a ripple steady state straddling the duty-cycle
+        // average (~0.4): forward simulation from DC would need many cycles.
+        let w = sol.node_waveform(&ckt, b);
+        let mean = w[..w.len() - 1].iter().sum::<f64>() / (w.len() - 1) as f64;
+        assert!((mean - 0.4).abs() < 0.02, "ripple mean {mean}");
+    }
+
+    #[test]
+    fn monodromy_of_rc_decays() {
+        // For a linear RC with tau, the monodromy eigenvalue along the cap
+        // state is exp(-T/tau).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let period = 1e-3;
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-6); // tau = 1 ms
+        let mut opts = PssOptions::default();
+        opts.method = Integrator::Trapezoidal;
+        opts.n_steps = 1024;
+        let sol = shooting_pss(&ckt, period, &opts).unwrap();
+        // The (b,b) monodromy entry is the decay of a cap-voltage kick.
+        let ib = ckt.unknown_of_node(b).unwrap();
+        let expect = (-1.0f64).exp();
+        assert!(
+            (sol.monodromy[(ib, ib)] - expect).abs() < 1e-3,
+            "M_bb = {} vs {expect}",
+            sol.monodromy[(ib, ib)]
+        );
+    }
+
+    #[test]
+    fn rejects_incommensurate_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Sin {
+                offset: 0.0,
+                ampl: 1.0,
+                freq: 3.0e5,
+                delay: 0.0,
+            },
+        );
+        ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        let err = shooting_pss(&ckt, 1.0 / 2.0e5, &PssOptions::default());
+        assert!(matches!(err, Err(PssError::NotPeriodic { .. })));
+    }
+}

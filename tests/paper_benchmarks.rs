@@ -1,0 +1,132 @@
+//! End-to-end invariants of the paper's three benchmarks, at reduced
+//! Monte-Carlo sizes (the full-scale reproductions live in
+//! `tranvar-bench`'s binaries).
+
+use tranvar::circuits::{ArrivalOrder, LogicPath, RingOsc, StrongArm, Tech};
+use tranvar::engine::mc::{monte_carlo, McOptions};
+use tranvar::prelude::*;
+
+/// Comparator: pseudo-noise offset σ within the (wide) CI of a small
+/// bisection-MC, and the nominal offset is ~0 by symmetry.
+#[test]
+fn comparator_sigma_matches_mc() {
+    let tech = Tech::t013();
+    let sa = StrongArm::paper(&tech);
+    let res = analyze(
+        &sa.circuit,
+        &PssConfig::Driven {
+            period: sa.period,
+            opts: sa.pss_options(),
+        },
+        &[sa.offset_metric()],
+    )
+    .unwrap();
+    let rep = &res.reports[0];
+    assert!(rep.nominal.abs() < 1e-3, "nominal {:.3e}", rep.nominal);
+
+    let n = 40;
+    let mc = monte_carlo(&sa.circuit, &McOptions::new(n, 17), |c| {
+        sa.measure_offset_bisect(c)
+    });
+    assert_eq!(mc.n_failed, 0);
+    let rel = (rep.sigma() - mc.stats.std_dev()) / mc.stats.std_dev();
+    // 95% CI at n=40 is +/-22%; accept 3x that for a smoke bound.
+    assert!(rel.abs() < 0.45, "pn {} vs mc {}", rep.sigma(), mc.stats.std_dev());
+}
+
+/// Ring oscillator: pseudo-noise σ_f within the CI of a small MC.
+#[test]
+fn ring_sigma_matches_mc() {
+    let tech = Tech::t013();
+    let ring = RingOsc::paper(&tech);
+    let res = analyze(
+        &ring.circuit,
+        &PssConfig::Autonomous {
+            period_hint: ring.period_hint,
+            phase_node: ring.stages[0],
+            phase_value: ring.phase_value,
+            opts: ring.osc_options(),
+        },
+        &[MetricSpec::new("f0", Metric::Frequency)],
+    )
+    .unwrap();
+    let rep = &res.reports[0];
+    let n = 80;
+    let mc = monte_carlo(&ring.circuit, &McOptions::new(n, 23), |c| {
+        ring.measure_frequency_transient(c)
+    });
+    assert!(mc.n_failed <= 2, "{} failures", mc.n_failed);
+    let rel = (rep.sigma() - mc.stats.std_dev()) / mc.stats.std_dev();
+    assert!(rel.abs() < 0.35, "pn {} vs mc {}", rep.sigma(), mc.stats.std_dev());
+    // The MC mean frequency must also sit near the PSS nominal.
+    assert!(
+        (mc.stats.mean() - rep.nominal).abs() < 0.02 * rep.nominal,
+        "mc mean {} vs nominal {}",
+        mc.stats.mean(),
+        rep.nominal
+    );
+}
+
+/// Logic path: delay σ within MC CI, and the Table I correlation ordering
+/// holds for the Monte-Carlo estimates as well.
+#[test]
+fn logic_path_sigma_and_correlation_match_mc() {
+    let tech = Tech::t013();
+    let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
+    let res = analyze(
+        &path.circuit,
+        &PssConfig::Driven {
+            period: path.period,
+            opts: path.pss_options(),
+        },
+        &path.delay_metrics(),
+    )
+    .unwrap();
+    let n = 80;
+    let mc = tranvar::engine::mc::monte_carlo_multi(
+        &path.circuit,
+        &McOptions::new(n, 29),
+        |c| path.measure_delays_transient(c),
+    );
+    assert_eq!(mc.n_failed, 0);
+    let rel = (res.reports[0].sigma() - mc.stats[0].std_dev()) / mc.stats[0].std_dev();
+    assert!(rel.abs() < 0.35, "pn {} vs mc {}", res.reports[0].sigma(), mc.stats[0].std_dev());
+    let a: Vec<f64> = mc.samples.iter().map(|s| s[0]).collect();
+    let b: Vec<f64> = mc.samples.iter().map(|s| s[1]).collect();
+    let rho_mc = tranvar::num::stats::pearson_correlation(&a, &b);
+    let rho_pn = res.reports[0].correlation(&res.reports[1]);
+    assert!(rho_pn > 0.7 && rho_mc > 0.6, "pn {rho_pn}, mc {rho_mc}");
+}
+
+/// Fig. 11's qualitative shape: the pseudo-noise estimate degrades as
+/// mismatch grows (error at 3x scale strictly worse than at 1x).
+#[test]
+fn error_grows_with_mismatch() {
+    let base = Tech::t013();
+    let mut errs = Vec::new();
+    for scale in [1.0, 3.0] {
+        let tech = base.with_mismatch_scale(scale);
+        let ring = RingOsc::paper(&tech);
+        let res = analyze(
+            &ring.circuit,
+            &PssConfig::Autonomous {
+                period_hint: ring.period_hint,
+                phase_node: ring.stages[0],
+                phase_value: ring.phase_value,
+                opts: ring.osc_options(),
+            },
+            &[MetricSpec::new("f0", Metric::Frequency)],
+        )
+        .unwrap();
+        let mc = monte_carlo(&ring.circuit, &McOptions::new(150, 31), |c| {
+            ring.measure_frequency_transient(c)
+        });
+        errs.push(((res.reports[0].sigma() - mc.stats.std_dev()) / mc.stats.std_dev()).abs());
+    }
+    assert!(
+        errs[1] > errs[0],
+        "error at 3x ({:.3}) should exceed error at 1x ({:.3})",
+        errs[1],
+        errs[0]
+    );
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the method's structural invariants, on randomized
+//! circuits and randomized contribution sets.
+
+use proptest::prelude::*;
+use tranvar::circuit::{Circuit, NodeId, Waveform};
+use tranvar::core::{Contribution, VariationReport};
+use tranvar::engine::dc::{dc_operating_point, DcOptions};
+use tranvar::pss::PssOptions;
+use tranvar::prelude::*;
+
+fn report_from(sens: Vec<f64>, sigmas: Vec<f64>) -> VariationReport {
+    VariationReport {
+        metric: "p".into(),
+        nominal: 0.0,
+        contributions: sens
+            .into_iter()
+            .zip(sigmas)
+            .enumerate()
+            .map(|(i, (s, sg))| Contribution {
+                label: format!("p{i}"),
+                param_index: i,
+                sensitivity: s,
+                sigma: sg,
+            })
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// |rho| <= 1 for any pair of reports over the same parameter set.
+    #[test]
+    fn correlation_is_bounded(
+        sa in prop::collection::vec(-1e3f64..1e3, 1..12),
+        sb_seed in prop::collection::vec(-1e3f64..1e3, 12),
+        sg in prop::collection::vec(1e-6f64..10.0, 12),
+    ) {
+        let n = sa.len();
+        let a = report_from(sa, sg[..n].to_vec());
+        let b = report_from(sb_seed[..n].to_vec(), sg[..n].to_vec());
+        let rho = a.correlation(&b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {rho}");
+        // Cauchy-Schwarz on the covariance itself.
+        prop_assert!(a.covariance(&b).abs() <= a.sigma() * b.sigma() + 1e-12);
+    }
+
+    /// Variance of a difference is non-negative and consistent with eq. 13.
+    #[test]
+    fn difference_variance_nonnegative(
+        sa in prop::collection::vec(-10f64..10.0, 1..10),
+        sb_seed in prop::collection::vec(-10f64..10.0, 10),
+        sg in prop::collection::vec(0.01f64..2.0, 10),
+    ) {
+        let n = sa.len();
+        let a = report_from(sa, sg[..n].to_vec());
+        let b = report_from(sb_seed[..n].to_vec(), sg[..n].to_vec());
+        let d = tranvar::core::difference_sigma(&a, &b);
+        prop_assert!(d.is_finite() && d >= 0.0);
+        let direct = report_from(
+            a.contributions.iter().zip(b.contributions.iter())
+                .map(|(x, y)| y.sensitivity - x.sensitivity).collect(),
+            sg[..n].to_vec(),
+        );
+        prop_assert!((d - direct.sigma()).abs() < 1e-9 * direct.sigma().max(1e-12));
+    }
+
+    /// Scaling every sigma by k scales the metric sigma by k (linearity of
+    /// the perturbation model, paper eq. 1).
+    #[test]
+    fn sigma_scales_linearly(
+        sens in prop::collection::vec(-10f64..10.0, 1..10),
+        sg in prop::collection::vec(0.01f64..2.0, 10),
+        k in 0.1f64..10.0,
+    ) {
+        let n = sens.len();
+        let a = report_from(sens.clone(), sg[..n].to_vec());
+        let b = report_from(sens, sg[..n].iter().map(|s| s * k).collect());
+        prop_assert!((b.sigma() - k * a.sigma()).abs() < 1e-9 * b.sigma().max(1e-12));
+    }
+
+    /// Contribution variances always sum to the total variance.
+    #[test]
+    fn contributions_sum_to_total(
+        sens in prop::collection::vec(-10f64..10.0, 1..10),
+        sg in prop::collection::vec(0.01f64..2.0, 10),
+    ) {
+        let n = sens.len();
+        let rep = report_from(sens, sg[..n].to_vec());
+        let sum: f64 = rep.contributions.iter().map(|c| c.variance()).sum();
+        prop_assert!((sum - rep.variance()).abs() < 1e-12 * rep.variance().max(1e-12));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On random resistor ladders, the LPTV DC-average flow equals DC-match
+    /// analysis, and variance responds quadratically to a global mismatch
+    /// scale.
+    #[test]
+    fn random_ladder_lptv_equals_dcmatch(
+        rs in prop::collection::vec(500f64..5e3, 2..6),
+        sigmas in prop::collection::vec(1f64..30.0, 6),
+    ) {
+        let n = rs.len();
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.add_vsource("V1", top, NodeId::GROUND, Waveform::Dc(1.5));
+        let mut prev = top;
+        let mut mid = NodeId::GROUND;
+        for (i, r) in rs.iter().enumerate() {
+            let next = if i == n - 1 {
+                NodeId::GROUND
+            } else {
+                ckt.node(&format!("n{i}"))
+            };
+            let id = ckt.add_resistor(&format!("R{i}"), prev, next, *r);
+            ckt.annotate_resistor_mismatch(id, sigmas[i]);
+            if i == 0 {
+                mid = next;
+            }
+            prev = next;
+        }
+        prop_assume!(n >= 2 && !mid.is_ground());
+        ckt.add_capacitor("CL", mid, NodeId::GROUND, 1e-12);
+
+        let mut opts = PssOptions::default();
+        opts.n_steps = 16;
+        let res = analyze(
+            &ckt,
+            &PssConfig::Driven { period: 1e-6, opts },
+            &[MetricSpec::new("v", Metric::DcAverage { node: mid })],
+        ).unwrap();
+        let dcm = dc_match(&ckt, mid).unwrap();
+        prop_assert!(
+            (res.reports[0].sigma() - dcm.sigma()).abs() <= 1e-6 * dcm.sigma().max(1e-15),
+            "lptv {} vs dcmatch {}", res.reports[0].sigma(), dcm.sigma()
+        );
+        // Sanity: the DC op exists and nominal matches it.
+        let x = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
+        prop_assert!((res.reports[0].nominal - ckt.voltage(&x, mid)).abs() < 1e-7);
+    }
+}
