@@ -4,8 +4,7 @@
 //! - per-noise-source marginal cost of the LPTV stage (the "free breakdown"
 //!   claim).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tranvar_bench::bench_report;
 use tranvar_circuits::{ArrivalOrder, LogicPath, Tech};
 use tranvar_core::prelude::*;
 use tranvar_core::solve_pss;
@@ -13,68 +12,39 @@ use tranvar_engine::transens::{transient_with_sensitivities, SensInit};
 use tranvar_engine::{SolverKind, TranOptions};
 use tranvar_lptv::PeriodicSolver;
 
-fn bench_transens_vs_lptv(c: &mut Criterion) {
+fn main() {
     let tech = Tech::t013();
     let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
     let config = PssConfig::Driven {
         period: path.period,
         opts: path.pss_options(),
     };
-    let mut g = c.benchmark_group("sensitivity_route");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(8));
-    g.bench_function("lptv_full_flow", |b| {
-        b.iter(|| analyze(&path.circuit, &config, &path.delay_metrics()).unwrap())
-    });
-    g.bench_function("transient_forward_sens", |b| {
-        b.iter(|| {
-            let opts = TranOptions::new(path.period, path.period / 800.0);
-            transient_with_sensitivities(&path.circuit, &opts, SensInit::FromDc).unwrap()
-        })
-    });
-    g.finish();
-}
 
-fn bench_per_source_cost(c: &mut Criterion) {
-    let tech = Tech::t013();
-    let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
-    let config = PssConfig::Driven {
-        period: path.period,
-        opts: path.pss_options(),
-    };
+    bench_report("sensitivity_route/lptv_full_flow", || {
+        analyze(&path.circuit, &config, &path.delay_metrics()).unwrap();
+    });
+    bench_report("sensitivity_route/transient_forward_sens", || {
+        let opts = TranOptions::new(path.period, path.period / 800.0);
+        transient_with_sensitivities(&path.circuit, &opts, SensInit::FromDc).unwrap();
+    });
+
     let pss = solve_pss(&path.circuit, &config).unwrap();
     let solver = PeriodicSolver::new(&path.circuit, &pss).unwrap();
-    let mut g = c.benchmark_group("lptv_marginal");
-    g.bench_function("one_source_response", |b| {
-        b.iter(|| solver.param_response(0).unwrap())
+    bench_report("lptv_marginal/one_source_response", || {
+        solver.param_response(0).unwrap();
     });
-    g.finish();
-}
+    bench_report("lptv_marginal/all_source_responses_batched", || {
+        solver.all_param_responses().unwrap();
+    });
 
-fn bench_solver_kind(c: &mut Criterion) {
-    let tech = Tech::t013();
-    let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
-    let mut g = c.benchmark_group("jacobian_backend");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(8));
-    for (kind, name) in [(SolverKind::Dense, "dense"), (SolverKind::Sparse, "sparse")] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut opts = TranOptions::new(path.period / 4.0, path.period / 800.0);
-                opts.newton.solver = kind;
-                tranvar_engine::transient(&path.circuit, &opts).unwrap()
-            })
+    for (kind, name) in [
+        (SolverKind::Dense, "jacobian_backend/dense"),
+        (SolverKind::Sparse, "jacobian_backend/sparse"),
+    ] {
+        bench_report(name, || {
+            let mut opts = TranOptions::new(path.period / 4.0, path.period / 800.0);
+            opts.newton.solver = kind;
+            tranvar_engine::transient(&path.circuit, &opts).unwrap();
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_transens_vs_lptv,
-    bench_per_source_cost,
-    bench_solver_kind
-);
-criterion_main!(benches);

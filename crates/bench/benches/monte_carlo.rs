@@ -1,45 +1,35 @@
-//! Criterion benches of single Monte-Carlo samples — multiply by N for the
-//! cost of an N-point MC; the ratio to `mismatch_analysis` is the Table II
-//! speedup.
+//! Benches of single Monte-Carlo samples — multiply by N for the cost of an
+//! N-point MC; the ratio to `mismatch_analysis` is the Table II speedup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use tranvar_bench::bench_report;
 use tranvar_circuits::{ArrivalOrder, LogicPath, RingOsc, StrongArm, Tech};
 use tranvar_engine::mc::draw_samples;
 use tranvar_engine::McOptions;
 
-fn bench_mc_samples(c: &mut Criterion) {
+fn main() {
     let tech = Tech::t013();
-    let mut g = c.benchmark_group("mc_one_sample");
-    g.sample_size(10);
-    g.warm_up_time(Duration::from_secs(1));
-    g.measurement_time(Duration::from_secs(8));
 
     let sa = StrongArm::paper(&tech);
     let deltas = draw_samples(&sa.circuit, &McOptions::new(1, 5));
     let mut perturbed = sa.circuit.clone();
     perturbed.apply_mismatch(&deltas[0]);
-    g.bench_function("comparator_bisect", |b| {
-        b.iter(|| sa.measure_offset_bisect(&perturbed).unwrap())
+    bench_report("mc_one_sample/comparator_bisect", || {
+        sa.measure_offset_bisect(&perturbed).unwrap();
     });
 
     let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
     let deltas = draw_samples(&path.circuit, &McOptions::new(1, 6));
     let mut perturbed = path.circuit.clone();
     perturbed.apply_mismatch(&deltas[0]);
-    g.bench_function("logic_path_delay", |b| {
-        b.iter(|| path.measure_delays_transient(&perturbed).unwrap())
+    bench_report("mc_one_sample/logic_path_delay", || {
+        path.measure_delays_transient(&perturbed).unwrap();
     });
 
     let ring = RingOsc::paper(&tech);
     let deltas = draw_samples(&ring.circuit, &McOptions::new(1, 7));
     let mut perturbed = ring.circuit.clone();
     perturbed.apply_mismatch(&deltas[0]);
-    g.bench_function("ring_osc_frequency", |b| {
-        b.iter(|| ring.measure_frequency_transient(&perturbed).unwrap())
+    bench_report("mc_one_sample/ring_osc_frequency", || {
+        ring.measure_frequency_transient(&perturbed).unwrap();
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_mc_samples);
-criterion_main!(benches);

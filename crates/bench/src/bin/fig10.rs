@@ -21,7 +21,11 @@ fn main() {
     });
     let rep = &res.reports[0];
     println!("Fig. 10: StrongARM comparator offset sensitivity to transistor widths");
-    println!("sigma(offset) = {:.3} mV  (analysis time {})\n", rep.sigma() * 1e3, tranvar_bench::fmt_time(t));
+    println!(
+        "sigma(offset) = {:.3} mV  (analysis time {})\n",
+        rep.sigma() * 1e3,
+        tranvar_bench::fmt_time(t)
+    );
     println!(
         "{:<8} {:>8} {:>16} {:>18} {:>16}",
         "device", "W [um]", "var share [%]", "d(sigma^2)/dW", "d(sigma)/dW"
@@ -43,5 +47,8 @@ fn main() {
         .map(|w| w.variance_contribution)
         .sum::<f64>()
         / rep.variance();
-    println!("\ninput pair (M2+M3) variance share: {:.1}% -- upsize these first (paper's conclusion)", pair_share * 100.0);
+    println!(
+        "\ninput pair (M2+M3) variance share: {:.1}% -- upsize these first (paper's conclusion)",
+        pair_share * 100.0
+    );
 }

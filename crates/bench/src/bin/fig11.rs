@@ -3,10 +3,10 @@
 //! frequency). Paper: the error passes 10% once 3sigma(IDS) exceeds ~39%.
 
 use tranvar_bench::samples;
+use tranvar_circuit::MosType;
 use tranvar_circuits::{RingOsc, Tech};
 use tranvar_core::prelude::*;
 use tranvar_engine::mc::{monte_carlo, McOptions};
-use tranvar_circuit::MosType;
 
 fn main() {
     let base = Tech::t013();
@@ -48,9 +48,14 @@ fn main() {
             mc.stats.normalized_skewness_paper()
         );
         if mc.n_failed > 0 {
-            println!("         ({} MC samples failed to oscillate/converge)", mc.n_failed);
+            println!(
+                "         ({} MC samples failed to oscillate/converge)",
+                mc.n_failed
+            );
         }
     }
-    println!("\n(MC: {n_mc} samples per point; 95% CI on sigma: +/-{:.1}%)",
-        tranvar_num::stats::sigma_rel_ci95(n_mc) * 100.0);
+    println!(
+        "\n(MC: {n_mc} samples per point; 95% CI on sigma: +/-{:.1}%)",
+        tranvar_num::stats::sigma_rel_ci95(n_mc) * 100.0
+    );
 }

@@ -25,18 +25,34 @@ fn main() {
         .expect("parameter");
     let sigma0 = path.circuit.mismatch_params()[k].sigma;
     let comps = [
-        MixtureComponent { weight: 0.7, mean: -0.8 * sigma0, sigma: 0.4 * sigma0 },
-        MixtureComponent { weight: 0.3, mean: 1.9 * sigma0, sigma: 0.6 * sigma0 },
+        MixtureComponent {
+            weight: 0.7,
+            mean: -0.8 * sigma0,
+            sigma: 0.4 * sigma0,
+        },
+        MixtureComponent {
+            weight: 0.3,
+            mean: 1.9 * sigma0,
+            sigma: 0.6 * sigma0,
+        },
     ];
     let res = mixture_analysis(&path.circuit, &config, metric, k, &comps).expect("mixture");
     println!("Fig. 13: Gaussian-mixture projection of a non-Gaussian VT mismatch");
-    println!("parameter: {} (sigma = {:.2} mV)\n", path.circuit.mismatch_params()[k].label, sigma0 * 1e3);
+    println!(
+        "parameter: {} (sigma = {:.2} mV)\n",
+        path.circuit.mismatch_params()[k].label,
+        sigma0 * 1e3
+    );
     println!("{:>8} {:>14} {:>14}", "weight", "mean [ps]", "sigma [ps]");
     for (w, m, s) in &res.components {
         println!("{:>8.2} {:>14.3} {:>14.3}", w, m * 1e12, s * 1e12);
     }
-    println!("\nmixture: mean = {:.3} ps, sigma = {:.3} ps, skewness = {:.4}",
-        res.mean() * 1e12, res.sigma() * 1e12, res.skewness());
+    println!(
+        "\nmixture: mean = {:.3} ps, sigma = {:.3} ps, skewness = {:.4}",
+        res.mean() * 1e12,
+        res.sigma() * 1e12,
+        res.skewness()
+    );
     println!("(a single linearization would force skewness = 0)");
     // PDF columns for plotting.
     let lo = res.mean() - 4.0 * res.sigma();

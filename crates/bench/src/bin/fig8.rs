@@ -21,7 +21,10 @@ fn main() {
     let (times, nominal, sigma) =
         statistical_waveform(&path.circuit, &solver, path.out_a).expect("waveform");
     println!("Fig. 8: statistical waveform of logic-path output A");
-    println!("{:>12} {:>12} {:>12} {:>12} {:>12}", "t[ns]", "v[V]", "sigma[mV]", "v-3s[V]", "v+3s[V]");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "t[ns]", "v[V]", "sigma[mV]", "v-3s[V]", "v+3s[V]"
+    );
     // Print every 8th point to keep the table readable.
     for i in (0..times.len()).step_by(8) {
         println!(
@@ -34,5 +37,8 @@ fn main() {
         );
     }
     let peak = sigma.iter().cloned().fold(0.0f64, f64::max);
-    println!("\npeak sigma(t) = {:.3} mV (largest mismatch sensitivity at the switching edges)", peak * 1e3);
+    println!(
+        "\npeak sigma(t) = {:.3} mV (largest mismatch sensitivity at the switching edges)",
+        peak * 1e3
+    );
 }

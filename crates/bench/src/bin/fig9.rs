@@ -38,7 +38,11 @@ fn main() {
     }
     println!("Fig. 9: comparator input offset -- MC histogram vs pseudo-noise PDF\n");
     print_histogram_vs_pdf(&hist, mc.stats.mean(), sigma_pn, 1e3, "mV");
-    println!("\nsigma(pseudo-noise) = {:.3} mV   ({})", sigma_pn * 1e3, tranvar_bench::fmt_time(t_pn));
+    println!(
+        "\nsigma(pseudo-noise) = {:.3} mV   ({})",
+        sigma_pn * 1e3,
+        tranvar_bench::fmt_time(t_pn)
+    );
     println!(
         "sigma(MC, n={})     = {:.3} mV +/- {:.1}%  ({})",
         n_mc,
@@ -46,7 +50,13 @@ fn main() {
         sigma_rel_ci95(n_mc) * 100.0,
         tranvar_bench::fmt_time(t_mc)
     );
-    println!("difference: {:+.1}%", 100.0 * (sigma_pn - sigma_mc) / sigma_mc);
-    println!("paper CI check: n=1000 -> +/-{:.1}%, n=10000 -> +/-{:.1}%",
-        sigma_rel_ci95(1000) * 100.0, sigma_rel_ci95(10_000) * 100.0);
+    println!(
+        "difference: {:+.1}%",
+        100.0 * (sigma_pn - sigma_mc) / sigma_mc
+    );
+    println!(
+        "paper CI check: n=1000 -> +/-{:.1}%, n=10000 -> +/-{:.1}%",
+        sigma_rel_ci95(1000) * 100.0,
+        sigma_rel_ci95(10_000) * 100.0
+    );
 }

@@ -147,7 +147,9 @@ fn main() {
         let ci = tranvar_num::stats::sigma_rel_ci95(r.n_mc);
         println!(
             "{:<22} (MC {} samples, 95% CI on sigma(MC): +/-{:.1}%)",
-            "", r.n_mc, ci * 100.0
+            "",
+            r.n_mc,
+            ci * 100.0
         );
     }
 }

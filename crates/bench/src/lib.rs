@@ -29,6 +29,46 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Minimal self-contained benchmark runner (the workspace carries no
+/// external bench harness): warms up once, then repeats the closure until
+/// both `min_iters` iterations and `min_time_s` of measurement have
+/// accumulated, and returns the per-iteration wall times.
+pub fn bench_times(min_iters: usize, min_time_s: f64, mut f: impl FnMut()) -> Vec<f64> {
+    f(); // warm-up (first-touch allocation, caches, symbolic analysis)
+    let mut times = Vec::new();
+    let mut total = 0.0;
+    while times.len() < min_iters || total < min_time_s {
+        let (_, t) = timed(&mut f);
+        times.push(t);
+        total += t;
+    }
+    times
+}
+
+/// Median of a sample set (empty input returns NaN).
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.total_cmp(b));
+    let mid = s.len() / 2;
+    if s.len() % 2 == 1 {
+        s[mid]
+    } else {
+        0.5 * (s[mid - 1] + s[mid])
+    }
+}
+
+/// Runs a named benchmark with the default budget and prints
+/// `name  median  (n iters)`; returns the median seconds.
+pub fn bench_report(name: &str, f: impl FnMut()) -> f64 {
+    let times = bench_times(5, 1.0, f);
+    let med = median(&times);
+    println!("{name:<40} {:>12}   ({} iters)", fmt_time(med), times.len());
+    med
+}
+
 /// `true` if `--full` was passed (paper-scale sample counts).
 pub fn full_mode() -> bool {
     std::env::args().any(|a| a == "--full")
@@ -52,7 +92,12 @@ pub fn print_histogram_vs_pdf(
     unit_scale: f64,
     unit: &str,
 ) {
-    println!("{:>12} {:>12} {:>12}", format!("center[{unit}]"), "mc-density", "pn-pdf");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        format!("center[{unit}]"),
+        "mc-density",
+        "pn-pdf"
+    );
     for (center, density) in hist.densities() {
         let pdf = tranvar_num::stats::gaussian_pdf(center, mean, sigma);
         println!(

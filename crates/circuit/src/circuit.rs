@@ -201,6 +201,29 @@ pub struct Assembly {
     pub g: Triplets<f64>,
     /// Jacobian `∂q/∂x` triplets.
     pub c: Triplets<f64>,
+    /// Operating point of each MOSFET, indexed by *device* index (entries
+    /// for non-MOSFET devices are defaulted). Captured during assembly so
+    /// sensitivity paths can reuse the expensive model evaluations instead
+    /// of repeating them — see [`Circuit::d_residual_dparams_with_ops`].
+    pub mos_ops: Vec<crate::mosfet::MosOp>,
+}
+
+impl Assembly {
+    /// Copies another assembly's contents into this one, retaining this
+    /// buffer's allocations (per-timestep warm-start reuse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree.
+    pub fn copy_from(&mut self, other: &Assembly) {
+        assert_eq!(self.n, other.n, "assembly dimension mismatch");
+        self.f.copy_from_slice(&other.f);
+        self.q.copy_from_slice(&other.q);
+        self.g.copy_from(&other.g);
+        self.c.copy_from(&other.c);
+        self.mos_ops.clear();
+        self.mos_ops.extend_from_slice(&other.mos_ops);
+    }
 }
 
 /// A circuit under construction and its mismatch annotations.
@@ -366,7 +389,10 @@ impl Circuit {
     ///
     /// Panics if `c <= 0`.
     pub fn add_capacitor(&mut self, label: &str, a: NodeId, b: NodeId, c: f64) -> DeviceId {
-        assert!(c > 0.0, "capacitor `{label}` must have positive capacitance");
+        assert!(
+            c > 0.0,
+            "capacitor `{label}` must have positive capacitance"
+        );
         self.push_device(label, Device::Capacitor { a, b, c })
     }
 
@@ -447,7 +473,10 @@ impl Circuit {
         w: f64,
         l: f64,
     ) -> DeviceId {
-        assert!(w > 0.0 && l > 0.0, "mosfet `{label}` needs positive W and L");
+        assert!(
+            w > 0.0 && l > 0.0,
+            "mosfet `{label}` needs positive W and L"
+        );
         self.push_device(
             label,
             Device::Mosfet(Mosfet {
@@ -594,6 +623,7 @@ impl Circuit {
             q: vec![0.0; n],
             g: Triplets::new(n, n),
             c: Triplets::new(n, n),
+            mos_ops: Vec::new(),
         };
         self.assemble_into(x, t, &mut out);
         out
@@ -612,11 +642,14 @@ impl Circuit {
         out.q.iter_mut().for_each(|v| *v = 0.0);
         out.g.clear();
         out.c.clear();
+        out.mos_ops.clear();
+        out.mos_ops
+            .resize(self.devices.len(), crate::mosfet::MosOp::default());
 
         let v = |node: NodeId| self.voltage(x, node);
         // Helper closures cannot borrow `out` mutably while `v` borrows `x`,
         // so index arithmetic is done inline below.
-        for dev in &self.devices {
+        for (dev_idx, dev) in self.devices.iter().enumerate() {
             match dev {
                 Device::Resistor { a, b, r } => {
                     let g = 1.0 / r;
@@ -715,6 +748,7 @@ impl Circuit {
                         v(m.g),
                         v(m.s),
                     );
+                    out.mos_ops[dev_idx] = op;
                     stamp_f(self, out, m.d, op.ids);
                     stamp_f(self, out, m.s, -op.ids);
                     // Jacobian rows for drain and source KCL.
@@ -762,60 +796,170 @@ impl Circuit {
     ///
     /// Returns [`CircuitError::UnknownMismatchParam`] for an invalid index.
     pub fn d_residual_dparam(&self, k: usize, x: &[f64]) -> Result<ParamDeriv, CircuitError> {
-        let param = self
-            .mismatch
-            .get(k)
-            .ok_or(CircuitError::UnknownMismatchParam { index: k })?;
-        let dev = &self.devices[param.device.0];
-        let v = |node: NodeId| self.voltage(x, node);
         let mut out = ParamDeriv::default();
-        match (param.kind, dev) {
-            (MismatchKind::MosVt, Device::Mosfet(m)) => {
-                let op = eval_mosfet(
-                    m.ty,
-                    &m.model,
-                    m.w,
-                    m.l,
-                    m.vt_shift,
-                    m.beta_scale,
-                    v(m.d),
-                    v(m.g),
-                    v(m.s),
-                );
-                push_pair(self, &mut out.df, m.d, m.s, op.di_dvt);
-            }
-            (MismatchKind::MosBetaRel, Device::Mosfet(m)) => {
-                let op = eval_mosfet(
-                    m.ty,
-                    &m.model,
-                    m.w,
-                    m.l,
-                    m.vt_shift,
-                    m.beta_scale,
-                    v(m.d),
-                    v(m.g),
-                    v(m.s),
-                );
-                push_pair(self, &mut out.df, m.d, m.s, op.di_dbeta_rel);
-            }
-            (MismatchKind::ResAbs, Device::Resistor { a, b, r }) => {
-                // i = (va−vb)/R ⇒ ∂i/∂R = −(va−vb)/R² = −I_R/R  (Fig. 3).
-                let didr = -(v(*a) - v(*b)) / (r * r);
-                push_pair(self, &mut out.df, *a, *b, didr);
-            }
-            (MismatchKind::CapAbs, Device::Capacitor { a, b, .. }) => {
-                // q = C·(va−vb) ⇒ ∂q/∂C = va−vb (Fig. 3).
-                let dqdc = v(*a) - v(*b);
-                push_pair(self, &mut out.dq, *a, *b, dqdc);
-            }
-            (MismatchKind::IndAbs, Device::Inductor { branch, .. }) => {
-                // Branch flux q = −L·i ⇒ ∂q/∂L = −i (Fig. 3).
-                let bi = self.unknown_of_branch(*branch);
-                out.dq.push((bi, -x[bi]));
-            }
-            (kind, dev) => panic!("mismatch kind {kind:?} incompatible with {dev:?}"),
-        }
+        self.d_residual_dparam_into(k, x, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free variant of [`Circuit::d_residual_dparam`]: clears and
+    /// refills `out`, retaining its buffers (per-timestep sensitivity hot
+    /// path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownMismatchParam`] for an invalid index.
+    pub fn d_residual_dparam_into(
+        &self,
+        k: usize,
+        x: &[f64],
+        out: &mut ParamDeriv,
+    ) -> Result<(), CircuitError> {
+        self.d_residual_dparams_into(k, x, std::slice::from_mut(out))
+    }
+
+    /// Derivatives for the contiguous parameter range `k0 .. k0 + out.len()`
+    /// at state `x`, refilling `out` in place.
+    ///
+    /// Parameters that live on the same device share one model evaluation:
+    /// a Pelgrom-annotated MOSFET contributes both a V_T and a β parameter,
+    /// and the expensive smoothed-square-law evaluation is identical for the
+    /// pair — the batched sensitivity propagation calls this once per state
+    /// and halves its device-evaluation bill relative to per-parameter
+    /// calls. The computed values are bit-for-bit the same either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownMismatchParam`] if the range exceeds
+    /// the registered parameters.
+    pub fn d_residual_dparams_into(
+        &self,
+        k0: usize,
+        x: &[f64],
+        out: &mut [ParamDeriv],
+    ) -> Result<(), CircuitError> {
+        self.d_residual_dparams_impl(k0, x, None, out)
+    }
+
+    /// Like [`Circuit::d_residual_dparams_into`], but reuses the MOSFET
+    /// operating points captured by a previous assembly at the *same state*
+    /// ([`Assembly::mos_ops`]) instead of re-evaluating the device models —
+    /// the transient-sensitivity propagation gets every MOS derivative for
+    /// free this way. Values are bit-for-bit those of the evaluating path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownMismatchParam`] if the range exceeds
+    /// the registered parameters.
+    pub fn d_residual_dparams_with_ops(
+        &self,
+        k0: usize,
+        x: &[f64],
+        mos_ops: &[crate::mosfet::MosOp],
+        out: &mut [ParamDeriv],
+    ) -> Result<(), CircuitError> {
+        self.d_residual_dparams_impl(k0, x, Some(mos_ops), out)
+    }
+
+    fn d_residual_dparams_impl(
+        &self,
+        k0: usize,
+        x: &[f64],
+        mos_ops: Option<&[crate::mosfet::MosOp]>,
+        out: &mut [ParamDeriv],
+    ) -> Result<(), CircuitError> {
+        let v = |node: NodeId| self.voltage(x, node);
+        // One-entry memo: consecutive parameters of one device (the Pelgrom
+        // V_T/β pair) reuse the same operating-point evaluation.
+        let mut memo: Option<(usize, crate::mosfet::MosOp)> = None;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let k = k0 + i;
+            slot.df.clear();
+            slot.dq.clear();
+            let param = self
+                .mismatch
+                .get(k)
+                .ok_or(CircuitError::UnknownMismatchParam { index: k })?;
+            let dev_idx = param.device.0;
+            let dev = &self.devices[dev_idx];
+            match (param.kind, dev) {
+                (MismatchKind::MosVt | MismatchKind::MosBetaRel, Device::Mosfet(m)) => {
+                    let op = match (mos_ops, memo) {
+                        (Some(ops), _) => ops[dev_idx],
+                        (None, Some((d, op))) if d == dev_idx => op,
+                        _ => {
+                            let op = eval_mosfet(
+                                m.ty,
+                                &m.model,
+                                m.w,
+                                m.l,
+                                m.vt_shift,
+                                m.beta_scale,
+                                v(m.d),
+                                v(m.g),
+                                v(m.s),
+                            );
+                            memo = Some((dev_idx, op));
+                            op
+                        }
+                    };
+                    let di = if param.kind == MismatchKind::MosVt {
+                        op.di_dvt
+                    } else {
+                        op.di_dbeta_rel
+                    };
+                    push_pair(self, &mut slot.df, m.d, m.s, di);
+                }
+                (MismatchKind::ResAbs, Device::Resistor { a, b, r }) => {
+                    // i = (va−vb)/R ⇒ ∂i/∂R = −(va−vb)/R² = −I_R/R  (Fig. 3).
+                    let didr = -(v(*a) - v(*b)) / (r * r);
+                    push_pair(self, &mut slot.df, *a, *b, didr);
+                }
+                (MismatchKind::CapAbs, Device::Capacitor { a, b, .. }) => {
+                    // q = C·(va−vb) ⇒ ∂q/∂C = va−vb (Fig. 3).
+                    let dqdc = v(*a) - v(*b);
+                    push_pair(self, &mut slot.dq, *a, *b, dqdc);
+                }
+                (MismatchKind::IndAbs, Device::Inductor { branch, .. }) => {
+                    // Branch flux q = −L·i ⇒ ∂q/∂L = −i (Fig. 3).
+                    let bi = self.unknown_of_branch(*branch);
+                    slot.dq.push((bi, -x[bi]));
+                }
+                (kind, dev) => panic!("mismatch kind {kind:?} incompatible with {dev:?}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Moves an assembled system from time `t_old` to `t_new` by updating
+    /// only the independent-source contributions to `f` — the device stamps
+    /// depend solely on the state, so an assembly at `(x, t_old)` becomes a
+    /// valid assembly at `(x, t_new)` with a handful of waveform
+    /// evaluations. This is the per-timestep warm start of the transient
+    /// integrator: the accepted assembly of step `k` seeds the Newton
+    /// iteration of step `k+1` without re-evaluating every device.
+    pub fn retime_sources(&self, asm: &mut Assembly, t_old: f64, t_new: f64) {
+        if t_old == t_new {
+            return;
+        }
+        for dev in &self.devices {
+            match dev {
+                Device::Vsource { wave, branch, .. } => {
+                    // Branch residual carries −wave(t).
+                    let bi = self.unknown_of_branch(*branch);
+                    asm.f[bi] += wave.value(t_old) - wave.value(t_new);
+                }
+                Device::Isource { p, n, wave } => {
+                    let delta = wave.value(t_new) - wave.value(t_old);
+                    if let Some(ip) = self.unknown_of_node(*p) {
+                        asm.f[ip] += delta;
+                    }
+                    if let Some(inn) = self.unknown_of_node(*n) {
+                        asm.f[inn] -= delta;
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 
     /// Vector of σ for each mismatch parameter, in parameter order.
@@ -959,6 +1103,62 @@ fn push_pair(ckt: &Circuit, list: &mut Vec<(usize, f64)>, a: NodeId, b: NodeId, 
 mod tests {
     use super::*;
     use crate::mismatch::MismatchKind;
+
+    #[test]
+    fn retime_sources_matches_fresh_assembly() {
+        use crate::waveform::Pulse;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-7,
+                fall: 1e-7,
+                width: 4e-6,
+                period: 10e-6,
+            }),
+        );
+        ckt.add_isource(
+            "I1",
+            b,
+            NodeId::GROUND,
+            Waveform::Sin {
+                offset: 1e-3,
+                ampl: 2e-3,
+                freq: 1e5,
+                delay: 0.0,
+            },
+        );
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        let x = vec![0.3, 0.1, -2e-4];
+        let (t0, t1) = (0.8e-6, 1.35e-6); // crosses the pulse edge
+        let mut asm = ckt.assemble(&x, t0);
+        ckt.retime_sources(&mut asm, t0, t1);
+        let fresh = ckt.assemble(&x, t1);
+        for (i, (a, b)) in asm.f.iter().zip(fresh.f.iter()).enumerate() {
+            assert!((a - b).abs() < 1e-12, "f[{i}]: {a} vs {b}");
+        }
+        assert_eq!(asm.q, fresh.q);
+    }
+
+    #[test]
+    fn assembly_copy_from_reuses_buffers() {
+        let (ckt, _, _) = divider();
+        let x = vec![0.5; ckt.n_unknowns()];
+        let asm1 = ckt.assemble(&x, 0.0);
+        let mut asm2 = ckt.assemble(&vec![0.0; ckt.n_unknowns()], 0.0);
+        asm2.copy_from(&asm1);
+        assert_eq!(asm2.f, asm1.f);
+        assert_eq!(asm2.q, asm1.q);
+        assert_eq!(asm2.g.len(), asm1.g.len());
+    }
 
     fn divider() -> (Circuit, NodeId, NodeId) {
         let mut ckt = Circuit::new();

@@ -54,9 +54,7 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = CircuitError::UnknownNode {
-            name: "vdd".into(),
-        };
+        let e = CircuitError::UnknownNode { name: "vdd".into() };
         assert!(e.to_string().contains("vdd"));
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<CircuitError>();

@@ -105,7 +105,14 @@ pub struct MosOp {
 
 /// Local-frame square-law evaluation: `vgs`, `vds ≥ 0` with positive
 /// parameters; returns `(id, gm, gds, did_dvt)` where `id` flows drain→source.
-fn eval_local(vgs: f64, vds: f64, vt_eff: f64, beta: f64, lambda: f64, n_sub: f64) -> (f64, f64, f64, f64) {
+fn eval_local(
+    vgs: f64,
+    vds: f64,
+    vt_eff: f64,
+    beta: f64,
+    lambda: f64,
+    n_sub: f64,
+) -> (f64, f64, f64, f64) {
     debug_assert!(vds >= 0.0);
     let a = n_sub * VT_THERMAL;
     let arg = (vgs - vt_eff) / a;
@@ -168,7 +175,8 @@ pub fn eval_mosfet(
     let (vdl, vsl) = if swapped { (mvs, mvd) } else { (mvd, mvs) };
     let vgs_l = mvg - vsl;
     let vds_l = vdl - vsl;
-    let (id_l, gm_l, gds_l, divt_l) = eval_local(vgs_l, vds_l, vt_eff, beta, model.lambda, model.n_sub);
+    let (id_l, gm_l, gds_l, divt_l) =
+        eval_local(vgs_l, vds_l, vt_eff, beta, model.lambda, model.n_sub);
 
     // Current leaving the mirrored drain and its derivatives w.r.t. the
     // mirrored node voltages.
@@ -224,10 +232,26 @@ mod tests {
         let num_dbr = (f(vd, vg, vs, 0.0, h) - f(vd, vg, vs, 0.0, -h)) / (2.0 * h);
         let scale = op.di_dvd.abs().max(op.di_dvg.abs()).max(1e-9);
         let tol = 1e-4 * scale.max(1e-6);
-        assert!((op.di_dvd - num_dvd).abs() < tol, "{ty:?} dvd: {} vs {num_dvd}", op.di_dvd);
-        assert!((op.di_dvg - num_dvg).abs() < tol, "{ty:?} dvg: {} vs {num_dvg}", op.di_dvg);
-        assert!((op.di_dvs - num_dvs).abs() < tol, "{ty:?} dvs: {} vs {num_dvs}", op.di_dvs);
-        assert!((op.di_dvt - num_dvt).abs() < tol, "{ty:?} dvt: {} vs {num_dvt}", op.di_dvt);
+        assert!(
+            (op.di_dvd - num_dvd).abs() < tol,
+            "{ty:?} dvd: {} vs {num_dvd}",
+            op.di_dvd
+        );
+        assert!(
+            (op.di_dvg - num_dvg).abs() < tol,
+            "{ty:?} dvg: {} vs {num_dvg}",
+            op.di_dvg
+        );
+        assert!(
+            (op.di_dvs - num_dvs).abs() < tol,
+            "{ty:?} dvs: {} vs {num_dvs}",
+            op.di_dvs
+        );
+        assert!(
+            (op.di_dvt - num_dvt).abs() < tol,
+            "{ty:?} dvt: {} vs {num_dvt}",
+            op.di_dvt
+        );
         assert!(
             (op.di_dbeta_rel - num_dbr).abs() < 1e-4 * op.ids.abs().max(1e-9),
             "{ty:?} dbeta: {} vs {num_dbr}",
@@ -262,7 +286,11 @@ mod tests {
         // slightly below vgs − vt0).
         let beta = m.kp * 2.0e-6 / 0.13e-6;
         let approx = 0.5 * beta * 0.57_f64.powi(2) * (1.0 + m.lambda * 1.2);
-        assert!(op.ids > 0.5 * approx && op.ids < 1.5 * approx, "ids = {}", op.ids);
+        assert!(
+            op.ids > 0.5 * approx && op.ids < 1.5 * approx,
+            "ids = {}",
+            op.ids
+        );
     }
 
     #[test]
@@ -314,6 +342,9 @@ mod tests {
         let m = MosModel::nmos_013();
         let op = eval_mosfet(MosType::Nmos, &m, 8.32e-6, 0.13e-6, 0.0, 1.0, 1.2, 1.0, 0.0);
         let gm_over_id = op.di_dvg / op.ids;
-        assert!(gm_over_id > 2.0 && gm_over_id < 10.0, "gm/ID = {gm_over_id}");
+        assert!(
+            gm_over_id > 2.0 && gm_over_id < 10.0,
+            "gm/ID = {gm_over_id}"
+        );
     }
 }

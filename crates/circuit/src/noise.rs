@@ -110,7 +110,9 @@ impl NoiseSource {
                         ckt.voltage(x, m.s),
                     );
                     let mag = match self.kind {
-                        NoiseKind::MosThermal => (4.0 * KT * m.model.gamma_noise * op.gm_abs).sqrt(),
+                        NoiseKind::MosThermal => {
+                            (4.0 * KT * m.model.gamma_noise * op.gm_abs).sqrt()
+                        }
                         NoiseKind::MosFlicker => {
                             op.gm_abs * (m.model.kf / (m.model.cox * m.w * m.l)).sqrt()
                         }

@@ -42,7 +42,9 @@ impl RingOsc {
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(tech.vdd));
         // Pre-create the stage nodes so gate outputs wire the loop.
-        let stages: Vec<NodeId> = (0..n_stages).map(|i| ckt.node(&format!("inv{i}.out"))).collect();
+        let stages: Vec<NodeId> = (0..n_stages)
+            .map(|i| ckt.node(&format!("inv{i}.out")))
+            .collect();
         let mut gates = Vec::with_capacity(n_stages);
         for i in 0..n_stages {
             let input = stages[(i + n_stages - 1) % n_stages];

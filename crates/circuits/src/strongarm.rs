@@ -159,7 +159,8 @@ impl StrongArm {
         opts.method = Integrator::BackwardEuler;
         let res = transient(&forced, &opts)?;
         let x = res.last();
-        Ok(forced.voltage(x, forced.find_node("outp")?) - forced.voltage(x, forced.find_node("outn")?))
+        Ok(forced.voltage(x, forced.find_node("outp")?)
+            - forced.voltage(x, forced.find_node("outn")?))
     }
 
     /// Monte-Carlo kernel (fast variant): bisect the forced offset until the

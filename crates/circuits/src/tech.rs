@@ -86,9 +86,8 @@ impl Tech {
             MosType::Nmos => self.nmos,
             MosType::Pmos => self.pmos,
         };
-        let op = tranvar_circuit::mosfet::eval_mosfet(
-            ty, &model, w, self.lmin, 0.0, 1.0, vds, vgs, 0.0,
-        );
+        let op =
+            tranvar_circuit::mosfet::eval_mosfet(ty, &model, w, self.lmin, 0.0, 1.0, vds, vgs, 0.0);
         let (svt, sbeta) = self.pelgrom.sigmas(w, self.lmin);
         let gm_over_id = if op.ids.abs() > 0.0 {
             (op.di_dvg / op.ids).abs()

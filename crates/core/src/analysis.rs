@@ -238,7 +238,7 @@ mod tests {
                 period,
                 opts: opts.clone(),
             },
-            &[spec.clone()],
+            std::slice::from_ref(&spec),
         )
         .unwrap();
         let rep = &res.reports[0];
@@ -255,7 +255,7 @@ mod tests {
                     period,
                     opts: opts.clone(),
                 },
-                &[spec.clone()],
+                std::slice::from_ref(&spec),
             )
             .unwrap();
             let _ = rp;
@@ -265,7 +265,7 @@ mod tests {
                     period,
                     opts: opts.clone(),
                 },
-                &[spec.clone()],
+                std::slice::from_ref(&spec),
             )
             .unwrap();
             let mut cm = build();
@@ -276,7 +276,7 @@ mod tests {
                     period,
                     opts: opts.clone(),
                 },
-                &[spec.clone()],
+                std::slice::from_ref(&spec),
             )
             .unwrap();
             (sp.reports[0].nominal - sm.reports[0].nominal) / (2.0 * h)
@@ -290,16 +290,12 @@ mod tests {
         let tc_of_r = |r: f64| {
             let tau = r * 1e-9;
             let (t_hi, t_lo) = (4.01e-6, 5.99e-6);
-            let v_peak =
-                (1.0 - (-t_hi / tau).exp()) / (1.0 - (-(t_hi + t_lo) / tau).exp());
+            let v_peak = (1.0 - (-t_hi / tau).exp()) / (1.0 - (-(t_hi + t_lo) / tau).exp());
             let v_start = v_peak * (-t_lo / tau).exp();
             tau * (2.0 * (1.0 - v_start)).ln()
         };
         let analytic = (tc_of_r(1e3 + 0.01) - tc_of_r(1e3 - 0.01)) / 0.02;
-        assert!(
-            (got - fd).abs() < 2e-2 * fd.abs(),
-            "lptv {got} vs fd {fd}"
-        );
+        assert!((got - fd).abs() < 2e-2 * fd.abs(), "lptv {got} vs fd {fd}");
         assert!(
             (got - analytic).abs() < 1e-2 * analytic,
             "lptv {got} vs analytic {analytic}"

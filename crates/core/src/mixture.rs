@@ -171,10 +171,7 @@ mod tests {
         ckt.annotate_resistor_mismatch(r1, 10.0);
         let mut opts = PssOptions::default();
         opts.n_steps = 16;
-        let config = PssConfig::Driven {
-            period: 1e-6,
-            opts,
-        };
+        let config = PssConfig::Driven { period: 1e-6, opts };
         let spec = MetricSpec::new("vout", Metric::DcAverage { node: b });
         let comps = [
             MixtureComponent {

@@ -128,7 +128,9 @@ impl VariationReport {
 /// parameter set: `σ² = σ_A² + σ_B² − 2σ_AB` (paper eq. 13 — the DAC DNL
 /// example).
 pub fn difference_sigma(a: &VariationReport, b: &VariationReport) -> f64 {
-    (a.variance() + b.variance() - 2.0 * a.covariance(b)).max(0.0).sqrt()
+    (a.variance() + b.variance() - 2.0 * a.covariance(b))
+        .max(0.0)
+        .sqrt()
 }
 
 #[cfg(test)]

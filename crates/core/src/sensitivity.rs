@@ -120,10 +120,7 @@ fn refresh_pelgrom_sigmas(ckt: &mut Circuit, factor: f64, resized: &[WidthSensit
     let ids: Vec<DeviceId> = resized.iter().map(|w| w.device_id).collect();
     ckt.rescale_mismatch_sigmas(|param| {
         if ids.contains(&param.device)
-            && matches!(
-                param.kind,
-                MismatchKind::MosVt | MismatchKind::MosBetaRel
-            )
+            && matches!(param.kind, MismatchKind::MosVt | MismatchKind::MosBetaRel)
         {
             // σ ∝ 1/√(WL): width × factor ⇒ σ / √factor.
             1.0 / factor.sqrt()

@@ -6,7 +6,7 @@
 //! shooting iteration seeds from a settled transient that itself starts here.
 
 use crate::error::EngineError;
-use crate::solver::{FactoredJacobian, SolverKind};
+use crate::solver::{JacobianWorkspace, SolverKind};
 use tranvar_circuit::Circuit;
 use tranvar_num::dense::vecops;
 
@@ -77,14 +77,18 @@ pub fn solve_static(
     let n_node = ckt.n_nodes() - 1;
     let mut x = x0.to_vec();
     let mut asm = ckt.assemble(&x, t);
+    let mut jws = JacobianWorkspace::new(opts.solver);
+    let mut r = vec![0.0; n];
+    let mut delta = vec![0.0; n];
+    let mut scratch = vec![0.0; n];
     for _iter in 0..opts.max_iter {
-        let lu = FactoredJacobian::factor(opts.solver, &asm, 1.0, 0.0, gmin, n_node)?;
+        let lu = jws.factor(&asm, 1.0, 0.0, gmin, n_node)?;
         // Residual includes the gmin bleed so the Jacobian is consistent.
-        let mut r = asm.f.clone();
+        r.copy_from_slice(&asm.f);
         for (i, ri) in r.iter_mut().enumerate().take(n_node) {
             *ri += gmin * x[i];
         }
-        let mut delta = lu.solve(&r);
+        lu.solve_into(&r, &mut delta, &mut scratch);
         vecops::scale(&mut delta, -1.0);
         // Voltage limiting: scale the whole step.
         let dmax = vecops::norm_inf(&delta[..n_node.max(1).min(n)]);
@@ -95,7 +99,7 @@ pub fn solve_static(
         for (xi, di) in x.iter_mut().zip(delta.iter()) {
             *xi += di;
         }
-        asm = ckt.assemble(&x, t);
+        ckt.assemble_into(&x, t, &mut asm);
         // Converge on the *augmented* residual f + gmin·v — the system the
         // Jacobian corresponds to.
         let mut rnorm = 0.0f64;

@@ -8,11 +8,9 @@
 //! regardless of thread count.
 
 use crate::error::EngineError;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use tranvar_circuit::Circuit;
-use tranvar_num::rng::{standard_normal, CorrelatedNormal};
+use tranvar_num::rng::{standard_normal, CorrelatedNormal, Rng64};
 use tranvar_num::stats::RunningStats;
 
 /// Monte-Carlo controls.
@@ -69,7 +67,7 @@ pub struct McMultiResult {
 /// `i`, already scaled by σ_k.
 pub fn draw_samples(ckt: &Circuit, opts: &McOptions) -> Vec<Vec<f64>> {
     let sigmas = ckt.mismatch_sigmas();
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = Rng64::seed_from(opts.seed);
     let mut out = Vec::with_capacity(opts.n_samples);
     for _ in 0..opts.n_samples {
         let deltas: Vec<f64> = match &opts.correlation {
@@ -145,13 +143,13 @@ where
 
     let next = AtomicUsize::new(0);
     let mut per_thread: Vec<Vec<(usize, Option<Vec<f64>>)>> = Vec::new();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads {
             let next = &next;
             let deltas = &deltas;
             let measure = &measure;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -168,8 +166,7 @@ where
         for h in handles {
             per_thread.push(h.join().expect("monte-carlo worker panicked"));
         }
-    })
-    .expect("monte-carlo scope failed");
+    });
 
     let mut slots: Vec<Option<Vec<f64>>> = vec![None; n];
     for local in per_thread {
@@ -242,7 +239,12 @@ mod tests {
         // Linear: σ² = (|∂v/∂R1|·10)² + (|∂v/∂R2|·10)², |∂v/∂R| = 0.25 mV/Ω
         let s_lin = (2.0f64).sqrt() * 0.25e-3 * 10.0;
         let rel = (res.stats.std_dev() - s_lin) / s_lin;
-        assert!(rel.abs() < 0.06, "sigma {} vs {}", res.stats.std_dev(), s_lin);
+        assert!(
+            rel.abs() < 0.06,
+            "sigma {} vs {}",
+            res.stats.std_dev(),
+            s_lin
+        );
         assert!((res.stats.mean() - 0.5).abs() < 1e-3);
     }
 

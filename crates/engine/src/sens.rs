@@ -5,7 +5,7 @@
 
 use crate::error::EngineError;
 use crate::solver::{FactoredJacobian, SolverKind};
-use tranvar_circuit::Circuit;
+use tranvar_circuit::{Circuit, ParamDeriv};
 
 /// DC sensitivities `dx/dp_k` of the operating point with respect to every
 /// registered mismatch parameter.
@@ -22,21 +22,32 @@ pub fn dc_sensitivities(
     x_op: &[f64],
     solver: SolverKind,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
+    let n_params = ckt.mismatch_params().len();
+    if n_params == 0 {
+        return Ok(Vec::new());
+    }
     let asm = ckt.assemble(x_op, 0.0);
     let n_node = ckt.n_nodes() - 1;
     let lu = FactoredJacobian::factor(solver, &asm, 1.0, 0.0, 1e-12, n_node)?;
     let n = asm.n;
-    let mut out = Vec::with_capacity(ckt.mismatch_params().len());
-    for k in 0..ckt.mismatch_params().len() {
-        let pd = ckt.d_residual_dparam(k, x_op)?;
-        let mut rhs = vec![0.0; n];
+    // Stage every parameter's RHS in one column-major block and solve them
+    // with a single batched sweep — the factor is traversed once per block
+    // rather than once per parameter.
+    let mut block = vec![0.0; n * n_params];
+    let mut pd = ParamDeriv::default();
+    for k in 0..n_params {
+        ckt.d_residual_dparam_into(k, x_op, &mut pd)?;
+        let col = &mut block[k * n..(k + 1) * n];
         for &(i, v) in &pd.df {
-            rhs[i] -= v;
+            col[i] -= v;
         }
         // ∂q/∂p does not influence the DC solution.
-        out.push(lu.solve(&rhs));
     }
-    Ok(out)
+    let mut scratch = vec![0.0; n * n_params];
+    lu.solve_multi(&mut block, n_params, &mut scratch);
+    Ok((0..n_params)
+        .map(|k| block[k * n..(k + 1) * n].to_vec())
+        .collect())
 }
 
 /// The θ-method step right-hand side for parameter `k`:
@@ -58,23 +69,53 @@ pub fn param_step_rhs(
     h: f64,
     theta: f64,
 ) -> Result<Vec<f64>, EngineError> {
-    let n = ckt.n_unknowns();
-    let pd1 = ckt.d_residual_dparam(k, x1)?;
-    let pd0 = ckt.d_residual_dparam(k, x0)?;
-    let mut w = vec![0.0; n];
-    for &(i, v) in &pd1.df {
-        w[i] += theta * v;
-    }
-    for &(i, v) in &pd0.df {
-        w[i] += (1.0 - theta) * v;
-    }
-    for &(i, v) in &pd1.dq {
-        w[i] += v / h;
-    }
-    for &(i, v) in &pd0.dq {
-        w[i] -= v / h;
-    }
+    let mut w = vec![0.0; ckt.n_unknowns()];
+    let mut scratch = ParamDerivPair::default();
+    param_step_rhs_into(ckt, k, x1, x0, h, theta, &mut w, &mut scratch)?;
     Ok(w)
+}
+
+/// Reusable derivative buffers for [`param_step_rhs_into`] — one pair per
+/// worker thread keeps the per-step parameter loop allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct ParamDerivPair {
+    pd1: ParamDeriv,
+    pd0: ParamDeriv,
+}
+
+/// Allocation-free variant of [`param_step_rhs`]: writes `w_k` into `out`
+/// (which must have length `n_unknowns`), reusing `scratch`'s buffers.
+///
+/// # Errors
+///
+/// Propagates unknown-parameter errors.
+#[allow(clippy::too_many_arguments)]
+pub fn param_step_rhs_into(
+    ckt: &Circuit,
+    k: usize,
+    x1: &[f64],
+    x0: &[f64],
+    h: f64,
+    theta: f64,
+    out: &mut [f64],
+    scratch: &mut ParamDerivPair,
+) -> Result<(), EngineError> {
+    ckt.d_residual_dparam_into(k, x1, &mut scratch.pd1)?;
+    ckt.d_residual_dparam_into(k, x0, &mut scratch.pd0)?;
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for &(i, v) in &scratch.pd1.df {
+        out[i] += theta * v;
+    }
+    for &(i, v) in &scratch.pd0.df {
+        out[i] += (1.0 - theta) * v;
+    }
+    for &(i, v) in &scratch.pd1.dq {
+        out[i] += v / h;
+    }
+    for &(i, v) in &scratch.pd0.dq {
+        out[i] -= v / h;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -102,8 +143,14 @@ mod tests {
         let s2 = sens[1][ib];
         let expect1 = -2.0 * 3e3 / (4e3_f64.powi(2));
         let expect2 = 2.0 * 1e3 / (4e3_f64.powi(2));
-        assert!((s1 - expect1).abs() < 1e-6 * expect1.abs(), "{s1} vs {expect1}");
-        assert!((s2 - expect2).abs() < 1e-6 * expect2.abs(), "{s2} vs {expect2}");
+        assert!(
+            (s1 - expect1).abs() < 1e-6 * expect1.abs(),
+            "{s1} vs {expect1}"
+        );
+        assert!(
+            (s2 - expect2).abs() < 1e-6 * expect2.abs(),
+            "{s2} vs {expect2}"
+        );
     }
 
     #[test]

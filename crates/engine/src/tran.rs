@@ -12,7 +12,7 @@
 
 use crate::dc::{dc_operating_point, DcOptions, NewtonOptions};
 use crate::error::EngineError;
-use crate::solver::{combine, FactoredJacobian};
+use crate::solver::{CombineStage, FactoredJacobian, JacobianWorkspace};
 use tranvar_circuit::{Circuit, NodeId};
 use tranvar_num::dense::vecops;
 use tranvar_num::Csc;
@@ -56,6 +56,11 @@ pub struct TranOptions {
     pub gmin: f64,
     /// Initial state; `None` computes the DC operating point at `t_start`.
     pub x0: Option<Vec<f64>>,
+    /// Worker threads for the batched sensitivity propagation
+    /// (`transient_with_sensitivities`): `0` uses all available cores, `1`
+    /// runs single-threaded. Results are identical for any thread count —
+    /// each parameter's arithmetic is independent of the partitioning.
+    pub threads: usize,
 }
 
 impl TranOptions {
@@ -69,6 +74,7 @@ impl TranOptions {
             newton: NewtonOptions::default(),
             gmin: 1e-12,
             x0: None,
+            threads: 0,
         }
     }
 }
@@ -113,6 +119,11 @@ pub struct StepRecord {
     /// Coupling to the previous state: `B = C₀/h − (1−θ)·G₀`, so that
     /// `∂x₁/∂x₀ = J⁻¹·B`.
     pub b: Csc<f64>,
+    /// MOSFET operating points at the accepted state (device-indexed),
+    /// captured from the final assembly so sensitivity sources can be built
+    /// without re-evaluating any device model
+    /// ([`tranvar_circuit::Circuit::d_residual_dparams_with_ops`]).
+    pub mos_ops: Vec<tranvar_circuit::mosfet::MosOp>,
 }
 
 /// Result of a one-period integration with step records.
@@ -126,51 +137,97 @@ pub struct CycleResult {
     pub records: Vec<StepRecord>,
 }
 
-/// One Newton-corrected implicit step from `(x0, t0)` to `t1 = t0 + h`.
+/// Reusable per-run buffers for the transient step loop: the assembly
+/// double-buffer, the Newton vectors, the factorization workspace and the
+/// coupling-matrix stage. One instance lives for a whole run, so the inner
+/// loop performs no repeated allocation.
+pub(crate) struct StepState {
+    pub(crate) jws: JacobianWorkspace,
+    bstage: CombineStage,
+    /// Assembly at the previous accepted state `(x0, t0)`.
+    pub(crate) asm_prev: tranvar_circuit::Assembly,
+    /// Assembly buffer for the current step (swapped with `asm_prev`).
+    asm_cur: tranvar_circuit::Assembly,
+    r: Vec<f64>,
+    delta: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl StepState {
+    /// Initializes the step state at `(x0, t0)`.
+    pub(crate) fn new(ckt: &Circuit, kind: crate::solver::SolverKind, x0: &[f64], t0: f64) -> Self {
+        let n = ckt.n_unknowns();
+        let asm_prev = ckt.assemble(x0, t0);
+        let asm_cur = ckt.assemble(x0, t0);
+        StepState {
+            jws: JacobianWorkspace::new(kind),
+            bstage: CombineStage::new(),
+            asm_prev,
+            asm_cur,
+            r: vec![0.0; n],
+            delta: vec![0.0; n],
+            scratch: vec![0.0; n],
+        }
+    }
+}
+
+/// One Newton-corrected implicit step from `(x, t0)` to `t1 = t0 + h`,
+/// advancing `x`, `f_aug` and `q` in place (on entry they hold the previous
+/// accepted state; on success they hold the new one).
 ///
-/// Returns the accepted state and, on request, the step record.
+/// The Newton iteration warm-starts from the previous accepted assembly
+/// (retimed to `t1` with a handful of waveform evaluations instead of a
+/// full device re-evaluation) and reuses every buffer in `st`. On request
+/// the step record is returned; the accepted assembly is left in
+/// `st.asm_prev` for the next step.
 #[allow(clippy::too_many_arguments)]
-fn step(
+pub(crate) fn step(
     ckt: &Circuit,
-    x0: &[f64],
-    f0_aug: &[f64],
-    q0: &[f64],
-    asm0_for_b: Option<&tranvar_circuit::Assembly>,
+    st: &mut StepState,
+    x: &mut [f64],
+    f_aug: &mut [f64],
+    q: &mut [f64],
+    t0: f64,
     t1: f64,
     h: f64,
     method: Integrator,
     newton: &NewtonOptions,
     gmin: f64,
     want_record: bool,
-) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>, Option<StepRecord>, tranvar_circuit::Assembly), EngineError> {
+) -> Result<Option<StepRecord>, EngineError> {
     let n = ckt.n_unknowns();
     let n_node = ckt.n_nodes() - 1;
     let theta = method.theta();
-    let mut x1 = x0.to_vec();
-    let mut asm1 = ckt.assemble(&x1, t1);
-    let mut last_lu = None;
+    // Warm start: device stamps of the previous accepted assembly are valid
+    // at (x, t1); only the independent sources move with time.
+    st.asm_cur.copy_from(&st.asm_prev);
+    ckt.retime_sources(&mut st.asm_cur, t0, t1);
     let mut converged = false;
     for _ in 0..newton.max_iter {
+        let asm1 = &st.asm_cur;
         // Residual r = (q1 − q0)/h + θ f1_aug + (1−θ) f0_aug.
-        let mut r = vec![0.0; n];
         for i in 0..n {
-            let f1_aug = asm1.f[i] + if i < n_node { gmin * x1[i] } else { 0.0 };
-            r[i] = (asm1.q[i] - q0[i]) / h + theta * f1_aug + (1.0 - theta) * f0_aug[i];
+            let f1_aug = asm1.f[i] + if i < n_node { gmin * x[i] } else { 0.0 };
+            st.r[i] = (asm1.q[i] - q[i]) / h + theta * f1_aug + (1.0 - theta) * f_aug[i];
         }
-        let lu = FactoredJacobian::factor(newton.solver, &asm1, theta, 1.0 / h, theta * gmin, n_node)?;
-        let mut delta = lu.solve(&r);
-        vecops::scale(&mut delta, -1.0);
-        let dmax = vecops::norm_inf(&delta);
+        // The MNA pattern is fixed across iterations and steps, so the
+        // workspace replays its symbolic analysis and refactors in place —
+        // and skips the numeric work entirely when the values are unchanged
+        // (the warm-started first iteration repeats the previous accepted
+        // Jacobian).
+        let lu = st.jws.factor(asm1, theta, 1.0 / h, theta * gmin, n_node)?;
+        lu.solve_into(&st.r, &mut st.delta, &mut st.scratch);
+        vecops::scale(&mut st.delta, -1.0);
+        let dmax = vecops::norm_inf(&st.delta);
         if dmax > newton.step_limit {
             let k = newton.step_limit / dmax;
-            vecops::scale(&mut delta, k);
+            vecops::scale(&mut st.delta, k);
         }
-        for (xi, di) in x1.iter_mut().zip(delta.iter()) {
+        for (xi, di) in x.iter_mut().zip(st.delta.iter()) {
             *xi += di;
         }
-        asm1 = ckt.assemble(&x1, t1);
-        last_lu = Some(lu);
-        if vecops::norm_inf(&delta) < newton.vtol {
+        ckt.assemble_into(x, t1, &mut st.asm_cur);
+        if vecops::norm_inf(&st.delta) < newton.vtol {
             converged = true;
             break;
         }
@@ -181,31 +238,45 @@ fn step(
             detail: format!("at t={t1:.3e} with h={h:.3e}"),
         });
     }
-    // Re-factor at the accepted point so the record matches x1 exactly.
-    let lu = FactoredJacobian::factor(newton.solver, &asm1, theta, 1.0 / h, theta * gmin, n_node)?;
     let record = if want_record {
-        let asm0 = asm0_for_b.expect("record requested without previous assembly");
+        // Factor at the accepted point so the record matches x1 exactly;
+        // the workspace keeps this factorization cached, so the next step's
+        // warm-started first iteration (same G/C) reuses it for free.
+        let lu = st
+            .jws
+            .factor(&st.asm_cur, theta, 1.0 / h, theta * gmin, n_node)?
+            .clone();
         // B = C0/h − (1−θ)·(G0 + gmin)
-        let b = combine(asm0, -(1.0 - theta), 1.0 / h, -(1.0 - theta) * gmin, n_node);
+        let b = st
+            .bstage
+            .combine(
+                &st.asm_prev,
+                -(1.0 - theta),
+                1.0 / h,
+                -(1.0 - theta) * gmin,
+                n_node,
+            )
+            .clone();
         Some(StepRecord {
             t1,
             h,
             theta,
-            lu: lu.clone(),
+            lu,
             b,
+            mos_ops: st.asm_cur.mos_ops.clone(),
         })
     } else {
         None
     };
-    let _ = last_lu;
     // New f_aug and q for the next step.
-    let mut f1_aug = asm1.f.clone();
-    for (i, fi) in f1_aug.iter_mut().enumerate().take(n_node) {
-        *fi += gmin * x1[i];
+    f_aug.copy_from_slice(&st.asm_cur.f);
+    for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
+        *fi += gmin * x[i];
     }
-    let q1 = asm1.q.clone();
-    let rec_lu_holder = record;
-    Ok((x1, f1_aug, q1, rec_lu_holder, asm1))
+    q.copy_from_slice(&st.asm_cur.q);
+    // The accepted assembly becomes the previous assembly of the next step.
+    std::mem::swap(&mut st.asm_prev, &mut st.asm_cur);
+    Ok(record)
 }
 
 /// Runs a fixed-step transient analysis.
@@ -259,21 +330,23 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Engine
     times.push(opts.t_start);
     states.push(x0.clone());
 
-    let asm0 = ckt.assemble(&x0, opts.t_start);
-    let mut f_aug = asm0.f.clone();
+    let mut st = StepState::new(ckt, opts.newton.solver, &x0, opts.t_start);
+    let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += opts.gmin * x0[i];
     }
-    let mut q = asm0.q.clone();
+    let mut q = st.asm_prev.q.clone();
     let mut x = x0;
     for k in 1..=n_steps {
+        let t0 = opts.t_start + (k - 1) as f64 * opts.dt;
         let t1 = opts.t_start + k as f64 * opts.dt;
-        let (x1, f1, q1, _, _) = step(
+        step(
             ckt,
-            &x,
-            &f_aug,
-            &q,
-            None,
+            &mut st,
+            &mut x,
+            &mut f_aug,
+            &mut q,
+            t0,
             t1,
             opts.dt,
             opts.method,
@@ -281,9 +354,6 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Engine
             opts.gmin,
             false,
         )?;
-        x = x1;
-        f_aug = f1;
-        q = q1;
         times.push(t1);
         states.push(x.clone());
     }
@@ -321,27 +391,33 @@ pub fn integrate_cycle(
     times.push(t0);
     states.push(x0.to_vec());
 
-    let mut asm_prev = ckt.assemble(x0, t0);
-    let mut f_aug = asm_prev.f.clone();
+    let mut st = StepState::new(ckt, newton.solver, x0, t0);
+    let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += gmin * x0[i];
     }
-    let mut q = asm_prev.q.clone();
+    let mut q = st.asm_prev.q.clone();
     let mut x = x0.to_vec();
     for k in 1..=n_steps {
+        let tk0 = t0 + period * (k - 1) as f64 / n_steps as f64;
         let t1 = t0 + period * k as f64 / n_steps as f64;
         // The first step of every cycle uses backward Euler: the trapezoidal
         // rule carries algebraic (non-dynamic) perturbations with eigenvalue
         // −1, which would make the cycle monodromy have unit eigenvalues on
         // V-source branch rows and render the shooting system singular. One
         // L-stable step annihilates those modes at O(h²) cost to the orbit.
-        let step_method = if k == 1 { Integrator::BackwardEuler } else { method };
-        let (x1, f1, q1, rec, asm1) = step(
+        let step_method = if k == 1 {
+            Integrator::BackwardEuler
+        } else {
+            method
+        };
+        let rec = step(
             ckt,
-            &x,
-            &f_aug,
-            &q,
-            Some(&asm_prev),
+            &mut st,
+            &mut x,
+            &mut f_aug,
+            &mut q,
+            tk0,
             t1,
             h,
             step_method,
@@ -352,10 +428,6 @@ pub fn integrate_cycle(
         if let Some(r) = rec {
             records.push(r);
         }
-        x = x1;
-        f_aug = f1;
-        q = q1;
-        asm_prev = asm1;
         times.push(t1);
         states.push(x.clone());
     }
@@ -391,10 +463,7 @@ mod tests {
         for (t, x) in res.times.iter().zip(res.states.iter()) {
             let expect = 1.0 - (-t / 1e-3).exp();
             let got = ckt.voltage(x, b);
-            assert!(
-                (got - expect).abs() < 2e-3,
-                "t={t:.2e}: {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 2e-3, "t={t:.2e}: {got} vs {expect}");
         }
     }
 
@@ -429,7 +498,10 @@ mod tests {
                 .fold(0.0f64, |m, v| m.max(v.abs()))
         };
         let trap_peak = run(Integrator::Trapezoidal);
-        assert!(trap_peak > 0.95, "trapezoidal conserves amplitude: {trap_peak}");
+        assert!(
+            trap_peak > 0.95,
+            "trapezoidal conserves amplitude: {trap_peak}"
+        );
         assert!(be_peak_late < 0.9, "BE damps the tank: {be_peak_late}");
     }
 

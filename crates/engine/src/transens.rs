@@ -6,14 +6,49 @@
 //! back-substitution *per parameter*; unlike the LPTV route it also has to
 //! integrate through the entire settling transient (paper Fig. 5a), which is
 //! exactly the waste the PSS+LPTV flow avoids (Fig. 5b).
+//!
+//! # Hot-path structure
+//!
+//! Even the "expensive baseline" should be as fast as the hardware allows.
+//! The propagation is organized as a **windowed two-phase pipeline**:
+//!
+//! 1. *Integrate-and-factor phase* (serial): a window of nominal timesteps
+//!    is advanced with the shared integrator, which already assembles and
+//!    factors the step Jacobian at every accepted state — the factored
+//!    `J_k` and coupling matrix `B_k` are recorded as a byproduct
+//!    ([`crate::tran::StepRecord`]), so the sensitivity pass re-assembles
+//!    and re-factors *nothing*. The symbolic pivot analysis is replayed
+//!    across all steps ([`crate::solver::JacobianWorkspace`]) because the
+//!    MNA pattern never changes.
+//! 2. *Propagate phase* (parallel): the mismatch parameters are split into
+//!    contiguous chunks, one worker thread per chunk ([`TranOptions::threads`]).
+//!    Each worker advances its chunk through the window with a single
+//!    multi-RHS batched solve per step
+//!    ([`crate::solver::FactoredJacobian::solve_multi`]) over preallocated
+//!    column-major blocks — **zero heap allocation inside the per-step
+//!    parameter loop**. Each state's parameter derivatives are evaluated
+//!    once (not once per adjacent step), and same-device parameter pairs
+//!    (Pelgrom V_T/β) share one model evaluation
+//!    ([`tranvar_circuit::Circuit::d_residual_dparams_into`]).
+//!
+//! Because every parameter's arithmetic is independent of the partitioning,
+//! the result is bit-for-bit independent of the thread count, and matches
+//! the sequential reference implementation
+//! ([`transient_with_sensitivities_seq`]) to machine precision (the two
+//! paths may pick different pivot orders, nothing more).
 
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::EngineError;
 use crate::sens::{dc_sensitivities, param_step_rhs};
 use crate::solver::{combine, FactoredJacobian};
-use crate::tran::{TranOptions, TranResult};
-use tranvar_circuit::Circuit;
+use crate::tran::{StepRecord, TranOptions, TranResult};
+use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_num::dense::vecops;
+
+/// Steps per factor/propagate window: bounds the number of simultaneously
+/// stored per-step factorizations (memory ∝ `WINDOW·n²` for the dense
+/// backend) while amortizing the per-window thread spawn.
+const WINDOW: usize = 64;
 
 /// Result of a transient run with parameter sensitivities.
 #[derive(Clone, Debug)]
@@ -36,27 +71,20 @@ pub enum SensInit {
     Zero,
 }
 
-/// Runs a transient with forward parameter sensitivities for every mismatch
-/// parameter of the circuit.
-///
-/// # Errors
-///
-/// Propagates DC and per-step Newton failures.
-pub fn transient_with_sensitivities(
+/// Shared preamble: validates options and computes the initial state and
+/// sensitivity.
+fn initial_state_and_sens(
     ckt: &Circuit,
     opts: &TranOptions,
     init: SensInit,
-) -> Result<TranSensResult, EngineError> {
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), EngineError> {
     if opts.dt <= 0.0 || opts.t_stop <= opts.t_start {
         return Err(EngineError::BadConfig(
             "transient needs dt > 0 and t_stop > t_start".into(),
         ));
     }
     let n = ckt.n_unknowns();
-    let n_node = ckt.n_nodes() - 1;
     let n_params = ckt.mismatch_params().len();
-    let theta = opts.method.theta();
-
     let x0 = match &opts.x0 {
         Some(x) => x.clone(),
         None => dc_operating_point(
@@ -71,26 +99,265 @@ pub fn transient_with_sensitivities(
         SensInit::FromDc => dc_sensitivities(ckt, &x0, opts.newton.solver)?,
         SensInit::Zero => vec![vec![0.0; n]; n_params],
     };
+    Ok((x0, s0))
+}
 
-    // Nominal transient via the shared integrator, recording every state.
-    let res = crate::tran::transient(ckt, &TranOptions {
-        x0: Some(x0.clone()),
-        ..opts.clone()
-    })?;
+/// Per-chunk worker state that persists across windows: the interleaved
+/// sensitivity block, the batched RHS blocks, and the parameter derivatives
+/// at the previous state (the `x₁` evaluations of one step are the `x₀`
+/// evaluations of the next, so each state is evaluated exactly once per
+/// chunk).
+struct ChunkState {
+    k0: usize,
+    /// Current sensitivities, interleaved: `s_cur[i·p + kk]` is unknown `i`
+    /// of chunk-parameter `kk`.
+    s_cur: Vec<f64>,
+    block: Vec<f64>,
+    scratch: Vec<f64>,
+    w: Vec<f64>,
+    pd_prev: Vec<ParamDeriv>,
+    pd_cur: Vec<ParamDeriv>,
+}
+
+/// Runs a transient with forward parameter sensitivities for every mismatch
+/// parameter of the circuit.
+///
+/// This is the batched, parallel path (see the module docs); use
+/// [`TranOptions::threads`] to control the worker count. For the
+/// per-parameter reference implementation see
+/// [`transient_with_sensitivities_seq`].
+///
+/// # Errors
+///
+/// Propagates DC and per-step Newton failures.
+pub fn transient_with_sensitivities(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    init: SensInit,
+) -> Result<TranSensResult, EngineError> {
+    let (x0, s0) = initial_state_and_sens(ckt, opts, init)?;
+    let n = ckt.n_unknowns();
+    let n_node = ckt.n_nodes() - 1;
+    let n_params = ckt.mismatch_params().len();
+    let h = opts.dt;
+    let n_steps = ((opts.t_stop - opts.t_start) / opts.dt).round() as usize;
+    let want_records = n_params > 0;
+
+    // Preallocate the entire output so the propagation loops never allocate.
+    let mut sens: Vec<Vec<Vec<f64>>> = (0..n_params)
+        .map(|k| {
+            let mut per_step = vec![vec![0.0; n]; n_steps + 1];
+            per_step[0].copy_from_slice(&s0[k]);
+            per_step
+        })
+        .collect();
+
+    let threads = effective_threads(opts.threads, n_params);
+    let chunk = n_params.div_ceil(threads.max(1)).max(1);
+    let mut chunk_states: Vec<ChunkState> = sens
+        .chunks(chunk)
+        .enumerate()
+        .map(|(ci, sc)| {
+            let p = sc.len();
+            let k0 = ci * chunk;
+            let mut s_cur = vec![0.0; n * p];
+            for (kk, _) in sc.iter().enumerate() {
+                for i in 0..n {
+                    s_cur[i * p + kk] = s0[k0 + kk][i];
+                }
+            }
+            let mut cs = ChunkState {
+                k0,
+                s_cur,
+                block: vec![0.0; n * p],
+                scratch: vec![0.0; n * p],
+                w: vec![0.0; n],
+                pd_prev: vec![ParamDeriv::default(); p],
+                pd_cur: vec![ParamDeriv::default(); p],
+            };
+            ckt.d_residual_dparams_into(cs.k0, &x0, &mut cs.pd_prev)?;
+            Ok(cs)
+        })
+        .collect::<Result<_, tranvar_circuit::CircuitError>>()?;
+
+    // Nominal integration state (mirrors `tran::transient`, but records the
+    // accepted per-step factorization J and coupling B so the sensitivity
+    // pass never has to re-assemble or re-factor anything).
+    let mut times = Vec::with_capacity(n_steps + 1);
+    let mut states = Vec::with_capacity(n_steps + 1);
+    times.push(opts.t_start);
+    states.push(x0.clone());
+    let mut st = crate::tran::StepState::new(ckt, opts.newton.solver, &x0, opts.t_start);
+    let mut f_aug = st.asm_prev.f.clone();
+    for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
+        *fi += opts.gmin * x0[i];
+    }
+    let mut q = st.asm_prev.q.clone();
+    let mut x = x0;
+    let mut records: Vec<StepRecord> = Vec::with_capacity(WINDOW.min(n_steps));
+
+    let mut window_start = 1usize;
+    while window_start <= n_steps {
+        let window_end = (window_start + WINDOW - 1).min(n_steps);
+        // ── Integrate-and-factor phase: the Newton solve of each step
+        // already assembles and (re)factors at the accepted state, so the
+        // record captures J and B for free.
+        records.clear();
+        for step_idx in window_start..=window_end {
+            let t0 = opts.t_start + (step_idx - 1) as f64 * opts.dt;
+            let t1 = opts.t_start + step_idx as f64 * opts.dt;
+            let rec = crate::tran::step(
+                ckt,
+                &mut st,
+                &mut x,
+                &mut f_aug,
+                &mut q,
+                t0,
+                t1,
+                h,
+                opts.method,
+                &opts.newton,
+                opts.gmin,
+                want_records,
+            )?;
+            if let Some(r) = rec {
+                records.push(r);
+            }
+            times.push(t1);
+            states.push(x.clone());
+        }
+        if !want_records {
+            window_start = window_end + 1;
+            continue;
+        }
+        // ── Propagate phase: parameter chunks in parallel. ──
+        let records_ref = &records;
+        let states_ref = &states;
+        let run_chunk =
+            |cs: &mut ChunkState, sens_chunk: &mut [Vec<Vec<f64>>]| -> Result<(), EngineError> {
+                let p = sens_chunk.len();
+                for (si, rec) in records_ref.iter().enumerate() {
+                    let step = window_start + si;
+                    // No device evaluation at all: the MOSFET operating points
+                    // were captured by the accepted assembly of this step, so
+                    // the derivatives come straight from the record.
+                    ckt.d_residual_dparams_with_ops(
+                        cs.k0,
+                        &states_ref[step],
+                        &rec.mos_ops,
+                        &mut cs.pd_cur,
+                    )?;
+                    // Zero-allocation inner loop over an interleaved block:
+                    // every factor entry becomes a p-wide contiguous axpy.
+                    rec.b.mat_vec_interleaved(&cs.s_cur, &mut cs.block, p);
+                    for kk in 0..p {
+                        // w in the θ-method order of `param_step_rhs`.
+                        cs.w.iter_mut().for_each(|v| *v = 0.0);
+                        for &(i, v) in &cs.pd_cur[kk].df {
+                            cs.w[i] += rec.theta * v;
+                        }
+                        for &(i, v) in &cs.pd_prev[kk].df {
+                            cs.w[i] += (1.0 - rec.theta) * v;
+                        }
+                        for &(i, v) in &cs.pd_cur[kk].dq {
+                            cs.w[i] += v / rec.h;
+                        }
+                        for &(i, v) in &cs.pd_prev[kk].dq {
+                            cs.w[i] -= v / rec.h;
+                        }
+                        for (i, wi) in cs.w.iter().enumerate() {
+                            cs.block[i * p + kk] -= *wi;
+                        }
+                    }
+                    rec.lu
+                        .solve_multi_interleaved(&mut cs.block, p, &mut cs.scratch);
+                    std::mem::swap(&mut cs.s_cur, &mut cs.block);
+                    for (kk, hist) in sens_chunk.iter_mut().enumerate() {
+                        let out = &mut hist[step];
+                        for i in 0..n {
+                            out[i] = cs.s_cur[i * p + kk];
+                        }
+                    }
+                    std::mem::swap(&mut cs.pd_prev, &mut cs.pd_cur);
+                }
+                Ok(())
+            };
+        if threads == 1 {
+            run_chunk(&mut chunk_states[0], &mut sens)?;
+        } else {
+            let results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (cs, sens_chunk) in chunk_states.iter_mut().zip(sens.chunks_mut(chunk)) {
+                    let run_chunk = &run_chunk;
+                    handles.push(scope.spawn(move || run_chunk(cs, sens_chunk)));
+                }
+                handles
+                    .into_iter()
+                    .map(|ha| ha.join().expect("sensitivity worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        window_start = window_end + 1;
+    }
+    Ok(TranSensResult {
+        tran: TranResult { times, states },
+        sens,
+    })
+}
+
+/// Sequential per-parameter reference implementation: one factorization per
+/// step (fresh pivot search), one allocating solve per parameter — the
+/// pre-batching behavior, kept for validation and as the benchmark baseline.
+///
+/// # Errors
+///
+/// Propagates DC and per-step Newton failures.
+pub fn transient_with_sensitivities_seq(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    init: SensInit,
+) -> Result<TranSensResult, EngineError> {
+    let (x0, s0) = initial_state_and_sens(ckt, opts, init)?;
+    let res = crate::tran::transient(
+        ckt,
+        &TranOptions {
+            x0: Some(x0),
+            ..opts.clone()
+        },
+    )?;
+    let n_node = ckt.n_nodes() - 1;
+    let n_params = ckt.mismatch_params().len();
+    let theta = opts.method.theta();
+    let h = opts.dt;
 
     let mut sens: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(res.states.len()); n_params];
     for (k, s) in s0.iter().enumerate() {
         sens[k].push(s.clone());
     }
     // Propagate: J·S₁ = B·S₀ − w.
-    let h = opts.dt;
     for step in 1..res.states.len() {
         let x_prev = &res.states[step - 1];
         let x_cur = &res.states[step];
         let asm0 = ckt.assemble(x_prev, res.times[step - 1]);
         let asm1 = ckt.assemble(x_cur, res.times[step]);
-        let j = FactoredJacobian::factor(opts.newton.solver, &asm1, theta, 1.0 / h, theta * opts.gmin, n_node)?;
-        let b = combine(&asm0, -(1.0 - theta), 1.0 / h, -(1.0 - theta) * opts.gmin, n_node);
+        let j = FactoredJacobian::factor(
+            opts.newton.solver,
+            &asm1,
+            theta,
+            1.0 / h,
+            theta * opts.gmin,
+            n_node,
+        )?;
+        let b = combine(
+            &asm0,
+            -(1.0 - theta),
+            1.0 / h,
+            -(1.0 - theta) * opts.gmin,
+            n_node,
+        );
         for k in 0..n_params {
             let w = param_step_rhs(ckt, k, x_cur, x_prev, h, theta)?;
             let mut rhs = b.mat_vec(sens[k].last().expect("sensitivity history"));
@@ -101,15 +368,25 @@ pub fn transient_with_sensitivities(
     Ok(TranSensResult { tran: res, sens })
 }
 
+/// Resolves the worker-thread count: `0` means all available cores, and the
+/// count never exceeds the number of parameters.
+fn effective_threads(requested: usize, n_params: usize) -> usize {
+    let t = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    t.clamp(1, n_params.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tranvar_circuit::{NodeId, Waveform};
 
-    /// RC charging with a resistor-mismatch parameter: compare the
-    /// propagated sensitivity against finite-difference re-simulation.
-    #[test]
-    fn rc_sensitivity_matches_finite_difference() {
+    fn rc_with_mismatch() -> Circuit {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
@@ -118,6 +395,15 @@ mod tests {
         let c1 = ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-6);
         ckt.annotate_resistor_mismatch(r1, 10.0);
         ckt.annotate_capacitor_mismatch(c1, 1e-8);
+        ckt
+    }
+
+    /// RC charging with a resistor-mismatch parameter: compare the
+    /// propagated sensitivity against finite-difference re-simulation.
+    #[test]
+    fn rc_sensitivity_matches_finite_difference() {
+        let ckt = rc_with_mismatch();
+        let b = ckt.find_node("b").unwrap();
 
         let mut opts = TranOptions::new(1.5e-3, 5e-6);
         opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
@@ -137,8 +423,8 @@ mod tests {
             let rm = crate::tran::transient(&cm, &opts).unwrap();
             // Compare at a few sample points.
             for step in [50usize, 150, 299] {
-                let fd = (cp.voltage(&rp.states[step], b) - cm.voltage(&rm.states[step], b))
-                    / (2.0 * h);
+                let fd =
+                    (cp.voltage(&rp.states[step], b) - cm.voltage(&rm.states[step], b)) / (2.0 * h);
                 let got = res.sens[k][step][ib];
                 assert!(
                     (got - fd).abs() < 5e-3 * fd.abs().max(1e-8),
@@ -171,5 +457,74 @@ mod tests {
         );
         // Analytic: ∂(V·R2/(R1+R2))/∂R1 = −V·R2/(R1+R2)² = −0.5 mV/Ω.
         assert!((s_first + 2.0 * 1e3 / 4e6).abs() < 1e-9);
+    }
+
+    /// The batched-parallel path and the sequential reference agree to
+    /// machine precision, for every thread count.
+    #[test]
+    fn batched_matches_sequential_all_thread_counts() {
+        let ckt = rc_with_mismatch();
+        let mut base = TranOptions::new(4e-4, 2e-6);
+        base.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        let seq = transient_with_sensitivities_seq(&ckt, &base, SensInit::FromDc).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let mut opts = base.clone();
+            opts.threads = threads;
+            let par = transient_with_sensitivities(&ckt, &opts, SensInit::FromDc).unwrap();
+            assert_eq!(par.sens.len(), seq.sens.len());
+            let mut max_diff = 0.0f64;
+            for (pk, sk) in par.sens.iter().zip(seq.sens.iter()) {
+                assert_eq!(pk.len(), sk.len());
+                for (ps, ss) in pk.iter().zip(sk.iter()) {
+                    for (a, b) in ps.iter().zip(ss.iter()) {
+                        max_diff = max_diff.max((a - b).abs());
+                    }
+                }
+            }
+            assert!(
+                max_diff < 1e-12,
+                "threads {threads}: max |batched - seq| = {max_diff:e}"
+            );
+        }
+    }
+
+    /// A circuit with no mismatch annotations must run cleanly (empty
+    /// sensitivity set, nominal transient intact) — regression check for
+    /// the zero-RHS batched-solve path.
+    #[test]
+    fn zero_parameters_is_clean() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-6);
+        let opts = TranOptions::new(1e-4, 1e-6);
+        for init in [SensInit::FromDc, SensInit::Zero] {
+            let res = transient_with_sensitivities(&ckt, &opts, init).unwrap();
+            assert!(res.sens.is_empty());
+            assert_eq!(res.tran.states.len(), 101);
+        }
+    }
+
+    /// Windowing must be seamless: a run longer than one window gives the
+    /// same trajectory as the sequential path across the window boundary.
+    #[test]
+    fn window_boundaries_are_seamless() {
+        let ckt = rc_with_mismatch();
+        // 200 steps: crosses the 64-step window boundary three times.
+        let mut opts = TranOptions::new(4e-4, 2e-6);
+        opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        opts.threads = 2;
+        let par = transient_with_sensitivities(&ckt, &opts, SensInit::Zero).unwrap();
+        let seq = transient_with_sensitivities_seq(&ckt, &opts, SensInit::Zero).unwrap();
+        assert_eq!(par.sens[0].len(), 201);
+        for step in [63usize, 64, 65, 127, 128, 129, 200] {
+            for i in 0..3 {
+                let a = par.sens[0][step][i];
+                let b = seq.sens[0][step][i];
+                assert!((a - b).abs() < 1e-12, "step {step} row {i}: {a} vs {b}");
+            }
+        }
     }
 }

@@ -118,31 +118,40 @@ pub fn solve_quasi_periodic(
         )));
     }
     let n = sol.monodromy.rows();
-    let zero = vec![Complex::ZERO; n];
-    // Complex propagation with real factors: solve re/im separately.
-    let prop = |rec: &tranvar_engine::StepRecord, d: &[Complex], wk: &[Complex]| {
-        let mut re = vec![0.0; n];
-        let mut im = vec![0.0; n];
+    // Complex propagation with real factors: the real and imaginary halves
+    // are staged as one column-major 2-RHS block and solved with a single
+    // batched sweep per step, over buffers preallocated outside the loops.
+    let mut re = vec![0.0; n];
+    let mut im = vec![0.0; n];
+    let mut block = vec![0.0; 2 * n];
+    let mut scratch = vec![0.0; 2 * n];
+    let mut prop = |rec: &tranvar_engine::StepRecord,
+                    d: &[Complex],
+                    wk: &[Complex],
+                    out: &mut Vec<Complex>| {
         for (i, v) in d.iter().enumerate() {
             re[i] = v.re;
             im[i] = v.im;
         }
-        let bre = rec.b.mat_vec(&re);
-        let bim = rec.b.mat_vec(&im);
-        let mut rhs_re = bre;
-        let mut rhs_im = bim;
-        for (i, wv) in wk.iter().enumerate() {
-            rhs_re[i] -= wv.re;
-            rhs_im[i] -= wv.im;
+        {
+            let (bre, bim) = block.split_at_mut(n);
+            rec.b.mat_vec_into(&re, bre);
+            rec.b.mat_vec_into(&im, bim);
+            for (i, wv) in wk.iter().enumerate() {
+                bre[i] -= wv.re;
+                bim[i] -= wv.im;
+            }
         }
-        let sre = rec.lu.solve(&rhs_re);
-        let sim = rec.lu.solve(&rhs_im);
-        (0..n).map(|i| Complex::new(sre[i], sim[i])).collect::<Vec<_>>()
+        rec.lu.solve_multi(&mut block, 2, &mut scratch);
+        out.clear();
+        out.extend((0..n).map(|i| Complex::new(block[i], block[n + i])));
     };
     // Particular pass.
-    let mut d = zero.clone();
+    let mut d = vec![Complex::ZERO; n];
+    let mut next = Vec::with_capacity(n);
     for (rec, wk) in recs.iter().zip(w.iter()) {
-        d = prop(rec, &d, wk);
+        prop(rec, &d, wk, &mut next);
+        std::mem::swap(&mut d, &mut next);
     }
     // Boundary: δ0 = (φI − M)⁻¹ δ_N^p.
     let d0 = boundary.lu.solve(&d);
@@ -151,7 +160,8 @@ pub fn solve_quasi_periodic(
     dx.push(d0.clone());
     let mut cur = d0;
     for (rec, wk) in recs.iter().zip(w.iter()) {
-        cur = prop(rec, &cur, wk);
+        prop(rec, &cur, wk, &mut next);
+        std::mem::swap(&mut cur, &mut next);
         dx.push(cur.clone());
     }
     // Demodulate to the periodic envelope.

@@ -22,7 +22,7 @@
 //! Section V-C turns into frequency variance.
 
 use crate::error::LptvError;
-use tranvar_circuit::Circuit;
+use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_engine::sens::param_step_rhs;
 use tranvar_num::dense::vecops;
 use tranvar_num::{DMat, Lu};
@@ -148,18 +148,21 @@ impl<'a> PeriodicSolver<'a> {
             )));
         }
         let n = self.ckt.n_unknowns();
-        // Particular solution from zero initial state.
+        // Particular solution from zero initial state; all buffers are
+        // preallocated and every per-step solve is allocation-free.
         let mut d = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
         for (rec, wk) in recs.iter().zip(w.iter()) {
-            let mut rhs = rec.b.mat_vec(&d);
+            rec.b.mat_vec_into(&d, &mut rhs);
             vecops::axpy(&mut rhs, -1.0, wk);
-            d = rec.lu.solve(&rhs);
+            rec.lu.solve_into(&rhs, &mut d, &mut scratch);
         }
         // Boundary solve.
         let (d0, dperiod) = if self.autonomous {
-            let mut rhs = vec![0.0; n + 1];
-            rhs[..n].copy_from_slice(&d);
-            let sol = self.boundary.solve(&rhs);
+            let mut brhs = vec![0.0; n + 1];
+            brhs[..n].copy_from_slice(&d);
+            let sol = self.boundary.solve(&brhs);
             (sol[..n].to_vec(), sol[n])
         } else {
             (self.boundary.solve(&d), 0.0)
@@ -169,9 +172,9 @@ impl<'a> PeriodicSolver<'a> {
         dx.push(d0.clone());
         let mut cur = d0;
         for (rec, wk) in recs.iter().zip(w.iter()) {
-            let mut rhs = rec.b.mat_vec(&cur);
+            rec.b.mat_vec_into(&cur, &mut rhs);
             vecops::axpy(&mut rhs, -1.0, wk);
-            cur = rec.lu.solve(&rhs);
+            rec.lu.solve_into(&rhs, &mut cur, &mut scratch);
             dx.push(cur.clone());
         }
         Ok(PeriodicResponse { dx, dperiod })
@@ -191,13 +194,121 @@ impl<'a> PeriodicSolver<'a> {
     /// Responses for every registered mismatch parameter, reusing all
     /// factorizations (the paper's "no additional simulation cost" claim).
     ///
+    /// All parameters are propagated *together*: per step, the source terms
+    /// are staged in one column-major block and both the particular and
+    /// periodic passes run as single multi-RHS batched solves over the
+    /// step factorizations ([`tranvar_engine::FactoredJacobian::solve_multi`]),
+    /// with the boundary solve batched the same way. Per-parameter results
+    /// are bit-for-bit identical to [`PeriodicSolver::param_response`].
+    ///
     /// # Errors
     ///
     /// See [`PeriodicSolver::param_response`].
     pub fn all_param_responses(&self) -> Result<Vec<PeriodicResponse>, LptvError> {
-        (0..self.ckt.mismatch_params().len())
-            .map(|k| self.param_response(k))
-            .collect()
+        let recs = &self.sol.records;
+        let n = self.ckt.n_unknowns();
+        let p = self.ckt.mismatch_params().len();
+        let n_steps = recs.len();
+        if p == 0 {
+            return Ok(Vec::new());
+        }
+        // Stage every parameter's per-step source term once (w[s] is the
+        // column-major n×p block of step s). Each state's parameter
+        // derivatives are evaluated exactly once — and the MOSFET operating
+        // points come straight from the step records, so no device model is
+        // re-evaluated at all.
+        let mut w = vec![vec![0.0; n * p]; n_steps];
+        let mut pd_prev: Vec<ParamDeriv> = vec![ParamDeriv::default(); p];
+        let mut pd_cur: Vec<ParamDeriv> = vec![ParamDeriv::default(); p];
+        self.ckt
+            .d_residual_dparams_into(0, &self.sol.states[0], &mut pd_prev)?;
+        for (s, rec) in recs.iter().enumerate() {
+            self.ckt.d_residual_dparams_with_ops(
+                0,
+                &self.sol.states[s + 1],
+                &rec.mos_ops,
+                &mut pd_cur,
+            )?;
+            for k in 0..p {
+                // w in the θ-method order of `param_step_rhs`.
+                let col = &mut w[s][k * n..(k + 1) * n];
+                for &(i, v) in &pd_cur[k].df {
+                    col[i] += rec.theta * v;
+                }
+                for &(i, v) in &pd_prev[k].df {
+                    col[i] += (1.0 - rec.theta) * v;
+                }
+                for &(i, v) in &pd_cur[k].dq {
+                    col[i] += v / rec.h;
+                }
+                for &(i, v) in &pd_prev[k].dq {
+                    col[i] -= v / rec.h;
+                }
+            }
+            std::mem::swap(&mut pd_prev, &mut pd_cur);
+        }
+        // Particular pass from zero initial state, all parameters batched.
+        let mut d = vec![0.0; n * p];
+        let mut rhs = vec![0.0; n * p];
+        let mut scratch = vec![0.0; n * p];
+        for (s, rec) in recs.iter().enumerate() {
+            for k in 0..p {
+                rec.b
+                    .mat_vec_into(&d[k * n..(k + 1) * n], &mut rhs[k * n..(k + 1) * n]);
+            }
+            for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
+                *ri -= *wi;
+            }
+            rec.lu.solve_multi(&mut rhs, p, &mut scratch);
+            std::mem::swap(&mut d, &mut rhs);
+        }
+        // Batched boundary solve.
+        let mut dperiods = vec![0.0; p];
+        let mut d0 = if self.autonomous {
+            let nb = n + 1;
+            let mut bblock = vec![0.0; nb * p];
+            for k in 0..p {
+                bblock[k * nb..k * nb + n].copy_from_slice(&d[k * n..(k + 1) * n]);
+            }
+            let mut bscratch = vec![0.0; nb];
+            self.boundary.solve_multi(&mut bblock, p, &mut bscratch);
+            let mut d0 = vec![0.0; n * p];
+            for k in 0..p {
+                d0[k * n..(k + 1) * n].copy_from_slice(&bblock[k * nb..k * nb + n]);
+                dperiods[k] = bblock[k * nb + n];
+            }
+            d0
+        } else {
+            let mut bscratch = vec![0.0; n];
+            self.boundary.solve_multi(&mut d, p, &mut bscratch);
+            d
+        };
+        // Re-propagate from the periodic initial conditions.
+        let mut out: Vec<PeriodicResponse> = (0..p)
+            .map(|k| {
+                let mut dx = Vec::with_capacity(n_steps + 1);
+                dx.push(d0[k * n..(k + 1) * n].to_vec());
+                PeriodicResponse {
+                    dx,
+                    dperiod: dperiods[k],
+                }
+            })
+            .collect();
+        for (s, rec) in recs.iter().enumerate() {
+            for k in 0..p {
+                rec.b
+                    .mat_vec_into(&d0[k * n..(k + 1) * n], &mut rhs[k * n..(k + 1) * n]);
+            }
+            for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
+                *ri -= *wi;
+            }
+            rec.lu.solve_multi(&mut rhs, p, &mut scratch);
+            std::mem::swap(&mut d0, &mut rhs);
+            for (k, resp) in out.iter_mut().enumerate() {
+                resp.dx.push(d0[k * n..(k + 1) * n].to_vec());
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -283,13 +394,63 @@ mod tests {
             cm.apply_mismatch(&deltas);
             let sm = shooting_pss(&cm, period, &opts).unwrap();
             for step in [0usize, 50, 120, 199] {
-                let fd = (cp.voltage(&sp.states[step], b) - cm.voltage(&sm.states[step], b))
-                    / (2.0 * h);
+                let fd =
+                    (cp.voltage(&sp.states[step], b) - cm.voltage(&sm.states[step], b)) / (2.0 * h);
                 let got = resp.dx[step][ib];
                 assert!(
                     (got - fd).abs() < 2e-3 * fd.abs().max(1e-10),
                     "param {k} step {step}: {got} vs fd {fd}"
                 );
+            }
+        }
+    }
+
+    /// The batched all-parameter propagation must reproduce the per-parameter
+    /// path exactly (same factorizations, same arithmetic per column).
+    #[test]
+    fn batched_responses_match_per_param() {
+        use tranvar_circuit::Pulse;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let period = 10e-6;
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-7,
+                fall: 1e-7,
+                width: 4e-6,
+                period,
+            }),
+        );
+        let r1 = ckt.add_resistor("R1", a, b, 10e3);
+        let r2 = ckt.add_resistor("R2", b, NodeId::GROUND, 20e3);
+        let c1 = ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        ckt.annotate_resistor_mismatch(r1, 100.0);
+        ckt.annotate_resistor_mismatch(r2, 150.0);
+        ckt.annotate_capacitor_mismatch(c1, 1e-11);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 64;
+        let sol = shooting_pss(&ckt, period, &opts).unwrap();
+        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
+        let batched = solver.all_param_responses().unwrap();
+        assert_eq!(batched.len(), 3);
+        for (k, resp) in batched.iter().enumerate() {
+            let single = solver.param_response(k).unwrap();
+            assert_eq!(resp.dx.len(), single.dx.len());
+            assert_eq!(resp.dperiod.to_bits(), single.dperiod.to_bits());
+            for (ba, sa) in resp.dx.iter().zip(single.dx.iter()) {
+                for (x, y) in ba.iter().zip(sa.iter()) {
+                    assert!(
+                        x.to_bits() == y.to_bits(),
+                        "param {k}: batched {x} vs single {y}"
+                    );
+                }
             }
         }
     }

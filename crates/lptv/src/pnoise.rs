@@ -123,8 +123,10 @@ pub fn statistical_waveform(
     let nominal = sol.node_waveform(ckt, node);
     let sigmas = ckt.mismatch_sigmas();
     let mut var = vec![0.0; nominal.len()];
-    for (k, sigma) in sigmas.iter().enumerate() {
-        let resp = solver.param_response(k)?;
+    // One batched propagation for every parameter (multi-RHS over the
+    // shared PSS factorizations) instead of a per-source solve loop.
+    let responses = solver.all_param_responses()?;
+    for (sigma, resp) in sigmas.iter().zip(responses.iter()) {
         let w = resp.node_waveform(ckt, node);
         for (v, dv) in var.iter_mut().zip(w.iter()) {
             *v += (sigma * dv) * (sigma * dv);

@@ -80,11 +80,7 @@ mod tests {
 
     #[test]
     fn factor_reconstructs() {
-        let c = DMat::from_vec(
-            3,
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        );
+        let c = DMat::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]);
         let l = cholesky(&c, 0.0).unwrap();
         let back = l.mat_mul(&l.transpose());
         for i in 0..3 {

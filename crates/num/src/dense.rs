@@ -248,7 +248,34 @@ impl<T: Scalar> Lu<T> {
     ///
     /// Returns [`NumError::NotSquare`] if `a` is not square and
     /// [`NumError::Singular`] if a zero pivot is encountered.
-    pub fn factor(mut a: DMat<T>) -> Result<Self, NumError> {
+    pub fn factor(a: DMat<T>) -> Result<Self, NumError> {
+        let mut lu = Lu {
+            lu: a,
+            perm: Vec::new(),
+            sign: 1.0,
+        };
+        lu.factor_in_place()?;
+        Ok(lu)
+    }
+
+    /// Refactors `a` in place, reusing this factorization's storage (the
+    /// per-timestep hot path: no matrix clone, no fresh allocation beyond
+    /// growing to a larger dimension).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lu::factor`]. On error the contents are unspecified.
+    pub fn refactor(&mut self, a: &DMat<T>) -> Result<(), NumError> {
+        if self.lu.rows == a.rows && self.lu.cols == a.cols {
+            self.lu.data.copy_from_slice(&a.data);
+        } else {
+            self.lu = a.clone();
+        }
+        self.factor_in_place()
+    }
+
+    fn factor_in_place(&mut self) -> Result<(), NumError> {
+        let a = &mut self.lu;
         if !a.is_square() {
             return Err(NumError::NotSquare {
                 rows: a.rows,
@@ -256,7 +283,9 @@ impl<T: Scalar> Lu<T> {
             });
         }
         let n = a.rows;
-        let mut perm: Vec<usize> = (0..n).collect();
+        self.perm.clear();
+        self.perm.extend(0..n);
+        let perm = &mut self.perm;
         let mut sign = 1.0;
         for k in 0..n {
             // Pivot: largest magnitude in column k at or below the diagonal.
@@ -299,7 +328,8 @@ impl<T: Scalar> Lu<T> {
                 }
             }
         }
-        Ok(Lu { lu: a, perm, sign })
+        self.sign = sign;
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -326,6 +356,75 @@ impl<T: Scalar> Lu<T> {
         self.solve_permuted_in_place(x);
     }
 
+    /// Solves `A·x = b` into `out` with zero heap allocation — the
+    /// per-timestep hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.n()` or `out.len() != self.n()`.
+    pub fn solve_into(&self, b: &[T], out: &mut [T]) {
+        let n = self.n();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(out.len(), n, "out length mismatch");
+        for (o, &p) in out.iter_mut().zip(self.perm.iter()) {
+            *o = b[p];
+        }
+        self.solve_permuted_in_place(out);
+    }
+
+    /// Solves `A·X = B` for a column-major block of `n_rhs` right-hand sides
+    /// in place (`block[r + n·k]` is row `r` of RHS `k`); `scratch` must
+    /// have length `self.n()`.
+    ///
+    /// The triangular sweeps run with the factor row as the outer loop so
+    /// each row of `L`/`U` is read once per block instead of once per RHS —
+    /// for sensitivity batches this turns a memory-bound loop into an
+    /// arithmetic one. Per-column results are bit-for-bit identical to
+    /// [`Lu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != self.n() * n_rhs` or
+    /// `scratch.len() != self.n()`.
+    pub fn solve_multi(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        let n = self.n();
+        assert_eq!(block.len(), n * n_rhs, "block length mismatch");
+        assert_eq!(scratch.len(), n, "scratch length mismatch");
+        // Apply the row permutation column by column.
+        for k in 0..n_rhs {
+            let col = &mut block[k * n..(k + 1) * n];
+            scratch.copy_from_slice(col);
+            for (o, &p) in col.iter_mut().zip(self.perm.iter()) {
+                *o = scratch[p];
+            }
+        }
+        // Forward substitution with unit lower factor, row-outer so the
+        // factor row is loaded once per block.
+        for i in 1..n {
+            let row = self.lu.row(i);
+            for k in 0..n_rhs {
+                let col = &mut block[k * n..(k + 1) * n];
+                let mut acc = col[i];
+                for j in 0..i {
+                    acc -= row[j] * col[j];
+                }
+                col[i] = acc;
+            }
+        }
+        // Back substitution with upper factor.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            for k in 0..n_rhs {
+                let col = &mut block[k * n..(k + 1) * n];
+                let mut acc = col[i];
+                for j in (i + 1)..n {
+                    acc -= row[j] * col[j];
+                }
+                col[i] = acc / row[i];
+            }
+        }
+    }
+
     fn solve_permuted_in_place(&self, x: &mut [T]) {
         let n = self.n();
         assert_eq!(x.len(), n, "rhs length mismatch");
@@ -346,6 +445,70 @@ impl<T: Scalar> Lu<T> {
                 acc -= row[j] * x[j];
             }
             x[i] = acc / row[i];
+        }
+    }
+
+    /// Solves `A·X = B` for an *interleaved* block of `n_rhs` right-hand
+    /// sides in place: `block[i·n_rhs + k]` is row `i` of RHS `k`, so the
+    /// values of all RHS for one unknown are contiguous. `scratch` must be
+    /// another `n·n_rhs` buffer.
+    ///
+    /// Every triangular update becomes a contiguous `n_rhs`-wide axpy, which
+    /// vectorizes far better than the column-major [`Lu::solve_multi`] when
+    /// the system is small and the batch is wide (the transient-sensitivity
+    /// shape: tens of unknowns, tens of parameters). Per-RHS results are
+    /// bit-for-bit identical to [`Lu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` or `scratch.len()` differ from
+    /// `self.n() * n_rhs`.
+    pub fn solve_multi_interleaved(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        let n = self.n();
+        assert_eq!(block.len(), n * n_rhs, "block length mismatch");
+        assert_eq!(scratch.len(), n * n_rhs, "scratch length mismatch");
+        if n_rhs == 0 {
+            return;
+        }
+        // Row permutation.
+        scratch.copy_from_slice(block);
+        for (i, &p) in self.perm.iter().enumerate() {
+            block[i * n_rhs..(i + 1) * n_rhs].copy_from_slice(&scratch[p * n_rhs..(p + 1) * n_rhs]);
+        }
+        // Forward substitution with unit lower factor: row i accumulates
+        // -L[i][j]·x_j for j < i, each a contiguous axpy.
+        for i in 1..n {
+            let row = self.lu.row(i);
+            let (lo, hi) = block.split_at_mut(i * n_rhs);
+            let xi = &mut hi[..n_rhs];
+            for (j, &lij) in row.iter().enumerate().take(i) {
+                if lij == T::zero() {
+                    continue;
+                }
+                let xj = &lo[j * n_rhs..(j + 1) * n_rhs];
+                for (a, b) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= lij * *b;
+                }
+            }
+        }
+        // Back substitution with upper factor.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let (lo, hi) = block.split_at_mut((i + 1) * n_rhs);
+            let xi = &mut lo[i * n_rhs..];
+            for (j, &uij) in row.iter().enumerate().skip(i + 1) {
+                if uij == T::zero() {
+                    continue;
+                }
+                let xj = &hi[(j - i - 1) * n_rhs..(j - i) * n_rhs];
+                for (a, b) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= uij * *b;
+                }
+            }
+            let diag = row[i];
+            for a in xi.iter_mut() {
+                *a = *a / diag;
+            }
         }
     }
 
@@ -387,19 +550,25 @@ impl<T: Scalar> Lu<T> {
         d
     }
 
-    /// Solves for each column of `B`, returning `A⁻¹·B`.
+    /// Solves for each column of `B`, returning `A⁻¹·B` (blocked multi-RHS
+    /// sweep under the hood).
     pub fn solve_mat(&self, b: &DMat<T>) -> DMat<T> {
         let n = self.n();
         assert_eq!(b.rows(), n);
-        let mut out = DMat::zeros(n, b.cols());
-        let mut col = vec![T::zero(); n];
-        for j in 0..b.cols() {
+        let n_rhs = b.cols();
+        // Column-major staging block for the batched solve.
+        let mut block = vec![T::zero(); n * n_rhs];
+        for j in 0..n_rhs {
             for i in 0..n {
-                col[i] = b[(i, j)];
+                block[j * n + i] = b[(i, j)];
             }
-            let x = self.solve(&col);
+        }
+        let mut scratch = vec![T::zero(); n];
+        self.solve_multi(&mut block, n_rhs, &mut scratch);
+        let mut out = DMat::zeros(n, n_rhs);
+        for j in 0..n_rhs {
             for i in 0..n {
-                out[(i, j)] = x[i];
+                out[(i, j)] = block[j * n + i];
             }
         }
         out
@@ -503,7 +672,9 @@ mod tests {
         let n = 24;
         let mut seed = 1u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let a = DMat::from_fn(n, n, |i, j| rnd() + if i == j { 4.0 } else { 0.0 });
@@ -546,6 +717,95 @@ mod tests {
         let a = DMat::from_fn(3, 3, |i, j| (i * 3 + j) as f64 + 1.0);
         let b = DMat::identity(3);
         assert_eq!(a.mat_mul(&b), a);
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let a = DMat::from_vec(3, 3, vec![2.0, 1.0, 1.0, 1.0, 3.0, 2.0, 1.0, 0.0, 0.5]);
+        let lu = a.lu().unwrap();
+        let b = [4.0, 5.0, 6.0];
+        let reference = lu.solve(&b);
+        let mut out = [0.0; 3];
+        lu.solve_into(&b, &mut out);
+        for i in 0..3 {
+            assert!(out[i].to_bits() == reference[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn solve_multi_matches_column_solves() {
+        let n = 9;
+        let mut seed = 3u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = DMat::from_fn(n, n, |i, j| rnd() + if i == j { 5.0 } else { 0.0 });
+        let lu = a.lu().unwrap();
+        let n_rhs = 4;
+        let mut block: Vec<f64> = (0..n * n_rhs).map(|_| rnd()).collect();
+        let reference: Vec<Vec<f64>> = (0..n_rhs)
+            .map(|k| lu.solve(&block[k * n..(k + 1) * n]))
+            .collect();
+        let mut scratch = vec![0.0; n];
+        lu.solve_multi(&mut block, n_rhs, &mut scratch);
+        for k in 0..n_rhs {
+            for i in 0..n {
+                assert!(
+                    block[k * n + i].to_bits() == reference[k][i].to_bits(),
+                    "rhs {k} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_interleaved_matches_solve() {
+        let n = 11;
+        let mut seed = 9u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = DMat::from_fn(n, n, |i, j| rnd() + if i == j { 5.0 } else { 0.0 });
+        let lu = a.lu().unwrap();
+        let n_rhs = 7;
+        let mut block: Vec<f64> = (0..n * n_rhs).map(|_| rnd()).collect();
+        let reference: Vec<Vec<f64>> = (0..n_rhs)
+            .map(|k| {
+                let b: Vec<f64> = (0..n).map(|r| block[r * n_rhs + k]).collect();
+                lu.solve(&b)
+            })
+            .collect();
+        let mut scratch = vec![0.0; n * n_rhs];
+        lu.solve_multi_interleaved(&mut block, n_rhs, &mut scratch);
+        for k in 0..n_rhs {
+            for r in 0..n {
+                assert!(
+                    block[r * n_rhs + k].to_bits() == reference[k][r].to_bits(),
+                    "rhs {k} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        let a = DMat::from_vec(3, 3, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 9.0]);
+        let b = DMat::from_vec(3, 3, vec![4.0, 1.0, 0.0, 2.0, 5.0, 1.0, 0.5, 1.0, 3.0]);
+        let mut lu = a.lu().unwrap();
+        lu.refactor(&b).unwrap();
+        let fresh = b.lu().unwrap();
+        let rhs = [1.0, -2.0, 0.5];
+        let x1 = lu.solve(&rhs);
+        let x2 = fresh.solve(&rhs);
+        for i in 0..3 {
+            assert!(x1[i].to_bits() == x2[i].to_bits());
+        }
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub enum NumError {
         /// Actual size.
         actual: usize,
     },
+    /// A numeric-only update was attempted on a matrix whose sparsity
+    /// pattern differs from the one the structure was built for.
+    PatternMismatch,
 }
 
 impl fmt::Display for NumError {
@@ -56,6 +59,9 @@ impl fmt::Display for NumError {
             }
             NumError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            NumError::PatternMismatch => {
+                write!(f, "sparsity pattern differs from the analyzed structure")
             }
         }
     }

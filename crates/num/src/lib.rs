@@ -47,4 +47,4 @@ pub mod stats;
 pub use complex::{Complex, Scalar};
 pub use dense::{DMat, Lu};
 pub use error::NumError;
-pub use sparse::{Csc, SparseLu, Triplets};
+pub use sparse::{Csc, SparseLu, SparseSymbolic, Triplets};

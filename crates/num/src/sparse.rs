@@ -1,14 +1,39 @@
 //! Sparse matrices in triplet and compressed-sparse-column form, with a
-//! left-looking LU factorization (Gilbert–Peierls style) and partial pivoting.
+//! left-looking LU factorization (Gilbert–Peierls style), partial pivoting,
+//! and a symbolic/numeric split for pattern-reusing refactorization.
 //!
 //! MNA matrices of circuits are extremely sparse (a handful of entries per
-//! row). The transient/PSS inner loops factor one Jacobian per Newton
-//! iteration, then the LPTV noise analysis re-uses those factors for many
-//! right-hand sides — so the split between `factor` and `solve` mirrors the
-//! dense kernel in [`crate::dense`].
+//! row) and — crucially — their sparsity pattern is *fixed for a given
+//! circuit*: every timestep and every Newton iteration stamps the same
+//! coordinates with different values. The factorization is therefore split
+//! KLU-style:
+//!
+//! - the first [`Csc::lu`] performs the full pivot search and records the
+//!   elimination order as a [`SparseSymbolic`];
+//! - subsequent same-pattern factorizations go through
+//!   [`SparseLu::refactor`] or [`Csc::lu_with`], which replay the stored
+//!   pivot order without searching and reuse all factor allocations.
+//!
+//! Replaying the same pivot order over the same values performs the exact
+//! same floating-point operations in the same order, so a refactorization of
+//! an unchanged matrix reproduces the from-scratch factors bit-for-bit — a
+//! property the engine's tests rely on. A stale pivot order that turns
+//! numerically unacceptable on new values is reported as
+//! [`NumError::Singular`] so callers can fall back to a fresh pivot search.
+//!
+//! Solves come in allocating ([`SparseLu::solve`]), zero-allocation
+//! ([`SparseLu::solve_into`]) and blocked multi-RHS
+//! ([`SparseLu::solve_multi`]) flavors; the blocked path walks each factor
+//! column once per *block* instead of once per right-hand side, which is
+//! where the transient-sensitivity and LPTV layers get their throughput.
 
 use crate::complex::Scalar;
 use crate::error::NumError;
+
+/// Relative pivot-acceptability threshold for fixed-order refactorization:
+/// a replayed pivot smaller than this fraction of its column's magnitude is
+/// rejected (the caller should re-run the pivot search).
+const REFACTOR_PIVOT_RTOL: f64 = 1e-10;
 
 /// A sparse-matrix builder accumulating `(row, col, value)` triplets.
 ///
@@ -58,6 +83,18 @@ impl<T: Scalar> Triplets<T> {
         self.entries.len()
     }
 
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
     /// Removes all triplets, retaining the allocation (hot-loop reuse).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -71,6 +108,15 @@ impl<T: Scalar> Triplets<T> {
     /// Returns `true` if no triplets have been pushed.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Copies another builder's shape and entries into this one, retaining
+    /// this builder's allocation (hot-loop assembly reuse).
+    pub fn copy_from(&mut self, other: &Triplets<T>) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.entries.clear();
+        self.entries.extend_from_slice(&other.entries);
     }
 
     /// Compresses to CSC, summing duplicates.
@@ -159,6 +205,13 @@ impl<T: Scalar> Csc<T> {
         self.values.len()
     }
 
+    /// Borrows the stored values in column-major pattern order (pairs with
+    /// the fixed pattern for cheap change detection between refills).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
     /// Returns the entry at `(row, col)`, or zero if not stored.
     pub fn get(&self, row: usize, col: usize) -> T {
         let lo = self.col_ptr[col];
@@ -169,14 +222,58 @@ impl<T: Scalar> Csc<T> {
         }
     }
 
+    /// Numeric-only value update from a triplet set with the *same sparsity
+    /// pattern* as the one this matrix was compressed from (hot-loop reuse:
+    /// the MNA pattern of a circuit never changes between timesteps, only
+    /// the stamped values do). Zero heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::PatternMismatch`] if a triplet addresses a
+    /// coordinate that is not stored, or [`NumError::DimensionMismatch`] on
+    /// shape disagreement. On error the stored values are unspecified
+    /// (partially refilled) — discard the matrix and rebuild with
+    /// [`Triplets::to_csc`].
+    pub fn refill_from(&mut self, t: &Triplets<T>) -> Result<(), NumError> {
+        if t.rows != self.rows || t.cols != self.cols {
+            return Err(NumError::DimensionMismatch {
+                expected: self.rows,
+                actual: t.rows,
+            });
+        }
+        self.values.iter_mut().for_each(|v| *v = T::zero());
+        for &(r, c, v) in &t.entries {
+            let lo = self.col_ptr[c];
+            let hi = self.col_ptr[c + 1];
+            match self.row_idx[lo..hi].binary_search(&r) {
+                Ok(k) => self.values[lo + k] += v,
+                Err(_) => return Err(NumError::PatternMismatch),
+            }
+        }
+        Ok(())
+    }
+
     /// Matrix–vector product `A·x`.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.cols()`.
     pub fn mat_vec(&self, x: &[T]) -> Vec<T> {
-        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
         let mut y = vec![T::zero(); self.rows];
+        self.mat_vec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product `A·x` into a caller-provided buffer
+    /// (zero-allocation hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()` or `y.len() != self.rows()`.
+    pub fn mat_vec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "mat_vec output dimension mismatch");
+        y.iter_mut().for_each(|v| *v = T::zero());
         for c in 0..self.cols {
             let xc = x[c];
             if xc == T::zero() {
@@ -186,7 +283,33 @@ impl<T: Scalar> Csc<T> {
                 y[self.row_idx[k]] += self.values[k] * xc;
             }
         }
-        y
+    }
+
+    /// Matrix product against an *interleaved* block: `x` holds `width`
+    /// right-hand sides row-major (`x[c·width + k]` is row `c` of RHS `k`),
+    /// and `y` receives `A·X` in the same layout. The interleaved layout
+    /// makes the inner update a contiguous `width`-wide axpy, which
+    /// vectorizes — the preferred layout for wide sensitivity batches.
+    ///
+    /// Per-RHS results are bit-for-bit identical to [`Csc::mat_vec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn mat_vec_interleaved(&self, x: &[T], y: &mut [T], width: usize) {
+        assert_eq!(x.len(), self.cols * width, "interleaved x length mismatch");
+        assert_eq!(y.len(), self.rows * width, "interleaved y length mismatch");
+        y.iter_mut().for_each(|v| *v = T::zero());
+        for c in 0..self.cols {
+            let xc = &x[c * width..(c + 1) * width];
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let v = self.values[k];
+                let yr = &mut y[self.row_idx[k] * width..(self.row_idx[k] + 1) * width];
+                for (yi, xi) in yr.iter_mut().zip(xc.iter()) {
+                    *yi += v * *xi;
+                }
+            }
+        }
     }
 
     /// Converts to dense form (small systems, tests, monodromy assembly).
@@ -202,28 +325,156 @@ impl<T: Scalar> Csc<T> {
 
     /// Factorizes `A = P⁻¹·L·U` with partial pivoting (left-looking,
     /// Gilbert–Peierls with a dense working column; adequate for the
-    /// moderate dimensions of circuit Jacobians).
+    /// moderate dimensions of circuit Jacobians). This is the *analyzing*
+    /// factorization: it performs the pivot search and records the
+    /// elimination order for later [`SparseLu::refactor`] /
+    /// [`Csc::lu_with`] calls.
     ///
     /// # Errors
     ///
     /// Returns [`NumError::NotSquare`] or [`NumError::Singular`].
     pub fn lu(&self) -> Result<SparseLu<T>, NumError> {
-        if self.rows != self.cols {
-            return Err(NumError::NotSquare {
-                rows: self.rows,
-                cols: self.cols,
+        let mut f = SparseLu::empty(self.rows);
+        f.factor_core(self, None)?;
+        Ok(f)
+    }
+
+    /// Numeric factorization replaying a previously recorded pivot order
+    /// (see [`SparseLu::symbolic`]). Skips the pivot search entirely; on the
+    /// same values this reproduces [`Csc::lu`] bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if a replayed pivot is numerically
+    /// unacceptable on the new values — re-run [`Csc::lu`] to re-pivot.
+    pub fn lu_with(&self, symbolic: &SparseSymbolic) -> Result<SparseLu<T>, NumError> {
+        if symbolic.perm.len() != self.rows {
+            return Err(NumError::DimensionMismatch {
+                expected: self.rows,
+                actual: symbolic.perm.len(),
             });
         }
-        let n = self.rows;
+        let mut f = SparseLu::empty(self.rows);
+        let perm = symbolic.perm.clone();
+        f.factor_core(self, Some(&perm))?;
+        Ok(f)
+    }
+}
+
+/// The reusable symbolic part of a sparse LU: the pivot (elimination) order
+/// discovered by an analyzing factorization. For a fixed MNA pattern this is
+/// computed once per circuit and replayed every timestep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseSymbolic {
+    perm: Vec<usize>,
+}
+
+impl SparseSymbolic {
+    /// Dimension of the analyzed system.
+    pub fn n(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The recorded pivot order: `order()[j]` is the original row eliminated
+    /// at step `j`.
+    pub fn order(&self) -> &[usize] {
+        &self.perm
+    }
+}
+
+/// A sparse LU factorization produced by [`Csc::lu`].
+#[derive(Clone, Debug)]
+pub struct SparseLu<T> {
+    n: usize,
+    /// perm[j] = original row chosen as pivot for elimination step j.
+    perm: Vec<usize>,
+    /// L columns: (original row, multiplier), strictly below-diagonal.
+    l_cols: Vec<Vec<(usize, T)>>,
+    /// For pivot-row j: list of (column, value) entries of U in that row,
+    /// stored as (col, value) with col >= j, sorted ascending by col.
+    u_rows_by_col: Vec<Vec<(usize, T)>>,
+}
+
+impl<T: Scalar> SparseLu<T> {
+    fn empty(n: usize) -> Self {
+        SparseLu {
+            n,
+            perm: Vec::new(),
+            l_cols: Vec::new(),
+            u_rows_by_col: Vec::new(),
+        }
+    }
+
+    /// Dimension of the factored system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Extracts the reusable symbolic analysis (pivot order) so future
+    /// same-pattern factorizations can skip the pivot search.
+    pub fn symbolic(&self) -> SparseSymbolic {
+        SparseSymbolic {
+            perm: self.perm.clone(),
+        }
+    }
+
+    /// Numeric-only refactorization in place: replays this factorization's
+    /// pivot order on the new values of `a` (which must have the same shape;
+    /// the usual caller passes the same-pattern matrix of the next timestep)
+    /// and reuses every factor allocation. On unchanged values the result is
+    /// bit-for-bit identical to a from-scratch [`Csc::lu`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::Singular`] if a replayed pivot is numerically
+    /// unacceptable; the factorization contents are unspecified afterwards
+    /// and the caller should fall back to a fresh [`Csc::lu`].
+    pub fn refactor(&mut self, a: &Csc<T>) -> Result<(), NumError> {
+        if a.rows != self.n || a.cols != self.n {
+            return Err(NumError::DimensionMismatch {
+                expected: self.n,
+                actual: a.rows,
+            });
+        }
+        let perm = std::mem::take(&mut self.perm);
+        let result = self.factor_core(a, Some(&perm));
+        if result.is_err() {
+            // Leave a well-formed (if useless) perm behind.
+            self.perm = perm;
+        }
+        result
+    }
+
+    /// The shared factorization kernel. With `fixed: None` it searches for
+    /// pivots (analyzing factorization); with `fixed: Some(order)` it replays
+    /// the given pivot order (numeric refactorization). Existing factor
+    /// storage is cleared and reused.
+    fn factor_core(&mut self, a: &Csc<T>, fixed: Option<&[usize]>) -> Result<(), NumError> {
+        if a.rows != a.cols {
+            return Err(NumError::NotSquare {
+                rows: a.rows,
+                cols: a.cols,
+            });
+        }
+        let n = a.rows;
+        self.n = n;
         // row_perm[i] = original row currently in pivot position i; inv maps
         // original row -> pivot position (usize::MAX while unassigned).
         let mut pinv = vec![usize::MAX; n];
-        let mut perm = vec![usize::MAX; n];
+        self.perm.clear();
+        self.perm.resize(n, usize::MAX);
 
-        // L and U stored column-wise as (row-position, value) pairs, where L
-        // uses pivot positions and U uses pivot positions for rows.
-        let mut l_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
-        let mut u_cols: Vec<Vec<(usize, T)>> = Vec::with_capacity(n);
+        // Clear factor columns, retaining inner allocations where possible.
+        for c in self.l_cols.iter_mut() {
+            c.clear();
+        }
+        for c in self.u_rows_by_col.iter_mut() {
+            c.clear();
+        }
+        self.l_cols.resize_with(n, Vec::new);
+        self.u_rows_by_col.resize_with(n, Vec::new);
+        self.l_cols.truncate(n);
+        self.u_rows_by_col.truncate(n);
 
         // Dense scatter workspace indexed by *original* row.
         let mut work = vec![T::zero(); n];
@@ -232,9 +483,9 @@ impl<T: Scalar> Csc<T> {
         for col in 0..n {
             // Scatter column `col` of A into the workspace.
             touched.clear();
-            for k in self.col_ptr[col]..self.col_ptr[col + 1] {
-                let r = self.row_idx[k];
-                work[r] = self.values[k];
+            for k in a.col_ptr[col]..a.col_ptr[col + 1] {
+                let r = a.row_idx[k];
+                work[r] = a.values[k];
                 touched.push(r);
             }
             // Left-looking update: for each prior pivot j (in order), if the
@@ -242,15 +493,15 @@ impl<T: Scalar> Csc<T> {
             // column j of L. Processing j in increasing order is a correct
             // topological order for the dense-workspace variant.
             for j in 0..col {
-                let pr = perm[j]; // original row holding pivot j
+                let pr = self.perm[j]; // original row holding pivot j
                 let ujc = work[pr];
                 if ujc == T::zero() {
                     continue;
                 }
                 // Record U entry (pivot position j, column col).
-                u_cols[j].push((col, ujc));
+                self.u_rows_by_col[j].push((col, ujc));
                 // work -= ujc * L[:, j]
-                for &(orig_row, lv) in &l_cols[j] {
+                for &(orig_row, lv) in &self.l_cols[j] {
                     if work[orig_row] == T::zero() {
                         touched.push(orig_row);
                     }
@@ -258,41 +509,67 @@ impl<T: Scalar> Csc<T> {
                 }
                 work[pr] = T::zero();
             }
-            // Pivot: largest magnitude among unassigned original rows.
-            let mut prow = usize::MAX;
-            let mut pmag = 0.0;
-            for &r in touched.iter() {
-                if pinv[r] != usize::MAX {
-                    continue;
+            // Pivot selection: replay a fixed order, or search for the
+            // largest magnitude among unassigned original rows.
+            let prow = match fixed {
+                Some(order) => {
+                    let prow = order[col];
+                    let pmag = work[prow].magnitude();
+                    if pmag == 0.0 || pmag.is_nan() {
+                        return Err(NumError::Singular { col });
+                    }
+                    // Guard against a stale pivot order that has become
+                    // numerically poor on the new values.
+                    let mut colmax = 0.0f64;
+                    for &r in touched.iter() {
+                        if pinv[r] == usize::MAX {
+                            colmax = colmax.max(work[r].magnitude());
+                        }
+                    }
+                    if pmag < REFACTOR_PIVOT_RTOL * colmax {
+                        return Err(NumError::Singular { col });
+                    }
+                    prow
                 }
-                let m = work[r].magnitude();
-                if m > pmag {
-                    pmag = m;
-                    prow = r;
-                }
-            }
-            // `touched` can contain duplicates/stale zero entries; also scan
-            // all unassigned rows if nothing usable was touched.
-            if prow == usize::MAX || pmag == 0.0 {
-                for r in 0..n {
-                    if pinv[r] == usize::MAX {
+                None => {
+                    let mut prow = usize::MAX;
+                    let mut pmag = 0.0;
+                    for &r in touched.iter() {
+                        if pinv[r] != usize::MAX {
+                            continue;
+                        }
                         let m = work[r].magnitude();
                         if m > pmag {
                             pmag = m;
                             prow = r;
                         }
                     }
+                    // `touched` can contain duplicates/stale zero entries;
+                    // also scan all unassigned rows if nothing usable was
+                    // touched.
+                    if prow == usize::MAX || pmag == 0.0 {
+                        for r in 0..n {
+                            if pinv[r] == usize::MAX {
+                                let m = work[r].magnitude();
+                                if m > pmag {
+                                    pmag = m;
+                                    prow = r;
+                                }
+                            }
+                        }
+                    }
+                    if prow == usize::MAX || pmag == 0.0 || pmag.is_nan() {
+                        return Err(NumError::Singular { col });
+                    }
+                    prow
                 }
-            }
-            if prow == usize::MAX || pmag == 0.0 || pmag.is_nan() {
-                return Err(NumError::Singular { col });
-            }
+            };
             let pivot = work[prow];
-            perm[col] = prow;
+            self.perm[col] = prow;
             pinv[prow] = col;
 
             // Store L column (unit diagonal implicit) and clear workspace.
-            let mut lcol: Vec<(usize, T)> = Vec::new();
+            let lcol = &mut self.l_cols[col];
             for &r in touched.iter() {
                 let v = work[r];
                 if v == T::zero() {
@@ -306,7 +583,7 @@ impl<T: Scalar> Csc<T> {
                     lcol.push((r, v / pivot));
                 } else {
                     // This row was already pivotal: belongs to U.
-                    u_cols[pinv[r]].push((col, v));
+                    self.u_rows_by_col[pinv[r]].push((col, v));
                 }
                 work[r] = T::zero();
             }
@@ -322,11 +599,10 @@ impl<T: Scalar> Csc<T> {
                     false
                 }
             });
-            l_cols.push(lcol);
-            u_cols.push(vec![(col, pivot)]);
+            self.u_rows_by_col[col].push((col, pivot));
         }
         // Sort U columns by row position for deterministic solves.
-        for ucol in u_cols.iter_mut() {
+        for ucol in self.u_rows_by_col.iter_mut() {
             ucol.sort_by_key(|&(r, _)| r);
             ucol.dedup_by(|a, b| {
                 if a.0 == b.0 {
@@ -337,33 +613,7 @@ impl<T: Scalar> Csc<T> {
                 }
             });
         }
-        Ok(SparseLu {
-            n,
-            perm,
-            l_cols,
-            u_rows_by_col: u_cols,
-        })
-    }
-}
-
-/// A sparse LU factorization produced by [`Csc::lu`].
-#[derive(Clone, Debug)]
-pub struct SparseLu<T> {
-    n: usize,
-    /// perm[j] = original row chosen as pivot for elimination step j.
-    perm: Vec<usize>,
-    /// L columns: (original row, multiplier), strictly below-diagonal.
-    l_cols: Vec<Vec<(usize, T)>>,
-    /// For pivot-row j: list of (column, value) entries of U in that row,
-    /// stored per column index ascending; first entry is the diagonal? No —
-    /// entries are (col, value) with col >= j, sorted ascending.
-    u_rows_by_col: Vec<Vec<(usize, T)>>,
-}
-
-impl<T: Scalar> SparseLu<T> {
-    /// Dimension of the factored system.
-    pub fn n(&self) -> usize {
-        self.n
+        Ok(())
     }
 
     /// Solves `A·x = b`.
@@ -372,40 +622,180 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// Panics if `b.len() != self.n()`.
     pub fn solve(&self, b: &[T]) -> Vec<T> {
-        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let mut out = vec![T::zero(); self.n];
+        let mut scratch = vec![T::zero(); self.n];
+        self.solve_into(b, &mut out, &mut scratch);
+        out
+    }
+
+    /// Solves `A·x = b` into `out`, using `scratch` as workspace — the
+    /// zero-allocation hot path for per-timestep solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from `self.n()`.
+    pub fn solve_into(&self, b: &[T], out: &mut [T], scratch: &mut [T]) {
         let n = self.n;
-        // Forward: y indexed by pivot position.
-        let mut work = b.to_vec(); // indexed by original row
-        let mut y = vec![T::zero(); n];
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        assert_eq!(out.len(), n, "out length mismatch");
+        assert_eq!(scratch.len(), n, "scratch length mismatch");
+        // Forward: scratch holds the working RHS indexed by original row,
+        // out accumulates y indexed by pivot position.
+        scratch.copy_from_slice(b);
         for j in 0..n {
             let pr = self.perm[j];
-            let yj = work[pr];
-            y[j] = yj;
+            let yj = scratch[pr];
+            out[j] = yj;
             if yj == T::zero() {
                 continue;
             }
             for &(orig_row, lv) in &self.l_cols[j] {
-                work[orig_row] -= lv * yj;
+                scratch[orig_row] -= lv * yj;
             }
         }
         // Back substitution on U: U is upper triangular in pivot coordinates.
-        // u_rows_by_col[j] holds row j of U as (col, value) pairs sorted by col.
-        let mut x = y;
+        // u_rows_by_col[j] holds row j of U as (col, value) pairs sorted by
+        // col; the entry with col == j is the diagonal.
         for j in (0..n).rev() {
             let row = &self.u_rows_by_col[j];
-            // First entry must be the diagonal (col == j).
-            let mut acc = x[j];
+            let mut acc = out[j];
             let mut diag = T::zero();
             for &(c, v) in row.iter() {
                 if c == j {
                     diag = v;
                 } else {
-                    acc -= v * x[c];
+                    acc -= v * out[c];
                 }
             }
-            x[j] = acc / diag;
+            out[j] = acc / diag;
         }
-        x
+    }
+
+    /// Solves `A·X = B` for a column-major block of `n_rhs` right-hand sides
+    /// in place. `block` holds the RHS columns contiguously
+    /// (`block[r + n·k]` is row `r` of RHS `k`) and is overwritten with the
+    /// solutions; `scratch` must be another `n·n_rhs` buffer.
+    ///
+    /// Each L/U column is traversed once per *block* rather than once per
+    /// RHS, so for many right-hand sides (sensitivity batches, monodromy
+    /// columns) this is substantially faster than repeated
+    /// [`SparseLu::solve_into`] calls — and just as importantly it performs
+    /// zero heap allocation.
+    ///
+    /// The per-column arithmetic is identical to [`SparseLu::solve`], so the
+    /// blocked path returns bit-for-bit the same solutions as solving each
+    /// column separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` or `scratch.len()` differ from
+    /// `self.n() * n_rhs`.
+    pub fn solve_multi(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        let n = self.n;
+        assert_eq!(block.len(), n * n_rhs, "block length mismatch");
+        assert_eq!(scratch.len(), n * n_rhs, "scratch length mismatch");
+        if n_rhs == 0 {
+            return;
+        }
+        // Forward sweep, factor-column outer loop: scratch is the working RHS
+        // (original-row indexed), block accumulates y (pivot indexed).
+        scratch.copy_from_slice(block);
+        for j in 0..n {
+            let pr = self.perm[j];
+            let lcol = &self.l_cols[j];
+            for k in 0..n_rhs {
+                let off = k * n;
+                let yj = scratch[off + pr];
+                block[off + j] = yj;
+                if yj == T::zero() {
+                    continue;
+                }
+                for &(orig_row, lv) in lcol {
+                    scratch[off + orig_row] -= lv * yj;
+                }
+            }
+        }
+        // Back substitution, factor-row outer loop.
+        for j in (0..n).rev() {
+            let row = &self.u_rows_by_col[j];
+            for k in 0..n_rhs {
+                let x = &mut block[k * n..(k + 1) * n];
+                let mut acc = x[j];
+                let mut diag = T::zero();
+                for &(c, v) in row.iter() {
+                    if c == j {
+                        diag = v;
+                    } else {
+                        acc -= v * x[c];
+                    }
+                }
+                x[j] = acc / diag;
+            }
+        }
+    }
+}
+
+impl<T: Scalar> SparseLu<T> {
+    /// Solves `A·X = B` for an *interleaved* block of `n_rhs` right-hand
+    /// sides in place (`block[r·n_rhs + k]` is row `r` of RHS `k`);
+    /// `scratch` must be another `n·n_rhs` buffer.
+    ///
+    /// Like [`crate::dense::Lu::solve_multi_interleaved`], every factor
+    /// entry turns into a contiguous `n_rhs`-wide axpy. Per-RHS results are
+    /// bit-for-bit identical to [`SparseLu::solve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` or `scratch.len()` differ from
+    /// `self.n() * n_rhs`.
+    pub fn solve_multi_interleaved(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        let n = self.n;
+        assert_eq!(block.len(), n * n_rhs, "block length mismatch");
+        assert_eq!(scratch.len(), n * n_rhs, "scratch length mismatch");
+        if n_rhs == 0 {
+            return;
+        }
+        // Forward: scratch is the working RHS (original-row indexed), block
+        // accumulates y (pivot indexed).
+        scratch.copy_from_slice(block);
+        for j in 0..n {
+            let pr = self.perm[j];
+            {
+                let (b, s) = (
+                    &mut block[j * n_rhs..(j + 1) * n_rhs],
+                    &scratch[pr * n_rhs..(pr + 1) * n_rhs],
+                );
+                b.copy_from_slice(s);
+            }
+            let yrow = &block[j * n_rhs..(j + 1) * n_rhs];
+            for &(orig_row, lv) in &self.l_cols[j] {
+                let wrow = &mut scratch[orig_row * n_rhs..(orig_row + 1) * n_rhs];
+                for (w, y) in wrow.iter_mut().zip(yrow.iter()) {
+                    *w -= lv * *y;
+                }
+            }
+        }
+        // Back substitution on U (pivot coordinates).
+        for j in (0..n).rev() {
+            let row = &self.u_rows_by_col[j];
+            let mut diag = T::zero();
+            for &(c, v) in row.iter() {
+                if c == j {
+                    diag = v;
+                    continue;
+                }
+                let (lo, hi) = block.split_at_mut(c * n_rhs);
+                let xc = &hi[..n_rhs];
+                let xj = &mut lo[j * n_rhs..(j + 1) * n_rhs];
+                for (a, b) in xj.iter_mut().zip(xc.iter()) {
+                    *a -= v * *b;
+                }
+            }
+            let xj = &mut block[j * n_rhs..(j + 1) * n_rhs];
+            for a in xj.iter_mut() {
+                *a = *a / diag;
+            }
+        }
     }
 }
 
@@ -506,10 +896,7 @@ mod tests {
         t.push(0, 0, 1.0);
         t.push(1, 0, 1.0);
         // column 1 empty -> singular
-        assert!(matches!(
-            t.to_csc().lu(),
-            Err(NumError::Singular { .. })
-        ));
+        assert!(matches!(t.to_csc().lu(), Err(NumError::Singular { .. })));
     }
 
     #[test]
@@ -540,5 +927,188 @@ mod tests {
         assert_eq!(d[(0, 0)], 1.0);
         assert_eq!(d[(1, 2)], 5.0);
         assert_eq!(d[(0, 1)], 0.0);
+    }
+
+    /// Replaying the symbolic pivot order on the same values must reproduce
+    /// the from-scratch factorization bit-for-bit.
+    #[test]
+    fn refactor_same_values_is_bit_identical() {
+        for trial in 0..5 {
+            let mut seed = 300 + trial;
+            let n = 25;
+            let (s, _) = dense_random(n, &mut seed, 0.25);
+            let fresh = s.lu().unwrap();
+            // Route 1: lu_with on the recorded symbolic.
+            let replayed = s.lu_with(&fresh.symbolic()).unwrap();
+            // Route 2: in-place refactor.
+            let mut inplace = fresh.clone();
+            inplace.refactor(&s).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+            let x0 = fresh.solve(&b);
+            let x1 = replayed.solve(&b);
+            let x2 = inplace.solve(&b);
+            for i in 0..n {
+                assert!(
+                    x0[i].to_bits() == x1[i].to_bits(),
+                    "trial {trial} lu_with row {i}"
+                );
+                assert!(
+                    x0[i].to_bits() == x2[i].to_bits(),
+                    "trial {trial} refactor row {i}"
+                );
+            }
+        }
+    }
+
+    /// Refactoring with *different* values (same pattern) must still solve
+    /// the new system accurately.
+    #[test]
+    fn refactor_new_values_solves_new_system() {
+        let n = 30;
+        let mut seed = 77u64;
+        let (s1, _) = dense_random(n, &mut seed, 0.2);
+        let mut lu = s1.lu().unwrap();
+        // Same pattern, different values: scale + perturb diagonal stamps.
+        let mut t = Triplets::new(n, n);
+        for c in 0..n {
+            for r in 0..n {
+                let v = s1.get(r, c);
+                if v != 0.0 {
+                    t.push(r, c, if r == c { 2.0 * v + 0.5 } else { 0.7 * v });
+                }
+            }
+        }
+        let s2 = t.to_csc();
+        lu.refactor(&s2).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin() + 0.1).collect();
+        let mut x = vec![0.0; n];
+        let mut scratch = vec![0.0; n];
+        lu.solve_into(&b, &mut x, &mut scratch);
+        let r = vecops::sub(&s2.mat_vec(&x), &b);
+        assert!(
+            vecops::norm_inf(&r) < 1e-9,
+            "residual {}",
+            vecops::norm_inf(&r)
+        );
+    }
+
+    /// A stale pivot order that hits a zero pivot reports Singular instead
+    /// of producing garbage.
+    #[test]
+    fn refactor_rejects_stale_pivots() {
+        // First matrix pivots on the diagonal; second zeroes that entry.
+        let mut t1 = Triplets::<f64>::new(2, 2);
+        t1.push(0, 0, 5.0);
+        t1.push(0, 1, 1.0);
+        t1.push(1, 0, 1.0);
+        t1.push(1, 1, 5.0);
+        let mut lu = t1.to_csc().lu().unwrap();
+        let mut t2 = Triplets::<f64>::new(2, 2);
+        t2.push(0, 0, 0.0);
+        t2.push(0, 1, 1.0);
+        t2.push(1, 0, 1.0);
+        t2.push(1, 1, 0.0);
+        let s2 = t2.to_csc();
+        assert!(matches!(lu.refactor(&s2), Err(NumError::Singular { .. })));
+        // A fresh analyzing factorization handles it fine (off-diag pivots).
+        let x = s2.lu().unwrap().solve(&[3.0, 7.0]);
+        assert!((x[0] - 7.0).abs() < 1e-14);
+        assert!((x[1] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_multi_matches_column_solves() {
+        let mut seed = 11u64;
+        let n = 24;
+        let (s, _) = dense_random(n, &mut seed, 0.25);
+        let lu = s.lu().unwrap();
+        let n_rhs = 7;
+        let mut block = vec![0.0; n * n_rhs];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 13 % 29) as f64) * 0.3 - 2.0;
+        }
+        let reference: Vec<Vec<f64>> = (0..n_rhs)
+            .map(|k| lu.solve(&block[k * n..(k + 1) * n]))
+            .collect();
+        let mut scratch = vec![0.0; n * n_rhs];
+        lu.solve_multi(&mut block, n_rhs, &mut scratch);
+        for k in 0..n_rhs {
+            for i in 0..n {
+                assert!(
+                    block[k * n + i].to_bits() == reference[k][i].to_bits(),
+                    "rhs {k} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_multi_interleaved_matches_solve() {
+        let mut seed = 19u64;
+        let n = 18;
+        let (s, _) = dense_random(n, &mut seed, 0.3);
+        let lu = s.lu().unwrap();
+        let n_rhs = 5;
+        // Interleaved layout: block[r * n_rhs + k].
+        let mut block = vec![0.0; n * n_rhs];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 31 % 17) as f64) * 0.25 - 1.5;
+        }
+        let reference: Vec<Vec<f64>> = (0..n_rhs)
+            .map(|k| {
+                let b: Vec<f64> = (0..n).map(|r| block[r * n_rhs + k]).collect();
+                lu.solve(&b)
+            })
+            .collect();
+        let mut scratch = vec![0.0; n * n_rhs];
+        lu.solve_multi_interleaved(&mut block, n_rhs, &mut scratch);
+        for k in 0..n_rhs {
+            for r in 0..n {
+                assert!(
+                    block[r * n_rhs + k].to_bits() == reference[k][r].to_bits(),
+                    "rhs {k} row {r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mat_vec_interleaved_matches_mat_vec() {
+        let mut seed = 23u64;
+        let (s, _) = dense_random(10, &mut seed, 0.4);
+        let width = 3;
+        let x: Vec<f64> = (0..10 * width).map(|i| (i as f64) * 0.1 - 1.0).collect();
+        let mut y = vec![0.0; 10 * width];
+        s.mat_vec_interleaved(&x, &mut y, width);
+        for k in 0..width {
+            let xk: Vec<f64> = (0..10).map(|r| x[r * width + k]).collect();
+            let yk = s.mat_vec(&xk);
+            for r in 0..10 {
+                assert!((y[r * width + k] - yk[r]).abs() < 1e-15, "rhs {k} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn refill_from_updates_values_in_place() {
+        let mut t = Triplets::<f64>::new(3, 3);
+        t.push(0, 0, 1.0);
+        t.push(1, 1, 2.0);
+        t.push(2, 0, 3.0);
+        let mut m = t.to_csc();
+        let mut t2 = Triplets::<f64>::new(3, 3);
+        t2.push(0, 0, 4.0);
+        t2.push(0, 0, 0.5); // duplicate sums
+        t2.push(1, 1, -2.0);
+        // 2,0 omitted: becomes an explicit zero, pattern unchanged.
+        m.refill_from(&t2).unwrap();
+        assert_eq!(m.get(0, 0), 4.5);
+        assert_eq!(m.get(1, 1), -2.0);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.nnz(), 3);
+        // A triplet outside the pattern is a PatternMismatch.
+        let mut t3 = Triplets::<f64>::new(3, 3);
+        t3.push(2, 2, 1.0);
+        assert!(matches!(m.refill_from(&t3), Err(NumError::PatternMismatch)));
     }
 }

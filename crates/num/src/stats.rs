@@ -299,7 +299,9 @@ mod tests {
     #[test]
     fn merge_equals_sequential() {
         let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.77).sin() * 3.0).collect();
-        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 0.31).cos() * 2.0 + 1.0).collect();
+        let b: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.31).cos() * 2.0 + 1.0)
+            .collect();
         let mut s1 = RunningStats::from_samples(a.iter().copied());
         let s2 = RunningStats::from_samples(b.iter().copied());
         s1.merge(&s2);

@@ -248,9 +248,7 @@ mod tests {
         let mut ckt = Circuit::new();
         let vdd = ckt.node("vdd");
         ckt.add_vsource("VDD", vdd, NodeId::GROUND, Waveform::Dc(1.2));
-        let nodes: Vec<NodeId> = (0..n_stages)
-            .map(|i| ckt.node(&format!("s{i}")))
-            .collect();
+        let nodes: Vec<NodeId> = (0..n_stages).map(|i| ckt.node(&format!("s{i}"))).collect();
         for i in 0..n_stages {
             let inp = nodes[i];
             let out = nodes[(i + 1) % n_stages];
@@ -329,13 +327,7 @@ mod tests {
     #[test]
     fn phase_node_cannot_be_ground() {
         let (ckt, _) = ring(3, 10e-15);
-        let err = autonomous_pss(
-            &ckt,
-            1e-10,
-            NodeId::GROUND,
-            0.0,
-            &OscOptions::default(),
-        );
+        let err = autonomous_pss(&ckt, 1e-10, NodeId::GROUND, 0.0, &OscOptions::default());
         assert!(matches!(err, Err(PssError::BadConfig(_))));
     }
 }

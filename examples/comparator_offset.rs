@@ -35,14 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cross-check one mismatch sample against the nonlinear bisection
     // measurement (what a Monte-Carlo sample would do).
-    let k = sa.circuit.mismatch_params().iter().position(|p| p.label == "M2.dVT").unwrap();
+    let k = sa
+        .circuit
+        .mismatch_params()
+        .iter()
+        .position(|p| p.label == "M2.dVT")
+        .unwrap();
     let mut deltas = vec![0.0; sa.circuit.mismatch_params().len()];
     deltas[k] = 5e-3;
     let mut perturbed = sa.circuit.clone();
     perturbed.apply_mismatch(&deltas);
     let measured = sa.measure_offset_bisect(&perturbed)?;
     let predicted = rep.contributions[k].sensitivity * 5e-3;
-    println!("\n+5 mV on M2.VT: bisected offset {:+.3} mV, linear prediction {:+.3} mV",
-        measured * 1e3, predicted * 1e3);
+    println!(
+        "\n+5 mV on M2.VT: bisected offset {:+.3} mV, linear prediction {:+.3} mV",
+        measured * 1e3,
+        predicted * 1e3
+    );
     Ok(())
 }

@@ -9,17 +9,31 @@ use tranvar::circuits::RStringDac;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3-bit string, 1 kOhm unit, 1% resistor mismatch, 1.6 V reference.
     let dac = RStringDac::new(3, 1e3, 0.01, 1.6);
-    println!("R-string DAC: LSB = {:.0} mV, 1% resistor mismatch", dac.lsb * 1e3);
-    println!("\n{:>6} {:>12} {:>14} {:>16}", "code", "V [V]", "sigma(V) [mV]", "sigma(DNL) [mV]");
+    println!(
+        "R-string DAC: LSB = {:.0} mV, 1% resistor mismatch",
+        dac.lsb * 1e3
+    );
+    println!(
+        "\n{:>6} {:>12} {:>14} {:>16}",
+        "code", "V [V]", "sigma(V) [mV]", "sigma(DNL) [mV]"
+    );
     for k in 1..7 {
         let rep = dac.code_report(k)?;
         let dnl = dac.dnl_sigma(k)?;
-        println!("{:>6} {:>12.3} {:>14.3} {:>16.3}", k, rep.nominal, rep.sigma() * 1e3, dnl * 1e3);
+        println!(
+            "{:>6} {:>12.3} {:>14.3} {:>16.3}",
+            k,
+            rep.nominal,
+            rep.sigma() * 1e3,
+            dnl * 1e3
+        );
     }
     let a = dac.code_report(4)?;
     let b = dac.code_report(5)?;
     println!("\nadjacent codes 4/5: rho = {:.3};", a.correlation(&b));
-    println!("ignoring covariance would overestimate sigma(DNL) by {:.1}x",
-        (a.variance() + b.variance()).sqrt() / tranvar::core::difference_sigma(&a, &b));
+    println!(
+        "ignoring covariance would overestimate sigma(DNL) by {:.1}x",
+        (a.variance() + b.variance()).sqrt() / tranvar::core::difference_sigma(&a, &b)
+    );
     Ok(())
 }

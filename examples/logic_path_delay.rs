@@ -20,14 +20,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let (a, b) = (&res.reports[0], &res.reports[1]);
         println!("{order:?}:");
-        println!("  delay(A) = {:.2} ps +/- {:.2} ps", a.nominal * 1e12, a.sigma() * 1e12);
-        println!("  delay(B) = {:.2} ps +/- {:.2} ps", b.nominal * 1e12, b.sigma() * 1e12);
+        println!(
+            "  delay(A) = {:.2} ps +/- {:.2} ps",
+            a.nominal * 1e12,
+            a.sigma() * 1e12
+        );
+        println!(
+            "  delay(B) = {:.2} ps +/- {:.2} ps",
+            b.nominal * 1e12,
+            b.sigma() * 1e12
+        );
         println!("  correlation rho = {:.3}", a.correlation(b));
         // Skew between the two outputs benefits from the covariance term
         // exactly like the DAC DNL of eq. (13).
-        println!("  sigma(delay_B - delay_A) = {:.2} ps (RSS would say {:.2} ps)\n",
+        println!(
+            "  sigma(delay_B - delay_A) = {:.2} ps (RSS would say {:.2} ps)\n",
             difference_sigma(a, b) * 1e12,
-            (a.variance() + b.variance()).sqrt() * 1e12);
+            (a.variance() + b.variance()).sqrt() * 1e12
+        );
     }
     Ok(())
 }

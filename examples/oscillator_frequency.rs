@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rep = &res.reports[0];
     println!("5-stage ring oscillator");
     println!("  f0      = {:.4} GHz", rep.nominal / 1e9);
-    println!("  sigma_f = {:.2} MHz ({:.2}% of f0)", rep.sigma() / 1e6, 100.0 * rep.sigma() / rep.nominal);
+    println!(
+        "  sigma_f = {:.2} MHz ({:.2}% of f0)",
+        rep.sigma() / 1e6,
+        100.0 * rep.sigma() / rep.nominal
+    );
     println!("\nper-stage contributions:");
     for stage in 0..5 {
         let share: f64 = rep
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Verify against a nonlinear transient measurement of the nominal f0.
     let f_tran = ring.measure_frequency_transient(&ring.circuit)?;
-    println!("\ntransient-measured f0 = {:.4} GHz (PSS agrees to {:+.2}%)",
-        f_tran / 1e9, 100.0 * (rep.nominal - f_tran) / f_tran);
+    println!(
+        "\ntransient-measured f0 = {:.4} GHz (PSS agrees to {:+.2}%)",
+        f_tran / 1e9,
+        100.0 * (rep.nominal - f_tran) / f_tran
+    );
     Ok(())
 }

@@ -6,8 +6,8 @@
 use tranvar::circuit::{Circuit, NodeId, Waveform};
 use tranvar::engine::dc::{dc_operating_point, DcOptions};
 use tranvar::engine::mc::{monte_carlo, McOptions};
-use tranvar::pss::PssOptions;
 use tranvar::prelude::*;
+use tranvar::pss::PssOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2 V source into a 1k/1k divider; each resistor has sigma_R = 10 ohm.
@@ -30,10 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[MetricSpec::new("vout", Metric::DcAverage { node: b })],
     )?;
     let rep = &res.reports[0];
-    println!("pseudo-noise:  vout = {:.4} V, sigma = {:.3} mV", rep.nominal, rep.sigma() * 1e3);
+    println!(
+        "pseudo-noise:  vout = {:.4} V, sigma = {:.3} mV",
+        rep.nominal,
+        rep.sigma() * 1e3
+    );
     for c in rep.ranked() {
-        println!("   {:<8} sensitivity {:+.3e} V/ohm, contribution {:.3} mV",
-            c.label, c.sensitivity, c.weighted().abs() * 1e3);
+        println!(
+            "   {:<8} sensitivity {:+.3e} V/ohm, contribution {:.3} mV",
+            c.label,
+            c.sensitivity,
+            c.weighted().abs() * 1e3
+        );
     }
 
     // 2. DC match analysis (the classic baseline this method generalizes).

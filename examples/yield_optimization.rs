@@ -20,13 +20,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("before: sigma(offset) = {:.3} mV", rep.sigma() * 1e3);
     println!("\nwidth sensitivities (eq. 16), most impactful first:");
     for w in width_sensitivities(&sa.circuit, rep).iter().take(5) {
-        println!("  {:<6} W = {:>5.2} um   d(sigma^2)/dW = {:+.3e} V^2/m", w.device, w.width * 1e6, w.dvar_dw);
+        println!(
+            "  {:<6} W = {:>5.2} um   d(sigma^2)/dW = {:+.3e} V^2/m",
+            w.device,
+            w.width * 1e6,
+            w.dvar_dw
+        );
     }
 
     // Upsize the two most sensitive transistors by 2x and re-analyze.
     let (resized, predicted_var) = resize_most_sensitive(&sa.circuit, rep, 2, 2.0);
     let res2 = analyze(&resized, &config, &[sa.offset_metric()])?;
-    println!("\nafter 2x upsizing the top-2 (first-order prediction {:.3} mV):", predicted_var.sqrt() * 1e3);
-    println!("  sigma(offset) = {:.3} mV (re-analyzed)", res2.reports[0].sigma() * 1e3);
+    println!(
+        "\nafter 2x upsizing the top-2 (first-order prediction {:.3} mV):",
+        predicted_var.sqrt() * 1e3
+    );
+    println!(
+        "  sigma(offset) = {:.3} mV (re-analyzed)",
+        res2.reports[0].sigma() * 1e3
+    );
     Ok(())
 }

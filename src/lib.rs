@@ -65,6 +65,19 @@
 //! Run the paper's experiments with the binaries in `tranvar-bench`
 //! (`cargo run -p tranvar-bench --bin table2`, `--bin fig9`, ...); see
 //! EXPERIMENTS.md for the full index.
+//!
+//! ## Performance architecture
+//!
+//! The hot path exploits the fact that a circuit's MNA sparsity pattern is
+//! fixed: the sparse LU splits into one symbolic pivot analysis per circuit
+//! plus numeric-only refactorizations per timestep
+//! ([`num::SparseSymbolic`], [`num::SparseLu::refactor`]), every solver
+//! offers zero-allocation and multi-RHS batched solves (`solve_into`,
+//! `solve_multi`, `solve_multi_interleaved` — bit-for-bit identical per
+//! RHS), and the transient sensitivity engine propagates all mismatch
+//! parameters as one batched block across worker threads
+//! ([`engine::TranOptions::threads`]). See ROADMAP.md's "Performance"
+//! section and `BENCH_transens.json` for the measured trajectory.
 
 #![warn(missing_docs)]
 

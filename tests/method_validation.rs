@@ -8,8 +8,8 @@ use tranvar::engine::mc::{monte_carlo, McOptions};
 use tranvar::engine::transens::{transient_with_sensitivities, SensInit};
 use tranvar::engine::TranOptions;
 use tranvar::num::interp::Edge;
-use tranvar::pss::PssOptions;
 use tranvar::prelude::*;
+use tranvar::pss::PssOptions;
 
 fn mismatched_divider() -> (Circuit, NodeId) {
     let mut ckt = Circuit::new();
@@ -125,8 +125,9 @@ fn lptv_delay_matches_transient_sensitivity() {
     let topts = TranOptions::new(period, period / 2000.0);
     let ts = transient_with_sensitivities(&ckt, &topts, SensInit::FromDc).unwrap();
     let w = ts.tran.node_waveform(&ckt, b);
-    let tc = tranvar::num::interp::first_crossing_after(&ts.tran.times, &w, 0.5, Edge::Rising, 1e-6)
-        .unwrap();
+    let tc =
+        tranvar::num::interp::first_crossing_after(&ts.tran.times, &w, 0.5, Edge::Rising, 1e-6)
+            .unwrap();
     let idx = tranvar::num::interp::nearest_index(&ts.tran.times, tc);
     let slope = tranvar::num::interp::slope_at(&ts.tran.times, &w, idx);
     let ib = ckt.unknown_of_node(b).unwrap();

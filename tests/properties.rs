@@ -1,12 +1,17 @@
 //! Property-based tests of the method's structural invariants, on randomized
 //! circuits and randomized contribution sets.
+//!
+//! The workspace has no external property-testing dependency, so randomized
+//! cases are generated with the seeded [`Rng64`] generator: each property is
+//! checked over many deterministic pseudo-random draws, and failures report
+//! the case index so the exact draw can be replayed.
 
-use proptest::prelude::*;
 use tranvar::circuit::{Circuit, NodeId, Waveform};
 use tranvar::core::{Contribution, VariationReport};
 use tranvar::engine::dc::{dc_operating_point, DcOptions};
-use tranvar::pss::PssOptions;
+use tranvar::num::rng::Rng64;
 use tranvar::prelude::*;
+use tranvar::pss::PssOptions;
 
 fn report_from(sens: Vec<f64>, sigmas: Vec<f64>) -> VariationReport {
     VariationReport {
@@ -26,84 +31,105 @@ fn report_from(sens: Vec<f64>, sigmas: Vec<f64>) -> VariationReport {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn uniform_in(rng: &mut Rng64, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.uniform()
+}
 
-    /// |rho| <= 1 for any pair of reports over the same parameter set.
-    #[test]
-    fn correlation_is_bounded(
-        sa in prop::collection::vec(-1e3f64..1e3, 1..12),
-        sb_seed in prop::collection::vec(-1e3f64..1e3, 12),
-        sg in prop::collection::vec(1e-6f64..10.0, 12),
-    ) {
-        let n = sa.len();
-        let a = report_from(sa, sg[..n].to_vec());
-        let b = report_from(sb_seed[..n].to_vec(), sg[..n].to_vec());
+fn vec_in(rng: &mut Rng64, lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|_| uniform_in(rng, lo, hi)).collect()
+}
+
+/// |rho| <= 1 for any pair of reports over the same parameter set.
+#[test]
+fn correlation_is_bounded() {
+    let mut rng = Rng64::seed_from(0xC0FFEE);
+    for case in 0..64 {
+        let n = 1 + (rng.next_u64() % 11) as usize;
+        let sa = vec_in(&mut rng, -1e3, 1e3, n);
+        let sb = vec_in(&mut rng, -1e3, 1e3, n);
+        let sg = vec_in(&mut rng, 1e-6, 10.0, n);
+        let a = report_from(sa, sg.clone());
+        let b = report_from(sb, sg);
         let rho = a.correlation(&b);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho = {rho}");
-        // Cauchy-Schwarz on the covariance itself.
-        prop_assert!(a.covariance(&b).abs() <= a.sigma() * b.sigma() + 1e-12);
-    }
-
-    /// Variance of a difference is non-negative and consistent with eq. 13.
-    #[test]
-    fn difference_variance_nonnegative(
-        sa in prop::collection::vec(-10f64..10.0, 1..10),
-        sb_seed in prop::collection::vec(-10f64..10.0, 10),
-        sg in prop::collection::vec(0.01f64..2.0, 10),
-    ) {
-        let n = sa.len();
-        let a = report_from(sa, sg[..n].to_vec());
-        let b = report_from(sb_seed[..n].to_vec(), sg[..n].to_vec());
-        let d = tranvar::core::difference_sigma(&a, &b);
-        prop_assert!(d.is_finite() && d >= 0.0);
-        let direct = report_from(
-            a.contributions.iter().zip(b.contributions.iter())
-                .map(|(x, y)| y.sensitivity - x.sensitivity).collect(),
-            sg[..n].to_vec(),
+        assert!(
+            (-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho),
+            "case {case}: rho = {rho}"
         );
-        prop_assert!((d - direct.sigma()).abs() < 1e-9 * direct.sigma().max(1e-12));
-    }
-
-    /// Scaling every sigma by k scales the metric sigma by k (linearity of
-    /// the perturbation model, paper eq. 1).
-    #[test]
-    fn sigma_scales_linearly(
-        sens in prop::collection::vec(-10f64..10.0, 1..10),
-        sg in prop::collection::vec(0.01f64..2.0, 10),
-        k in 0.1f64..10.0,
-    ) {
-        let n = sens.len();
-        let a = report_from(sens.clone(), sg[..n].to_vec());
-        let b = report_from(sens, sg[..n].iter().map(|s| s * k).collect());
-        prop_assert!((b.sigma() - k * a.sigma()).abs() < 1e-9 * b.sigma().max(1e-12));
-    }
-
-    /// Contribution variances always sum to the total variance.
-    #[test]
-    fn contributions_sum_to_total(
-        sens in prop::collection::vec(-10f64..10.0, 1..10),
-        sg in prop::collection::vec(0.01f64..2.0, 10),
-    ) {
-        let n = sens.len();
-        let rep = report_from(sens, sg[..n].to_vec());
-        let sum: f64 = rep.contributions.iter().map(|c| c.variance()).sum();
-        prop_assert!((sum - rep.variance()).abs() < 1e-12 * rep.variance().max(1e-12));
+        // Cauchy-Schwarz on the covariance itself.
+        assert!(
+            a.covariance(&b).abs() <= a.sigma() * b.sigma() + 1e-12,
+            "case {case}"
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Variance of a difference is non-negative and consistent with eq. 13.
+#[test]
+fn difference_variance_nonnegative() {
+    let mut rng = Rng64::seed_from(0xD1FF);
+    for case in 0..64 {
+        let n = 1 + (rng.next_u64() % 9) as usize;
+        let sa = vec_in(&mut rng, -10.0, 10.0, n);
+        let sb = vec_in(&mut rng, -10.0, 10.0, n);
+        let sg = vec_in(&mut rng, 0.01, 2.0, n);
+        let a = report_from(sa.clone(), sg.clone());
+        let b = report_from(sb.clone(), sg.clone());
+        let d = tranvar::core::difference_sigma(&a, &b);
+        assert!(d.is_finite() && d >= 0.0, "case {case}: d = {d}");
+        let direct = report_from(sa.iter().zip(sb.iter()).map(|(x, y)| y - x).collect(), sg);
+        assert!(
+            (d - direct.sigma()).abs() < 1e-9 * direct.sigma().max(1e-12),
+            "case {case}: {d} vs {}",
+            direct.sigma()
+        );
+    }
+}
 
-    /// On random resistor ladders, the LPTV DC-average flow equals DC-match
-    /// analysis, and variance responds quadratically to a global mismatch
-    /// scale.
-    #[test]
-    fn random_ladder_lptv_equals_dcmatch(
-        rs in prop::collection::vec(500f64..5e3, 2..6),
-        sigmas in prop::collection::vec(1f64..30.0, 6),
-    ) {
-        let n = rs.len();
+/// Scaling every sigma by k scales the metric sigma by k (linearity of the
+/// perturbation model, paper eq. 1).
+#[test]
+fn sigma_scales_linearly() {
+    let mut rng = Rng64::seed_from(0x5CA1E);
+    for case in 0..64 {
+        let n = 1 + (rng.next_u64() % 9) as usize;
+        let sens = vec_in(&mut rng, -10.0, 10.0, n);
+        let sg = vec_in(&mut rng, 0.01, 2.0, n);
+        let k = uniform_in(&mut rng, 0.1, 10.0);
+        let a = report_from(sens.clone(), sg.clone());
+        let b = report_from(sens, sg.iter().map(|s| s * k).collect());
+        assert!(
+            (b.sigma() - k * a.sigma()).abs() < 1e-9 * b.sigma().max(1e-12),
+            "case {case}"
+        );
+    }
+}
+
+/// Contribution variances always sum to the total variance.
+#[test]
+fn contributions_sum_to_total() {
+    let mut rng = Rng64::seed_from(0x707A1);
+    for case in 0..64 {
+        let n = 1 + (rng.next_u64() % 9) as usize;
+        let sens = vec_in(&mut rng, -10.0, 10.0, n);
+        let sg = vec_in(&mut rng, 0.01, 2.0, n);
+        let rep = report_from(sens, sg);
+        let sum: f64 = rep.contributions.iter().map(|c| c.variance()).sum();
+        assert!(
+            (sum - rep.variance()).abs() < 1e-12 * rep.variance().max(1e-12),
+            "case {case}"
+        );
+    }
+}
+
+/// On random resistor ladders, the LPTV DC-average flow equals DC-match
+/// analysis, and the nominal matches the DC operating point.
+#[test]
+fn random_ladder_lptv_equals_dcmatch() {
+    let mut rng = Rng64::seed_from(0x1ADDE);
+    for case in 0..12 {
+        let n = 2 + (rng.next_u64() % 4) as usize;
+        let rs = vec_in(&mut rng, 500.0, 5e3, n);
+        let sigmas = vec_in(&mut rng, 1.0, 30.0, n);
         let mut ckt = Circuit::new();
         let top = ckt.node("top");
         ckt.add_vsource("V1", top, NodeId::GROUND, Waveform::Dc(1.5));
@@ -122,7 +148,7 @@ proptest! {
             }
             prev = next;
         }
-        prop_assume!(n >= 2 && !mid.is_ground());
+        assert!(!mid.is_ground());
         ckt.add_capacitor("CL", mid, NodeId::GROUND, 1e-12);
 
         let mut opts = PssOptions::default();
@@ -131,14 +157,17 @@ proptest! {
             &ckt,
             &PssConfig::Driven { period: 1e-6, opts },
             &[MetricSpec::new("v", Metric::DcAverage { node: mid })],
-        ).unwrap();
+        )
+        .unwrap();
         let dcm = dc_match(&ckt, mid).unwrap();
-        prop_assert!(
+        assert!(
             (res.reports[0].sigma() - dcm.sigma()).abs() <= 1e-6 * dcm.sigma().max(1e-15),
-            "lptv {} vs dcmatch {}", res.reports[0].sigma(), dcm.sigma()
+            "case {case}: lptv {} vs dcmatch {}",
+            res.reports[0].sigma(),
+            dcm.sigma()
         );
         // Sanity: the DC op exists and nominal matches it.
         let x = dc_operating_point(&ckt, &DcOptions::default()).unwrap();
-        prop_assert!((res.reports[0].nominal - ckt.voltage(&x, mid)).abs() < 1e-7);
+        assert!((res.reports[0].nominal - ckt.voltage(&x, mid)).abs() < 1e-7);
     }
 }
