@@ -1,0 +1,253 @@
+//! Periodic-engine benches: the batched/threaded monodromy accumulation and
+//! LPTV parameter propagation against their retained sequential references,
+//! on the paper's two periodic workloads (ring-oscillator PSS, StrongARM
+//! comparator mismatch). The gated `speedup` figures are measured against
+//! the per-column/per-parameter *sequential* references; the PR-1
+//! column-major blocked monodromy is timed alongside (`blocked_median_s`)
+//! so the trajectory also records the previously-shipped figure.
+//!
+//! Emits `BENCH_pss.json` (median wall times, speedups, and the max absolute
+//! result difference — required to be exactly 0) at the workspace root,
+//! mirroring `BENCH_transens.json`: the machine-readable performance
+//! trajectory the CI bench-regression gate (`compare_bench`) checks against
+//! the committed baseline.
+
+use std::io::Write;
+use tranvar_bench::{bench_times, fmt_time, median};
+use tranvar_circuits::{RingOsc, StrongArm, Tech};
+use tranvar_lptv::{LptvOptions, PeriodicSolver};
+use tranvar_pss::{autonomous_pss, monodromy_seq, monodromy_threaded, shooting_pss};
+
+struct Comparison {
+    sequential_median_s: f64,
+    batched_median_s: f64,
+    max_abs_diff: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.sequential_median_s / self.batched_median_s
+    }
+
+    fn print(&self, name: &str, seq_iters: usize, bat_iters: usize) {
+        println!(
+            "{name}/sequential {:>12}   ({seq_iters} iters)",
+            fmt_time(self.sequential_median_s)
+        );
+        println!(
+            "{name}/batched    {:>12}   ({bat_iters} iters)",
+            fmt_time(self.batched_median_s)
+        );
+        println!("{name}/speedup    {:>11.2}x", self.speedup());
+    }
+}
+
+fn bench_budget(quick: bool) -> (usize, f64) {
+    if quick {
+        (5, 1.0)
+    } else {
+        (10, 3.0)
+    }
+}
+
+/// The PR-1 column-major blocked monodromy (one `solve_multi` sweep per
+/// record over a preallocated block) — re-timed here so the trajectory
+/// records what actually shipped before the interleaved/threaded kernel,
+/// not just the per-column pre-batching strawman.
+fn monodromy_blocked(records: &[tranvar_engine::StepRecord], n: usize) -> tranvar_num::DMat<f64> {
+    let mut m = tranvar_num::DMat::<f64>::identity(n);
+    let mut col = vec![0.0; n];
+    let mut block = vec![0.0; n * n];
+    let mut scratch = vec![0.0; n * n];
+    for rec in records {
+        for j in 0..n {
+            for (i, c) in col.iter_mut().enumerate() {
+                *c = m[(i, j)];
+            }
+            rec.b.mat_vec_into(&col, &mut block[j * n..(j + 1) * n]);
+        }
+        rec.lu.solve_multi(&mut block, n, &mut scratch);
+        for j in 0..n {
+            for i in 0..n {
+                m[(i, j)] = block[j * n + i];
+            }
+        }
+    }
+    m
+}
+
+/// Monodromy accumulation on the paper's 5-stage ring oscillator: the
+/// interleaved+threaded column propagation vs the per-column allocating
+/// reference, over the records of one converged autonomous PSS solve. The
+/// PR-1 column-major blocked path is timed alongside as the honest
+/// previously-shipped figure (`blocked_median_s`).
+fn bench_ring_monodromy(quick: bool) -> (Comparison, String) {
+    let tech = Tech::t013();
+    let ring = RingOsc::paper(&tech);
+    let sol = autonomous_pss(
+        &ring.circuit,
+        ring.period_hint,
+        ring.stages[0],
+        ring.phase_value,
+        &ring.osc_options(),
+    )
+    .expect("ring oscillator PSS");
+    let n = ring.circuit.n_unknowns();
+
+    // Correctness gate: all three paths must agree exactly.
+    let m_seq = monodromy_seq(&sol.records, n);
+    let m_blk = monodromy_blocked(&sol.records, n);
+    let m_bat = monodromy_threaded(&sol.records, n, 0);
+    let mut max_abs_diff = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            max_abs_diff = max_abs_diff.max((m_bat[(i, j)] - m_seq[(i, j)]).abs());
+            max_abs_diff = max_abs_diff.max((m_bat[(i, j)] - m_blk[(i, j)]).abs());
+        }
+    }
+    assert!(
+        max_abs_diff == 0.0,
+        "monodromy paths disagree: {max_abs_diff:e}"
+    );
+
+    let (min_iters, min_time) = bench_budget(quick);
+    let seq_times = bench_times(min_iters, min_time, || {
+        monodromy_seq(&sol.records, n);
+    });
+    let blk_times = bench_times(min_iters, min_time, || {
+        monodromy_blocked(&sol.records, n);
+    });
+    let bat_times = bench_times(min_iters, min_time, || {
+        monodromy_threaded(&sol.records, n, 0);
+    });
+    let cmp = Comparison {
+        sequential_median_s: median(&seq_times),
+        batched_median_s: median(&bat_times),
+        max_abs_diff,
+    };
+    let blk_median = median(&blk_times);
+    cmp.print("pss_ring_monodromy", seq_times.len(), bat_times.len());
+    println!(
+        "pss_ring_monodromy/blocked(PR-1) {:>12}   ({} iters, {:.2}x over batched)",
+        fmt_time(blk_median),
+        blk_times.len(),
+        blk_median / cmp.batched_median_s
+    );
+    let json = format!(
+        concat!(
+            "  \"ring_monodromy\": {{\n",
+            "    \"circuit\": \"ring_osc_5stage\",\n",
+            "    \"n_unknowns\": {},\n",
+            "    \"n_records\": {},\n",
+            "    \"sequential_median_s\": {:.6e},\n",
+            "    \"blocked_median_s\": {:.6e},\n",
+            "    \"batched_median_s\": {:.6e},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"max_abs_diff\": {:.3e}\n",
+            "  }}"
+        ),
+        n,
+        sol.records.len(),
+        cmp.sequential_median_s,
+        blk_median,
+        cmp.batched_median_s,
+        cmp.speedup(),
+        cmp.max_abs_diff
+    );
+    (cmp, json)
+}
+
+/// LPTV mismatch propagation on the StrongARM comparator: the
+/// interleaved+threaded all-parameter pass vs the per-parameter sequential
+/// reference, over the records of one driven PSS solve.
+fn bench_strongarm_lptv(quick: bool) -> (Comparison, String) {
+    let tech = Tech::t013();
+    let sa = StrongArm::paper(&tech);
+    let n_params = sa.circuit.mismatch_params().len();
+    assert!(
+        n_params >= 10,
+        "StrongARM must expose >= 10 mismatch parameters, has {n_params}"
+    );
+    let sol = shooting_pss(&sa.circuit, sa.period, &sa.pss_options()).expect("StrongARM PSS");
+    let solver =
+        PeriodicSolver::with_options(&sa.circuit, &sol, LptvOptions { threads: 0 }).unwrap();
+
+    // Correctness gate: batched/threaded vs sequential reference.
+    let batched = solver.all_param_responses().unwrap();
+    let seq = solver.all_param_responses_seq().unwrap();
+    let mut max_abs_diff = 0.0f64;
+    for (b, s) in batched.iter().zip(seq.iter()) {
+        max_abs_diff = max_abs_diff.max((b.dperiod - s.dperiod).abs());
+        for (bs, ss) in b.dx.iter().zip(s.dx.iter()) {
+            for (x, y) in bs.iter().zip(ss.iter()) {
+                max_abs_diff = max_abs_diff.max((x - y).abs());
+            }
+        }
+    }
+    assert!(
+        max_abs_diff == 0.0,
+        "LPTV batched and sequential paths disagree: {max_abs_diff:e}"
+    );
+
+    let (min_iters, min_time) = bench_budget(quick);
+    let seq_times = bench_times(min_iters, min_time, || {
+        solver.all_param_responses_seq().unwrap();
+    });
+    let bat_times = bench_times(min_iters, min_time, || {
+        solver.all_param_responses().unwrap();
+    });
+    let cmp = Comparison {
+        sequential_median_s: median(&seq_times),
+        batched_median_s: median(&bat_times),
+        max_abs_diff,
+    };
+    cmp.print("lptv_strongarm_params", seq_times.len(), bat_times.len());
+    let json = format!(
+        concat!(
+            "  \"strongarm_lptv\": {{\n",
+            "    \"circuit\": \"strongarm\",\n",
+            "    \"n_params\": {},\n",
+            "    \"n_records\": {},\n",
+            "    \"sequential_median_s\": {:.6e},\n",
+            "    \"batched_median_s\": {:.6e},\n",
+            "    \"speedup\": {:.3},\n",
+            "    \"max_abs_diff\": {:.3e}\n",
+            "  }}"
+        ),
+        n_params,
+        sol.records.len(),
+        cmp.sequential_median_s,
+        cmp.batched_median_s,
+        cmp.speedup(),
+        cmp.max_abs_diff
+    );
+    (cmp, json)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let (ring, ring_json) = bench_ring_monodromy(quick);
+    let (lptv, lptv_json) = bench_strongarm_lptv(quick);
+    assert!(
+        ring.speedup() >= 2.0,
+        "ring monodromy batched/threaded speedup {:.2}x below the 2x floor",
+        ring.speedup()
+    );
+    assert!(
+        lptv.speedup() >= 1.0,
+        "LPTV batched path slower than the per-parameter reference: {:.2}x",
+        lptv.speedup()
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"periodic_analysis\",\n  \"threads\": {threads},\n{ring_json},\n{lptv_json}\n}}\n",
+    );
+    // Emit at the workspace root regardless of the bench's working dir.
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pss.json");
+    std::fs::File::create(out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_pss.json");
+    println!("wrote {out_path}");
+}

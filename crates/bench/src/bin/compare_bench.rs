@@ -1,0 +1,198 @@
+//! CI bench-regression gate: compares the `"speedup"` figures of a freshly
+//! measured bench JSON (`BENCH_transens.json` / `BENCH_pss.json`) against
+//! the committed baseline and fails if any drops below a floor fraction of
+//! its baseline value (default 0.8×), or if any `"max_abs_diff"` in the
+//! fresh run is nonzero — a correctness regression masquerading as a perf
+//! number.
+//!
+//! Usage: `compare_bench <baseline.json> <current.json> [--min-ratio 0.8]`
+//!
+//! The speedups in each file are compared positionally (the bench emitters
+//! write them in a fixed order), so the gate needs no JSON dependency: a
+//! tiny scanner extracts every `"speedup": <number>` / `"max_abs_diff":
+//! <number>` pair in document order.
+
+use std::process::ExitCode;
+
+/// Extracts every numeric value following a `"key":` occurrence, in
+/// document order.
+fn extract_key(text: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\"");
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let Some(colon) = rest.find(':') else { break };
+        let tail = rest[colon + 1..].trim_start();
+        let end = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].trim().parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn run(baseline_path: &str, current_path: &str, min_ratio: f64) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let current = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read current {current_path}: {e}"))?;
+    let base_speedups = extract_key(&baseline, "speedup");
+    let cur_speedups = extract_key(&current, "speedup");
+    if base_speedups.is_empty() {
+        return Err(format!(
+            "baseline {baseline_path} carries no speedup figures"
+        ));
+    }
+    if base_speedups.len() != cur_speedups.len() {
+        return Err(format!(
+            "speedup count mismatch: baseline has {}, current has {}",
+            base_speedups.len(),
+            cur_speedups.len()
+        ));
+    }
+    println!("{baseline_path} vs {current_path} (floor {min_ratio:.2}x of baseline):");
+    let mut failed = false;
+    for (i, (b, c)) in base_speedups.iter().zip(cur_speedups.iter()).enumerate() {
+        let floor = min_ratio * b;
+        let ok = *c >= floor;
+        println!(
+            "  speedup[{i}]: baseline {b:.3}x, current {c:.3}x, floor {floor:.3}x  {}",
+            if ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !ok;
+    }
+    // Every speedup is paired with a correctness figure by the emitters; a
+    // missing one means the gate would be vacuous, so treat it as failure.
+    let diffs = extract_key(&current, "max_abs_diff");
+    if diffs.len() != cur_speedups.len() {
+        return Err(format!(
+            "current {current_path} has {} max_abs_diff figures for {} speedups",
+            diffs.len(),
+            cur_speedups.len()
+        ));
+    }
+    for (i, d) in diffs.iter().enumerate() {
+        let ok = *d == 0.0;
+        println!(
+            "  max_abs_diff[{i}]: {d:e}  {}",
+            if ok { "ok" } else { "NONZERO" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        Err("bench regression gate failed".into())
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut min_ratio = 0.8;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--min-ratio" {
+            min_ratio = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--min-ratio needs a number");
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: compare_bench <baseline.json> <current.json> [--min-ratio 0.8]");
+        return ExitCode::from(2);
+    }
+    match run(&paths[0], &paths[1], min_ratio) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "periodic_analysis",
+  "a": { "speedup": 2.480, "max_abs_diff": 0.000e0 },
+  "b": { "speedup": 4.270, "max_abs_diff": 0.000e0 }
+}"#;
+
+    #[test]
+    fn extracts_in_document_order() {
+        assert_eq!(extract_key(SAMPLE, "speedup"), vec![2.48, 4.27]);
+        assert_eq!(extract_key(SAMPLE, "max_abs_diff"), vec![0.0, 0.0]);
+        assert!(extract_key(SAMPLE, "absent").is_empty());
+    }
+
+    #[test]
+    fn gate_passes_and_fails_on_ratio() {
+        let dir = std::env::temp_dir().join("compare_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let good = dir.join("good.json");
+        let bad = dir.join("bad.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        // 2.1/2.48 = 0.85 and 3.6/4.27 = 0.84: above the 0.8 floor.
+        std::fs::write(
+            &good,
+            r#"{ "speedup": 2.1, "max_abs_diff": 0e0, "speedup": 3.6, "max_abs_diff": 0e0 }"#,
+        )
+        .unwrap();
+        // First speedup collapses to 0.5x of baseline.
+        std::fs::write(
+            &bad,
+            r#"{ "speedup": 1.2, "max_abs_diff": 0e0, "speedup": 4.3, "max_abs_diff": 0e0 }"#,
+        )
+        .unwrap();
+        let b = base.to_str().unwrap();
+        assert!(run(b, good.to_str().unwrap(), 0.8).is_ok());
+        assert!(run(b, bad.to_str().unwrap(), 0.8).is_err());
+    }
+
+    #[test]
+    fn gate_fails_on_nonzero_diff() {
+        let dir = std::env::temp_dir().join("compare_bench_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        std::fs::write(
+            &cur,
+            r#"{ "speedup": 2.5, "max_abs_diff": 1.2e-9, "speedup": 4.3, "max_abs_diff": 0e0 }"#,
+        )
+        .unwrap();
+        assert!(run(base.to_str().unwrap(), cur.to_str().unwrap(), 0.8).is_err());
+    }
+
+    #[test]
+    fn gate_fails_on_missing_diff_figures() {
+        let dir = std::env::temp_dir().join("compare_bench_missing_diff_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        // Right number of speedups, but the correctness figures are gone:
+        // the gate must not silently pass vacuously.
+        std::fs::write(&cur, r#"{ "speedup": 2.5, "speedup": 4.3 }"#).unwrap();
+        assert!(run(base.to_str().unwrap(), cur.to_str().unwrap(), 0.8).is_err());
+    }
+
+    #[test]
+    fn gate_fails_on_count_mismatch() {
+        let dir = std::env::temp_dir().join("compare_bench_count_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(&base, SAMPLE).unwrap();
+        std::fs::write(&cur, r#"{ "speedup": 2.5 }"#).unwrap();
+        assert!(run(base.to_str().unwrap(), cur.to_str().unwrap(), 0.8).is_err());
+    }
+}

@@ -8,10 +8,10 @@
 //!   integrator with per-step factorization records reused by PSS and LPTV,
 //! - [`ac`]: small-signal analysis (the LTI limit the LPTV solver must
 //!   reduce to),
-//! - [`sens`]: DC sensitivities (`.SENS`, paper refs. [20],[26]) and the
+//! - [`sens`]: DC sensitivities (`.SENS`, paper refs. \[20\],\[26\]) and the
 //!   shared θ-method parameter RHS,
 //! - [`transens`]: transient forward sensitivity — the expensive baseline
-//!   of paper ref. [23] (cost ∝ #parameters, integrates through settling),
+//!   of paper ref. \[23\] (cost ∝ #parameters, integrates through settling),
 //! - [`mc`]: deterministic parallel Monte-Carlo driver (the paper's
 //!   reference method, Table II),
 //! - [`measure`]: delay/period/settled-value measurements shared by the
@@ -34,5 +34,7 @@ pub use error::EngineError;
 pub use mc::{monte_carlo, monte_carlo_multi, McOptions, McResult};
 pub use solver::{FactoredJacobian, SolverKind};
 pub use tran::{
-    integrate_cycle, transient, CycleResult, Integrator, StepRecord, TranOptions, TranResult,
+    integrate_cycle, integrate_cycle_with, transient, CycleResult, CycleWorkspace, Integrator,
+    StepRecord, TranOptions, TranResult,
 };
+pub use transens::{effective_threads, effective_threads_for_work, MIN_WORK_PER_THREAD};

@@ -1,5 +1,5 @@
 //! DC sensitivity analysis (`.SENS`) — the classic linear-perturbation
-//! computation the paper's references [8],[9],[20],[26] build on, and the
+//! computation the paper's references \[8\],\[9\],\[20\],\[26\] build on, and the
 //! shared right-hand-side helper used by both the transient-sensitivity
 //! baseline and the LPTV periodic solver.
 

@@ -169,6 +169,42 @@ impl StepState {
             scratch: vec![0.0; n],
         }
     }
+
+    /// Re-anchors the state at a new `(x0, t0)` without releasing any
+    /// buffer: only the previous-accepted assembly is re-evaluated (the
+    /// current-step assembly is overwritten by the first Newton iteration,
+    /// and the factorization/staging workspaces carry over unchanged).
+    pub(crate) fn reset(&mut self, ckt: &Circuit, x0: &[f64], t0: f64) {
+        ckt.assemble_into(x0, t0, &mut self.asm_prev);
+    }
+}
+
+/// Reusable buffers for repeated [`integrate_cycle_with`] calls on one
+/// circuit: the assembly double-buffer, Newton vectors, factorization
+/// workspace (staged CSC/dense storage plus the sparse symbolic pivot
+/// analysis) and coupling-matrix stage all survive between cycles.
+///
+/// A shooting-Newton loop integrates the same one-period problem dozens of
+/// times; with a shared workspace every round after the first performs no
+/// allocation and no symbolic re-analysis in the step loop.
+#[derive(Default)]
+pub struct CycleWorkspace {
+    st: Option<StepState>,
+}
+
+impl CycleWorkspace {
+    /// Creates an empty workspace; buffers are built lazily on first use.
+    pub fn new() -> Self {
+        CycleWorkspace::default()
+    }
+}
+
+impl std::fmt::Debug for CycleWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CycleWorkspace")
+            .field("initialized", &self.st.is_some())
+            .finish()
+    }
 }
 
 /// One Newton-corrected implicit step from `(x, t0)` to `t1 = t0 + h`,
@@ -363,12 +399,52 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Engine
 /// Integrates exactly one period of length `period` from `x0` at `t0`,
 /// optionally recording per-step factorizations for PSS/LPTV reuse.
 ///
+/// Allocates a fresh [`CycleWorkspace`] per call; shooting loops that
+/// integrate many cycles of the same circuit should hold one workspace and
+/// call [`integrate_cycle_with`] instead.
+///
 /// # Errors
 ///
 /// Propagates per-step Newton failures.
 #[allow(clippy::too_many_arguments)]
 pub fn integrate_cycle(
     ckt: &Circuit,
+    x0: &[f64],
+    t0: f64,
+    period: f64,
+    n_steps: usize,
+    method: Integrator,
+    newton: &NewtonOptions,
+    gmin: f64,
+    record: bool,
+) -> Result<CycleResult, EngineError> {
+    let mut ws = CycleWorkspace::new();
+    integrate_cycle_with(
+        ckt, &mut ws, x0, t0, period, n_steps, method, newton, gmin, record,
+    )
+}
+
+/// [`integrate_cycle`] with an explicit reusable workspace: repeated calls
+/// (shooting-Newton rounds, warm-up cycles, period-perturbed re-integrations)
+/// skip the per-call buffer allocation and — for the sparse backend — the
+/// symbolic pivot re-analysis.
+///
+/// For the dense backend the results are bit-identical to
+/// [`integrate_cycle`] (refactorization recomputes its pivots from the
+/// values). The sparse backend replays the pivot order found on the first
+/// cycle for as long as it stays numerically acceptable, exactly as it
+/// already does between the timesteps of one cycle, so a reused workspace
+/// may legitimately factor with a different (equally valid) pivot order
+/// than a fresh one — identical to machine precision, not necessarily to
+/// the last bit.
+///
+/// # Errors
+///
+/// Propagates per-step Newton failures.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_cycle_with(
+    ckt: &Circuit,
+    ws: &mut CycleWorkspace,
     x0: &[f64],
     t0: f64,
     period: f64,
@@ -391,7 +467,13 @@ pub fn integrate_cycle(
     times.push(t0);
     states.push(x0.to_vec());
 
-    let mut st = StepState::new(ckt, newton.solver, x0, t0);
+    let st = match &mut ws.st {
+        Some(st) if st.jws.kind() == newton.solver && st.r.len() == ckt.n_unknowns() => {
+            st.reset(ckt, x0, t0);
+            st
+        }
+        slot => slot.insert(StepState::new(ckt, newton.solver, x0, t0)),
+    };
     let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += gmin * x0[i];
@@ -413,7 +495,7 @@ pub fn integrate_cycle(
         };
         let rec = step(
             ckt,
-            &mut st,
+            st,
             &mut x,
             &mut f_aug,
             &mut q,
@@ -609,6 +691,121 @@ mod tests {
                     "M[{i}][{j}] = {} vs fd {fd}",
                     m[(i, j)]
                 );
+            }
+        }
+    }
+
+    /// Reusing one `CycleWorkspace` across cycles must reproduce the fresh
+    /// per-call path exactly (dense backend: refactorization recomputes its
+    /// pivots, so the workspace carries storage, not state).
+    #[test]
+    fn cycle_workspace_reuse_is_bit_identical() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        let period = 1e-4;
+        let newton = NewtonOptions::default();
+        let mut ws = CycleWorkspace::new();
+        let starts = [
+            vec![1.0, 0.2, -0.8e-3],
+            vec![1.0, 0.7, -0.3e-3],
+            vec![1.0, 0.2, -0.8e-3], // repeat the first start after other work
+        ];
+        for (round, x0) in starts.iter().enumerate() {
+            let fresh = integrate_cycle(
+                &ckt,
+                x0,
+                0.0,
+                period,
+                8,
+                Integrator::Trapezoidal,
+                &newton,
+                1e-12,
+                true,
+            )
+            .unwrap();
+            let reused = integrate_cycle_with(
+                &ckt,
+                &mut ws,
+                x0,
+                0.0,
+                period,
+                8,
+                Integrator::Trapezoidal,
+                &newton,
+                1e-12,
+                true,
+            )
+            .unwrap();
+            assert_eq!(fresh.states.len(), reused.states.len());
+            for (sf, sr) in fresh.states.iter().zip(reused.states.iter()) {
+                for (a, b) in sf.iter().zip(sr.iter()) {
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "round {round}: fresh {a} vs reused {b}"
+                    );
+                }
+            }
+            assert_eq!(fresh.records.len(), reused.records.len());
+            for (rf, rr) in fresh.records.iter().zip(reused.records.iter()) {
+                let probe = vec![1.0, -0.5, 0.25];
+                let xf = rf.lu.solve(&probe);
+                let xr = rr.lu.solve(&probe);
+                for (a, b) in xf.iter().zip(xr.iter()) {
+                    assert!(a.to_bits() == b.to_bits(), "round {round}: record solve");
+                }
+            }
+        }
+    }
+
+    /// Sparse-backend workspace reuse replays the first cycle's pivot order,
+    /// so results match a fresh workspace to machine precision (the pivot
+    /// order, not the arithmetic, is the only state that carries over).
+    #[test]
+    fn sparse_cycle_workspace_reuse_matches_fresh() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        let period = 1e-4;
+        let mut newton = NewtonOptions::default();
+        newton.solver = crate::solver::SolverKind::Sparse;
+        let mut ws = CycleWorkspace::new();
+        let starts = [
+            vec![1.0, 0.2, -0.8e-3],
+            vec![1.0, 0.7, -0.3e-3],
+            vec![1.0, 0.4, -0.6e-3],
+        ];
+        for (round, x0) in starts.iter().enumerate() {
+            // Alternate the period like autonomous shooting does.
+            let per = period * (1.0 + 1e-6 * round as f64);
+            let fresh = integrate_cycle(
+                &ckt,
+                x0,
+                0.0,
+                per,
+                8,
+                Integrator::Trapezoidal,
+                &newton,
+                1e-12,
+                false,
+            )
+            .unwrap();
+            let reused = integrate_cycle_with(
+                &ckt,
+                &mut ws,
+                x0,
+                0.0,
+                per,
+                8,
+                Integrator::Trapezoidal,
+                &newton,
+                1e-12,
+                false,
+            )
+            .unwrap();
+            for (sf, sr) in fresh.states.iter().zip(reused.states.iter()) {
+                for (a, b) in sf.iter().zip(sr.iter()) {
+                    assert!(
+                        (a - b).abs() < 1e-12 * a.abs().max(1.0),
+                        "round {round}: fresh {a} vs reused {b}"
+                    );
+                }
             }
         }
     }

@@ -1,5 +1,5 @@
 //! Transient forward sensitivity analysis — the expensive baseline the paper
-//! contrasts against (reference [23], Hocevar et al.).
+//! contrasts against (reference \[23\], Hocevar et al.).
 //!
 //! Propagates `S_k(t) = ∂x(t)/∂p_k` for every mismatch parameter alongside a
 //! nonlinear transient. Each timestep costs one factorization plus one
@@ -152,7 +152,15 @@ pub fn transient_with_sensitivities(
         })
         .collect();
 
-    let threads = effective_threads(opts.threads, n_params);
+    // Auto mode stays single-threaded when the whole propagation is too
+    // small to amortize the per-window thread spawns (work proxy: one
+    // triangular sweep per step per parameter ≈ steps·n²·p flops).
+    let threads = effective_threads_for_work(
+        opts.threads,
+        n_params,
+        n_steps * n * n * n_params.max(1),
+        MIN_WORK_PER_THREAD,
+    );
     let chunk = n_params.div_ceil(threads.max(1)).max(1);
     let mut chunk_states: Vec<ChunkState> = sens
         .chunks(chunk)
@@ -368,9 +376,12 @@ pub fn transient_with_sensitivities_seq(
     Ok(TranSensResult { tran: res, sens })
 }
 
-/// Resolves the worker-thread count: `0` means all available cores, and the
-/// count never exceeds the number of parameters.
-fn effective_threads(requested: usize, n_params: usize) -> usize {
+/// Resolves a worker-thread count in the [`TranOptions::threads`] convention
+/// shared by every batched analysis (transient sensitivities, the PSS
+/// monodromy accumulation, the LPTV parameter responses): `0` means all
+/// available cores, and the count never exceeds `n_jobs` independent work
+/// items (so no worker is ever spawned idle).
+pub fn effective_threads(requested: usize, n_jobs: usize) -> usize {
     let t = if requested == 0 {
         std::thread::available_parallelism()
             .map(|p| p.get())
@@ -378,7 +389,34 @@ fn effective_threads(requested: usize, n_params: usize) -> usize {
     } else {
         requested
     };
-    t.clamp(1, n_params.max(1))
+    t.clamp(1, n_jobs.max(1))
+}
+
+/// Default `min_work_per_thread` for [`effective_threads_for_work`]: one
+/// physical calibration shared by every batched analysis — a std scoped
+/// thread costs tens of microseconds to spawn+join against roughly 10 ns
+/// per flop-proxy unit, so a worker needs ~2^16 units before the spawn
+/// amortizes.
+pub const MIN_WORK_PER_THREAD: usize = 1 << 16;
+
+/// [`effective_threads`] with a work-size guard for the *automatic* mode:
+/// when `requested == 0`, the worker count is additionally capped so that
+/// each spawned thread receives at least `min_work_per_thread` of
+/// `total_work` (arbitrary cost units — callers use a flop-count proxy).
+/// A std scoped thread costs tens of microseconds to spawn and join, so
+/// auto-threading a sub-100 µs problem would make it *slower*; explicit
+/// nonzero requests are honored unchanged.
+pub fn effective_threads_for_work(
+    requested: usize,
+    n_jobs: usize,
+    total_work: usize,
+    min_work_per_thread: usize,
+) -> usize {
+    let t = effective_threads(requested, n_jobs);
+    if requested != 0 {
+        return t;
+    }
+    t.min((total_work / min_work_per_thread.max(1)).max(1))
 }
 
 #[cfg(test)]

@@ -74,12 +74,13 @@ pub fn noise_step_rhs(
     for x in &sol.states {
         inj.push(src.injection(ckt, x)?);
     }
-    let mut out = Vec::with_capacity(sol.records.len());
-    for (s, rec) in sol.records.iter().enumerate() {
+    // All per-record rows are allocated up front; the record loop only
+    // accumulates into them.
+    let mut out = vec![vec![Complex::ZERO; n]; sol.records.len()];
+    for (s, (rec, w)) in sol.records.iter().zip(out.iter_mut()).enumerate() {
         let xi0 = Complex::cis(omega * sol.times[s]);
         let xi1 = Complex::cis(omega * sol.times[s + 1]);
         let theta = rec.theta;
-        let mut w = vec![Complex::ZERO; n];
         for &(i, v) in &inj[s + 1].df {
             w[i] += xi1 * (theta * v);
         }
@@ -92,7 +93,6 @@ pub fn noise_step_rhs(
         for &(i, v) in &inj[s].dq {
             w[i] -= xi0 * (v / rec.h);
         }
-        out.push(w);
     }
     Ok(out)
 }
@@ -118,51 +118,49 @@ pub fn solve_quasi_periodic(
         )));
     }
     let n = sol.monodromy.rows();
-    // Complex propagation with real factors: the real and imaginary halves
-    // are staged as one column-major 2-RHS block and solved with a single
-    // batched sweep per step, over buffers preallocated outside the loops.
-    let mut re = vec![0.0; n];
-    let mut im = vec![0.0; n];
-    let mut block = vec![0.0; 2 * n];
+    // Complex propagation with real factors: the state is kept as one
+    // RHS-interleaved re/im block (`d[2i]`/`d[2i+1]` are the real and
+    // imaginary parts of row i), so the coupling product and the per-step
+    // solve are single 2-wide interleaved batched sweeps
+    // ([`tranvar_engine::FactoredJacobian::solve_multi_interleaved`]) and
+    // every buffer is hoisted outside the record loops — the loop body
+    // performs no allocation at all.
+    let mut d = vec![0.0; 2 * n];
+    let mut rhs = vec![0.0; 2 * n];
     let mut scratch = vec![0.0; 2 * n];
-    let mut prop = |rec: &tranvar_engine::StepRecord,
-                    d: &[Complex],
-                    wk: &[Complex],
-                    out: &mut Vec<Complex>| {
-        for (i, v) in d.iter().enumerate() {
-            re[i] = v.re;
-            im[i] = v.im;
-        }
-        {
-            let (bre, bim) = block.split_at_mut(n);
-            rec.b.mat_vec_into(&re, bre);
-            rec.b.mat_vec_into(&im, bim);
+    let mut prop =
+        |rec: &tranvar_engine::StepRecord, wk: &[Complex], d: &mut Vec<f64>, rhs: &mut Vec<f64>| {
+            rec.b.mat_vec_interleaved(d, rhs, 2);
             for (i, wv) in wk.iter().enumerate() {
-                bre[i] -= wv.re;
-                bim[i] -= wv.im;
+                rhs[2 * i] -= wv.re;
+                rhs[2 * i + 1] -= wv.im;
             }
-        }
-        rec.lu.solve_multi(&mut block, 2, &mut scratch);
-        out.clear();
-        out.extend((0..n).map(|i| Complex::new(block[i], block[n + i])));
-    };
-    // Particular pass.
-    let mut d = vec![Complex::ZERO; n];
-    let mut next = Vec::with_capacity(n);
+            rec.lu.solve_multi_interleaved(rhs, 2, &mut scratch);
+            std::mem::swap(d, rhs);
+        };
+    // Particular pass from the zero state.
     for (rec, wk) in recs.iter().zip(w.iter()) {
-        prop(rec, &d, wk, &mut next);
-        std::mem::swap(&mut d, &mut next);
+        prop(rec, wk, &mut d, &mut rhs);
     }
     // Boundary: δ0 = (φI − M)⁻¹ δ_N^p.
-    let d0 = boundary.lu.solve(&d);
-    // Re-propagate.
+    let dn: Vec<Complex> = (0..n)
+        .map(|i| Complex::new(d[2 * i], d[2 * i + 1]))
+        .collect();
+    let d0 = boundary.lu.solve(&dn);
+    // Re-propagate from the quasi-periodic initial condition.
+    for (i, v) in d0.iter().enumerate() {
+        d[2 * i] = v.re;
+        d[2 * i + 1] = v.im;
+    }
     let mut dx = Vec::with_capacity(recs.len() + 1);
-    dx.push(d0.clone());
-    let mut cur = d0;
+    dx.push(d0);
     for (rec, wk) in recs.iter().zip(w.iter()) {
-        prop(rec, &cur, wk, &mut next);
-        std::mem::swap(&mut cur, &mut next);
-        dx.push(cur.clone());
+        prop(rec, wk, &mut d, &mut rhs);
+        dx.push(
+            (0..n)
+                .map(|i| Complex::new(d[2 * i], d[2 * i + 1]))
+                .collect(),
+        );
     }
     // Demodulate to the periodic envelope.
     let omega = 2.0 * std::f64::consts::PI * boundary.f_offset;

@@ -2,7 +2,7 @@
 //!
 //! Linear periodically time-varying (LPTV) small-signal and cyclostationary
 //! noise analysis — the machinery the paper borrows from RF simulators'
-//! PNOISE (refs. [12]–[17]) and the computational heart of the pseudo-noise
+//! PNOISE (refs. \[12\]–\[17\]) and the computational heart of the pseudo-noise
 //! mismatch method.
 //!
 //! - [`periodic`]: the periodic linear BVP solver. Each mismatch parameter's
@@ -26,7 +26,7 @@ pub mod pnoise;
 
 pub use error::LptvError;
 pub use harmonic::{harmonic_transfer, QuasiPeriodicBoundary};
-pub use periodic::{PeriodicResponse, PeriodicSolver};
+pub use periodic::{LptvOptions, PeriodicResponse, PeriodicSolver};
 pub use pnoise::{
     pnoise_sideband, statistical_waveform, NoiseContribution, PnoiseOptions, SidebandPsd,
 };

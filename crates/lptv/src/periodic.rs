@@ -24,9 +24,25 @@
 use crate::error::LptvError;
 use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_engine::sens::param_step_rhs;
+use tranvar_engine::{effective_threads_for_work, MIN_WORK_PER_THREAD};
 use tranvar_num::dense::vecops;
 use tranvar_num::{DMat, Lu};
 use tranvar_pss::PssSolution;
+
+/// Controls for the batched LPTV parameter propagation.
+///
+/// The default (`threads: 0`) chunks the parameters across all available
+/// cores.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LptvOptions {
+    /// Worker threads for [`PeriodicSolver::all_param_responses`]: the
+    /// mismatch parameters are split into contiguous chunks, one std scoped
+    /// worker per chunk. `0` uses all available cores, `1` runs
+    /// single-threaded. Results are bit-identical for any thread count —
+    /// each parameter's arithmetic is independent of the partitioning
+    /// (mirrors [`tranvar_engine::TranOptions::threads`]).
+    pub threads: usize,
+}
 
 /// The periodic response of the circuit to a unit value of one quasi-DC
 /// parameter (or σ-scaled pseudo-noise source).
@@ -54,10 +70,12 @@ pub struct PeriodicSolver<'a> {
     /// autonomous orbits.
     boundary: Lu<f64>,
     autonomous: bool,
+    opts: LptvOptions,
 }
 
 impl<'a> PeriodicSolver<'a> {
-    /// Prepares the boundary factorization for a PSS solution.
+    /// Prepares the boundary factorization for a PSS solution with default
+    /// [`LptvOptions`] (all cores for the batched propagation).
     ///
     /// # Errors
     ///
@@ -67,6 +85,19 @@ impl<'a> PeriodicSolver<'a> {
     /// - numerical errors if the boundary matrix is singular (e.g. a driven
     ///   circuit with an undamped mode).
     pub fn new(ckt: &'a Circuit, sol: &'a PssSolution) -> Result<Self, LptvError> {
+        PeriodicSolver::with_options(ckt, sol, LptvOptions::default())
+    }
+
+    /// [`PeriodicSolver::new`] with explicit [`LptvOptions`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PeriodicSolver::new`].
+    pub fn with_options(
+        ckt: &'a Circuit,
+        sol: &'a PssSolution,
+        opts: LptvOptions,
+    ) -> Result<Self, LptvError> {
         if sol.records.is_empty() {
             return Err(LptvError::MissingRecords);
         }
@@ -103,6 +134,7 @@ impl<'a> PeriodicSolver<'a> {
             sol,
             boundary,
             autonomous,
+            opts,
         })
     }
 
@@ -194,121 +226,171 @@ impl<'a> PeriodicSolver<'a> {
     /// Responses for every registered mismatch parameter, reusing all
     /// factorizations (the paper's "no additional simulation cost" claim).
     ///
-    /// All parameters are propagated *together*: per step, the source terms
-    /// are staged in one column-major block and both the particular and
-    /// periodic passes run as single multi-RHS batched solves over the
-    /// step factorizations ([`tranvar_engine::FactoredJacobian::solve_multi`]),
-    /// with the boundary solve batched the same way. Per-parameter results
-    /// are bit-for-bit identical to [`PeriodicSolver::param_response`].
+    /// All parameters are propagated *together and in parallel*: the
+    /// parameter set is split into contiguous chunks, one std scoped worker
+    /// per chunk ([`LptvOptions::threads`], mirroring
+    /// [`tranvar_engine::TranOptions::threads`]). Each worker stages its
+    /// chunk's per-step source terms as RHS-interleaved blocks and runs the
+    /// particular pass, the boundary solve and the periodic re-propagation
+    /// as single
+    /// [`tranvar_engine::FactoredJacobian::solve_multi_interleaved`] sweeps
+    /// per step — every factor entry becomes a chunk-wide contiguous axpy,
+    /// with zero allocation inside the per-step loops. Each state's
+    /// parameter derivatives are evaluated exactly once per chunk, and the
+    /// MOSFET operating points come straight from the step records, so no
+    /// device model is re-evaluated at all.
+    ///
+    /// Per-parameter results are bit-for-bit identical to
+    /// [`PeriodicSolver::param_response`] and
+    /// [`PeriodicSolver::all_param_responses_seq`], for any thread count.
     ///
     /// # Errors
     ///
     /// See [`PeriodicSolver::param_response`].
     pub fn all_param_responses(&self) -> Result<Vec<PeriodicResponse>, LptvError> {
-        let recs = &self.sol.records;
-        let n = self.ckt.n_unknowns();
-        let p = self.ckt.mismatch_params().len();
-        let n_steps = recs.len();
-        if p == 0 {
+        let p_total = self.ckt.mismatch_params().len();
+        if p_total == 0 {
             return Ok(Vec::new());
         }
-        // Stage every parameter's per-step source term once (w[s] is the
-        // column-major n×p block of step s). Each state's parameter
-        // derivatives are evaluated exactly once — and the MOSFET operating
-        // points come straight from the step records, so no device model is
-        // re-evaluated at all.
+        // Auto mode stays single-threaded when the whole propagation is too
+        // small to amortize a thread spawn (work proxy: two triangular
+        // sweeps per record per parameter ≈ steps·n²·p flops; see
+        // `effective_threads_for_work`).
+        let n = self.ckt.n_unknowns();
+        let work = self.sol.records.len() * n * n * p_total;
+        let threads =
+            effective_threads_for_work(self.opts.threads, p_total, work, MIN_WORK_PER_THREAD);
+        let chunk = p_total.div_ceil(threads).max(1);
+        let mut out: Vec<PeriodicResponse> = (0..p_total)
+            .map(|_| PeriodicResponse {
+                dx: Vec::new(),
+                dperiod: 0.0,
+            })
+            .collect();
+        if threads == 1 {
+            self.respond_chunk(0, &mut out)?;
+        } else {
+            let results: Vec<Result<(), LptvError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                    handles.push(scope.spawn(move || self.respond_chunk(ci * chunk, out_chunk)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("lptv worker panicked"))
+                    .collect()
+            });
+            for r in results {
+                r?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sequential per-parameter reference: one [`PeriodicSolver::param_response`]
+    /// call per parameter (per-column allocating solves, fresh source-term
+    /// evaluation per parameter) — the pre-batching behavior, retained for
+    /// validation and as the benchmark baseline (`BENCH_pss.json`).
+    ///
+    /// # Errors
+    ///
+    /// See [`PeriodicSolver::param_response`].
+    pub fn all_param_responses_seq(&self) -> Result<Vec<PeriodicResponse>, LptvError> {
+        (0..self.ckt.mismatch_params().len())
+            .map(|k| self.param_response(k))
+            .collect()
+    }
+
+    /// Propagates the contiguous parameter chunk `k0 .. k0 + out.len()`
+    /// with interleaved multi-RHS sweeps, writing each parameter's periodic
+    /// response into its `out` slot.
+    fn respond_chunk(&self, k0: usize, out: &mut [PeriodicResponse]) -> Result<(), LptvError> {
+        let recs = &self.sol.records;
+        let n = self.ckt.n_unknowns();
+        let p = out.len();
+        let n_steps = recs.len();
+        // Stage the chunk's per-step source terms once (w[s][i·p + kk] is
+        // row i of chunk-parameter kk at step s).
         let mut w = vec![vec![0.0; n * p]; n_steps];
         let mut pd_prev: Vec<ParamDeriv> = vec![ParamDeriv::default(); p];
         let mut pd_cur: Vec<ParamDeriv> = vec![ParamDeriv::default(); p];
         self.ckt
-            .d_residual_dparams_into(0, &self.sol.states[0], &mut pd_prev)?;
+            .d_residual_dparams_into(k0, &self.sol.states[0], &mut pd_prev)?;
         for (s, rec) in recs.iter().enumerate() {
             self.ckt.d_residual_dparams_with_ops(
-                0,
+                k0,
                 &self.sol.states[s + 1],
                 &rec.mos_ops,
                 &mut pd_cur,
             )?;
-            for k in 0..p {
+            let ws = &mut w[s];
+            for kk in 0..p {
                 // w in the θ-method order of `param_step_rhs`.
-                let col = &mut w[s][k * n..(k + 1) * n];
-                for &(i, v) in &pd_cur[k].df {
-                    col[i] += rec.theta * v;
+                for &(i, v) in &pd_cur[kk].df {
+                    ws[i * p + kk] += rec.theta * v;
                 }
-                for &(i, v) in &pd_prev[k].df {
-                    col[i] += (1.0 - rec.theta) * v;
+                for &(i, v) in &pd_prev[kk].df {
+                    ws[i * p + kk] += (1.0 - rec.theta) * v;
                 }
-                for &(i, v) in &pd_cur[k].dq {
-                    col[i] += v / rec.h;
+                for &(i, v) in &pd_cur[kk].dq {
+                    ws[i * p + kk] += v / rec.h;
                 }
-                for &(i, v) in &pd_prev[k].dq {
-                    col[i] -= v / rec.h;
+                for &(i, v) in &pd_prev[kk].dq {
+                    ws[i * p + kk] -= v / rec.h;
                 }
             }
             std::mem::swap(&mut pd_prev, &mut pd_cur);
         }
-        // Particular pass from zero initial state, all parameters batched.
+        // Particular pass from zero initial state, all chunk parameters in
+        // one interleaved block per step.
         let mut d = vec![0.0; n * p];
         let mut rhs = vec![0.0; n * p];
         let mut scratch = vec![0.0; n * p];
         for (s, rec) in recs.iter().enumerate() {
-            for k in 0..p {
-                rec.b
-                    .mat_vec_into(&d[k * n..(k + 1) * n], &mut rhs[k * n..(k + 1) * n]);
-            }
+            rec.b.mat_vec_interleaved(&d, &mut rhs, p);
             for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
                 *ri -= *wi;
             }
-            rec.lu.solve_multi(&mut rhs, p, &mut scratch);
+            rec.lu.solve_multi_interleaved(&mut rhs, p, &mut scratch);
             std::mem::swap(&mut d, &mut rhs);
         }
-        // Batched boundary solve.
+        // Batched boundary solve; for autonomous orbits the bordered row
+        // appends one interleaved row of zeros and returns the period
+        // sensitivities in it.
         let mut dperiods = vec![0.0; p];
         let mut d0 = if self.autonomous {
             let nb = n + 1;
             let mut bblock = vec![0.0; nb * p];
-            for k in 0..p {
-                bblock[k * nb..k * nb + n].copy_from_slice(&d[k * n..(k + 1) * n]);
-            }
-            let mut bscratch = vec![0.0; nb];
-            self.boundary.solve_multi(&mut bblock, p, &mut bscratch);
-            let mut d0 = vec![0.0; n * p];
-            for k in 0..p {
-                d0[k * n..(k + 1) * n].copy_from_slice(&bblock[k * nb..k * nb + n]);
-                dperiods[k] = bblock[k * nb + n];
-            }
-            d0
+            bblock[..n * p].copy_from_slice(&d);
+            let mut bscratch = vec![0.0; nb * p];
+            self.boundary
+                .solve_multi_interleaved(&mut bblock, p, &mut bscratch);
+            dperiods.copy_from_slice(&bblock[n * p..]);
+            bblock.truncate(n * p);
+            bblock
         } else {
-            let mut bscratch = vec![0.0; n];
-            self.boundary.solve_multi(&mut d, p, &mut bscratch);
+            self.boundary
+                .solve_multi_interleaved(&mut d, p, &mut scratch);
             d
         };
         // Re-propagate from the periodic initial conditions.
-        let mut out: Vec<PeriodicResponse> = (0..p)
-            .map(|k| {
-                let mut dx = Vec::with_capacity(n_steps + 1);
-                dx.push(d0[k * n..(k + 1) * n].to_vec());
-                PeriodicResponse {
-                    dx,
-                    dperiod: dperiods[k],
-                }
-            })
-            .collect();
+        for (kk, resp) in out.iter_mut().enumerate() {
+            resp.dperiod = dperiods[kk];
+            resp.dx = Vec::with_capacity(n_steps + 1);
+            resp.dx.push((0..n).map(|i| d0[i * p + kk]).collect());
+        }
         for (s, rec) in recs.iter().enumerate() {
-            for k in 0..p {
-                rec.b
-                    .mat_vec_into(&d0[k * n..(k + 1) * n], &mut rhs[k * n..(k + 1) * n]);
-            }
+            rec.b.mat_vec_interleaved(&d0, &mut rhs, p);
             for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
                 *ri -= *wi;
             }
-            rec.lu.solve_multi(&mut rhs, p, &mut scratch);
+            rec.lu.solve_multi_interleaved(&mut rhs, p, &mut scratch);
             std::mem::swap(&mut d0, &mut rhs);
-            for (k, resp) in out.iter_mut().enumerate() {
-                resp.dx.push(d0[k * n..(k + 1) * n].to_vec());
+            for (kk, resp) in out.iter_mut().enumerate() {
+                resp.dx.push((0..n).map(|i| d0[i * p + kk]).collect());
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -437,19 +519,28 @@ mod tests {
         let mut opts = PssOptions::default();
         opts.n_steps = 64;
         let sol = shooting_pss(&ckt, period, &opts).unwrap();
-        let solver = PeriodicSolver::new(&ckt, &sol).unwrap();
-        let batched = solver.all_param_responses().unwrap();
-        assert_eq!(batched.len(), 3);
-        for (k, resp) in batched.iter().enumerate() {
-            let single = solver.param_response(k).unwrap();
-            assert_eq!(resp.dx.len(), single.dx.len());
-            assert_eq!(resp.dperiod.to_bits(), single.dperiod.to_bits());
-            for (ba, sa) in resp.dx.iter().zip(single.dx.iter()) {
-                for (x, y) in ba.iter().zip(sa.iter()) {
-                    assert!(
-                        x.to_bits() == y.to_bits(),
-                        "param {k}: batched {x} vs single {y}"
-                    );
+        for threads in [1usize, 2, 3, 8] {
+            let solver = PeriodicSolver::with_options(&ckt, &sol, LptvOptions { threads }).unwrap();
+            let batched = solver.all_param_responses().unwrap();
+            let seq = solver.all_param_responses_seq().unwrap();
+            assert_eq!(batched.len(), 3);
+            assert_eq!(seq.len(), 3);
+            for (k, resp) in batched.iter().enumerate() {
+                let single = solver.param_response(k).unwrap();
+                assert_eq!(resp.dx.len(), single.dx.len());
+                assert_eq!(resp.dperiod.to_bits(), single.dperiod.to_bits());
+                assert_eq!(resp.dperiod.to_bits(), seq[k].dperiod.to_bits());
+                for (s, (ba, sa)) in resp.dx.iter().zip(single.dx.iter()).enumerate() {
+                    for (i, (x, y)) in ba.iter().zip(sa.iter()).enumerate() {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "threads {threads} param {k} step {s} row {i}: batched {x} vs single {y}"
+                        );
+                        assert!(
+                            x.to_bits() == seq[k].dx[s][i].to_bits(),
+                            "threads {threads} param {k} step {s} row {i}: batched vs seq"
+                        );
+                    }
                 }
             }
         }

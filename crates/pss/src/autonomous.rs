@@ -15,11 +15,11 @@
 //! reuses the records and `∂Φ/∂T` stored here).
 
 use crate::error::PssError;
-use crate::shooting::{check_periodicity, finish, monodromy, PssOptions, PssSolution};
+use crate::shooting::{check_periodicity, finish, monodromy_threaded, PssOptions, PssSolution};
 use tranvar_circuit::{Circuit, NodeId};
 use tranvar_engine::dc::{dc_operating_point, DcOptions};
 use tranvar_engine::measure::average_period;
-use tranvar_engine::tran::{integrate_cycle, transient, TranOptions};
+use tranvar_engine::tran::{integrate_cycle_with, transient, CycleWorkspace, TranOptions};
 use tranvar_num::dense::vecops;
 use tranvar_num::interp::{crossings, Edge};
 use tranvar_num::DMat;
@@ -135,10 +135,14 @@ pub fn autonomous_pss(
     // crossing) — this keeps the initial phase residual tiny.
     let v_pin = warm.phase_value;
 
+    // Shared workspace for every cycle of the bordered Newton loop (two
+    // integrations per round: nominal and period-perturbed).
+    let mut ws = CycleWorkspace::new();
     let mut last_residual = f64::INFINITY;
     for _iter in 0..opts.pss.max_iter {
-        let cyc = integrate_cycle(
+        let cyc = integrate_cycle_with(
             ckt,
+            &mut ws,
             &x0,
             0.0,
             period,
@@ -152,12 +156,13 @@ pub fn autonomous_pss(
         let r = vecops::sub(&x_end, &x0);
         let phase_res = x0[pi] - v_pin;
         last_residual = vecops::norm_inf(&r).max(phase_res.abs());
-        let m = monodromy(&cyc.records, n);
+        let m = monodromy_threaded(&cyc.records, n, opts.pss.threads);
 
         // ∂Φ/∂T by forward difference on the period.
         let dt_rel = 1e-6;
-        let cyc2 = integrate_cycle(
+        let cyc2 = integrate_cycle_with(
             ckt,
+            &mut ws,
             &x0,
             0.0,
             period * (1.0 + dt_rel),

@@ -1,7 +1,7 @@
 //! # tranvar-pss
 //!
 //! Periodic steady-state (PSS) analysis via shooting Newton — the substrate
-//! the paper borrows from RF simulators (SpectreRF/ADS, refs. [12],[15],[16]).
+//! the paper borrows from RF simulators (SpectreRF/ADS, refs. \[12\],\[15\],\[16\]).
 //!
 //! - [`shooting`]: driven PSS — finds the fixed point of the one-period flow
 //!   map without integrating through settling transients; converges to
@@ -23,4 +23,6 @@ pub mod shooting;
 
 pub use autonomous::{autonomous_pss, OscOptions};
 pub use error::PssError;
-pub use shooting::{monodromy, shooting_pss, PssOptions, PssSolution};
+pub use shooting::{
+    monodromy, monodromy_seq, monodromy_threaded, shooting_pss, PssOptions, PssSolution,
+};

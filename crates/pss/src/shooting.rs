@@ -4,7 +4,7 @@
 //! finds the fixed point of the one-period flow map `Φ_T`: solve
 //! `Φ_T(x₀) − x₀ = 0` with Newton, whose Jacobian is the monodromy matrix
 //! `M = ∂Φ_T/∂x₀` assembled from the per-step records of
-//! [`tranvar_engine::integrate_cycle`] (paper Section IV, refs. [12],[16]).
+//! [`tranvar_engine::integrate_cycle`] (paper Section IV, refs. \[12\],\[16\]).
 //!
 //! Because shooting is a root-finder rather than a forward simulation it
 //! converges to *unstable or marginally stable* periodic orbits as well —
@@ -14,7 +14,10 @@
 use crate::error::PssError;
 use tranvar_circuit::{Circuit, NodeId};
 use tranvar_engine::dc::{dc_operating_point, DcOptions, NewtonOptions};
-use tranvar_engine::tran::{integrate_cycle, CycleResult, Integrator, StepRecord};
+use tranvar_engine::tran::{
+    integrate_cycle_with, CycleResult, CycleWorkspace, Integrator, StepRecord,
+};
+use tranvar_engine::{effective_threads_for_work, MIN_WORK_PER_THREAD};
 use tranvar_num::dense::vecops;
 use tranvar_num::DMat;
 
@@ -37,6 +40,12 @@ pub struct PssOptions {
     pub warmup_cycles: usize,
     /// Clamp on the shooting update ∞-norm.
     pub update_limit: f64,
+    /// Worker threads for the monodromy column propagation
+    /// ([`monodromy_threaded`]): `0` uses all available cores, `1` runs
+    /// single-threaded. Results are bit-identical for any thread count —
+    /// each state-space column's arithmetic is independent of the
+    /// partitioning (mirrors [`tranvar_engine::TranOptions::threads`]).
+    pub threads: usize,
 }
 
 impl Default for PssOptions {
@@ -50,6 +59,7 @@ impl Default for PssOptions {
             gmin: 1e-12,
             warmup_cycles: 2,
             update_limit: 0.6,
+            threads: 0,
         }
     }
 }
@@ -107,30 +117,103 @@ impl PssSolution {
 
 /// Propagates the monodromy matrix `M = ∏ J_k⁻¹ B_k` from cycle records.
 ///
-/// The accumulation is blocked: per record, all `n` columns of `B·M` are
-/// staged in one column-major block and solved with a single multi-RHS
-/// batched sweep over the step factorization (each factor row is read once
-/// per record instead of once per column), with all buffers preallocated
-/// outside the record loop. Per-column results are bit-for-bit identical to
-/// column-by-column solves.
+/// Single-threaded convenience wrapper around [`monodromy_threaded`]; the
+/// shooting drivers pass [`PssOptions::threads`] through instead.
 pub fn monodromy(records: &[StepRecord], n: usize) -> DMat<f64> {
+    monodromy_threaded(records, n, 1)
+}
+
+/// Batched, threaded monodromy accumulation.
+///
+/// The `n` columns of `M` propagate independently through the record
+/// product, so they are split into contiguous chunks — one std scoped
+/// worker per chunk (`threads` in the [`tranvar_engine::TranOptions::threads`]
+/// convention: `0` = all cores). Each worker stages its chunk as an
+/// RHS-interleaved block and advances it with one
+/// [`tranvar_engine::FactoredJacobian::solve_multi_interleaved`] sweep per
+/// record: every factor entry becomes a chunk-wide contiguous axpy, every
+/// factor row is read once per record instead of once per column, and all
+/// buffers are preallocated outside the record loop.
+///
+/// Per-column arithmetic is independent of the chunking, so the result is
+/// bit-for-bit identical for any thread count and to the per-column
+/// sequential reference [`monodromy_seq`].
+pub fn monodromy_threaded(records: &[StepRecord], n: usize, threads: usize) -> DMat<f64> {
+    let mut m = DMat::<f64>::identity(n);
+    if n == 0 {
+        return m;
+    }
+    // Auto mode stays single-threaded when the whole accumulation is too
+    // small to amortize a thread spawn (work proxy: one dense triangular
+    // sweep per record per column ≈ records·n² flops; see
+    // `effective_threads_for_work`).
+    let threads =
+        effective_threads_for_work(threads, n, records.len() * n * n, MIN_WORK_PER_THREAD);
+    let chunk = n.div_ceil(threads).max(1);
+    let propagate = |c0: usize, p: usize| -> Vec<f64> {
+        // Interleaved identity columns: cur[i·p + j] = I[(i, c0 + j)].
+        let mut cur = vec![0.0; n * p];
+        for j in 0..p {
+            cur[(c0 + j) * p + j] = 1.0;
+        }
+        let mut nxt = vec![0.0; n * p];
+        let mut scratch = vec![0.0; n * p];
+        for rec in records {
+            rec.b.mat_vec_interleaved(&cur, &mut nxt, p);
+            rec.lu.solve_multi_interleaved(&mut nxt, p, &mut scratch);
+            std::mem::swap(&mut cur, &mut nxt);
+        }
+        cur
+    };
+    let blocks: Vec<(usize, Vec<f64>)> = if threads == 1 {
+        vec![(0, propagate(0, n))]
+    } else {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            let mut c0 = 0;
+            while c0 < n {
+                let p = chunk.min(n - c0);
+                let propagate = &propagate;
+                handles.push((c0, scope.spawn(move || propagate(c0, p))));
+                c0 += p;
+            }
+            handles
+                .into_iter()
+                .map(|(c0, h)| (c0, h.join().expect("monodromy worker panicked")))
+                .collect()
+        })
+    };
+    for (c0, blk) in blocks {
+        let p = blk.len() / n;
+        for j in 0..p {
+            for i in 0..n {
+                m[(i, c0 + j)] = blk[i * p + j];
+            }
+        }
+    }
+    m
+}
+
+/// Sequential per-column monodromy reference: one coupling product and one
+/// allocating solve per column per record — the pre-batching behavior,
+/// retained for validation and as the benchmark baseline
+/// (`BENCH_pss.json`).
+pub fn monodromy_seq(records: &[StepRecord], n: usize) -> DMat<f64> {
     let mut m = DMat::<f64>::identity(n);
     let mut col = vec![0.0; n];
-    let mut block = vec![0.0; n * n];
-    let mut scratch = vec![0.0; n * n];
     for rec in records {
+        let mut next = DMat::<f64>::zeros(n, n);
         for j in 0..n {
             for (i, c) in col.iter_mut().enumerate() {
                 *c = m[(i, j)];
             }
-            rec.b.mat_vec_into(&col, &mut block[j * n..(j + 1) * n]);
-        }
-        rec.lu.solve_multi(&mut block, n, &mut scratch);
-        for j in 0..n {
-            for i in 0..n {
-                m[(i, j)] = block[j * n + i];
+            let bx = rec.b.mat_vec(&col);
+            let sx = rec.lu.solve(&bx);
+            for (i, v) in sx.iter().enumerate() {
+                next[(i, j)] = *v;
             }
         }
+        m = next;
     }
     m
 }
@@ -160,9 +243,14 @@ pub fn shooting_pss(
             ..DcOptions::default()
         },
     )?;
+    // One workspace for every cycle this solve integrates: warm-up cycles
+    // and shooting rounds share the assembly buffers, Newton vectors and
+    // factorization staging instead of re-allocating them per round.
+    let mut ws = CycleWorkspace::new();
     for _ in 0..opts.warmup_cycles {
-        let cyc = integrate_cycle(
+        let cyc = integrate_cycle_with(
             ckt,
+            &mut ws,
             &x0,
             0.0,
             period,
@@ -177,8 +265,9 @@ pub fn shooting_pss(
 
     let mut last_residual = f64::INFINITY;
     for _iter in 0..opts.max_iter {
-        let cyc = integrate_cycle(
+        let cyc = integrate_cycle_with(
             ckt,
+            &mut ws,
             &x0,
             0.0,
             period,
@@ -191,7 +280,7 @@ pub fn shooting_pss(
         let x_end = cyc.states.last().expect("cycle states").clone();
         let r = vecops::sub(&x_end, &x0);
         last_residual = vecops::norm_inf(&r);
-        let m = monodromy(&cyc.records, n);
+        let m = monodromy_threaded(&cyc.records, n, opts.threads);
         if last_residual < opts.tol {
             return Ok(finish(
                 cyc,
@@ -365,6 +454,50 @@ mod tests {
             "M_bb = {} vs {expect}",
             sol.monodromy[(ib, ib)]
         );
+    }
+
+    /// The interleaved/threaded accumulation must reproduce the per-column
+    /// sequential reference exactly, for every thread count.
+    #[test]
+    fn threaded_monodromy_matches_sequential_reference() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add_vsource(
+            "V1",
+            a,
+            NodeId::GROUND,
+            Waveform::Sin {
+                offset: 0.5,
+                ampl: 0.5,
+                freq: 1.0e5,
+                delay: 0.0,
+            },
+        );
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+        ckt.add_resistor("R2", b, c, 2e3);
+        ckt.add_capacitor("C2", c, NodeId::GROUND, 0.5e-9);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 64;
+        opts.method = Integrator::Trapezoidal;
+        let sol = shooting_pss(&ckt, 1.0e-5, &opts).unwrap();
+        let n = ckt.n_unknowns();
+        let reference = monodromy_seq(&sol.records, n);
+        for threads in [1usize, 2, 3, 8] {
+            let m = monodromy_threaded(&sol.records, n, threads);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        m[(i, j)].to_bits() == reference[(i, j)].to_bits(),
+                        "threads {threads}: M[{i}][{j}] = {} vs seq {}",
+                        m[(i, j)],
+                        reference[(i, j)]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -171,3 +171,110 @@ fn random_ladder_lptv_equals_dcmatch() {
         assert!((res.reports[0].nominal - ckt.voltage(&x, mid)).abs() < 1e-7);
     }
 }
+
+/// Builds a randomized pulse-driven RC ladder with mismatch annotations on
+/// every element — the workload for the thread-count invariance properties.
+fn random_mismatched_ladder(rng: &mut Rng64, stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("in");
+    ckt.add_vsource(
+        "V1",
+        top,
+        NodeId::GROUND,
+        Waveform::Pulse(tranvar::circuit::Pulse {
+            v0: 0.0,
+            v1: uniform_in(rng, 0.5, 1.5),
+            delay: 1e-7,
+            rise: 1e-8,
+            fall: 1e-8,
+            width: 4e-7,
+            period: 1e-6,
+        }),
+    );
+    let mut prev = top;
+    for i in 0..stages {
+        let next = ckt.node(&format!("n{i}"));
+        let r = uniform_in(rng, 0.5e3, 5e3);
+        let c = uniform_in(rng, 0.2e-9, 2e-9);
+        let rid = ckt.add_resistor(&format!("R{i}"), prev, next, r);
+        let cid = ckt.add_capacitor(&format!("C{i}"), next, NodeId::GROUND, c);
+        ckt.annotate_resistor_mismatch(rid, 0.01 * r);
+        ckt.annotate_capacitor_mismatch(cid, 0.01 * c);
+        prev = next;
+    }
+    ckt
+}
+
+/// The interleaved+threaded monodromy accumulation is bit-identical to the
+/// retained per-column sequential reference for 1, 2 and N threads, on
+/// randomized PSS orbits.
+#[test]
+fn monodromy_is_bit_identical_for_any_thread_count() {
+    use tranvar::pss::{monodromy_seq, monodromy_threaded, shooting_pss};
+    let mut rng = Rng64::seed_from(0x5EED_0A0B);
+    for case in 0..6 {
+        let stages = 2 + (rng.next_u64() % 3) as usize;
+        let ckt = random_mismatched_ladder(&mut rng, stages);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 32;
+        if case % 2 == 0 {
+            opts.method = tranvar::engine::Integrator::Trapezoidal;
+        }
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let n = ckt.n_unknowns();
+        let reference = monodromy_seq(&sol.records, n);
+        for threads in [1usize, 2, 8] {
+            let m = monodromy_threaded(&sol.records, n, threads);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        m[(i, j)].to_bits() == reference[(i, j)].to_bits(),
+                        "case {case} threads {threads}: M[{i}][{j}] = {} vs {}",
+                        m[(i, j)],
+                        reference[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The interleaved+threaded all-parameter LPTV propagation is bit-identical
+/// to the retained per-parameter sequential reference for 1, 2 and N
+/// threads, on randomized PSS orbits.
+#[test]
+fn lptv_param_responses_are_bit_identical_for_any_thread_count() {
+    use tranvar::lptv::{LptvOptions, PeriodicSolver};
+    use tranvar::pss::shooting_pss;
+    let mut rng = Rng64::seed_from(0x5EED_1111);
+    for case in 0..4 {
+        let stages = 2 + (rng.next_u64() % 3) as usize;
+        let ckt = random_mismatched_ladder(&mut rng, stages);
+        let mut opts = PssOptions::default();
+        opts.n_steps = 24;
+        let sol = shooting_pss(&ckt, 1e-6, &opts).unwrap();
+        let n_params = ckt.mismatch_params().len();
+        assert!(n_params >= 4);
+        let seq = PeriodicSolver::new(&ckt, &sol)
+            .unwrap()
+            .all_param_responses_seq()
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let solver = PeriodicSolver::with_options(&ckt, &sol, LptvOptions { threads }).unwrap();
+            let batched = solver.all_param_responses().unwrap();
+            assert_eq!(batched.len(), seq.len());
+            for (k, (b, s)) in batched.iter().zip(seq.iter()).enumerate() {
+                assert_eq!(b.dperiod.to_bits(), s.dperiod.to_bits());
+                assert_eq!(b.dx.len(), s.dx.len());
+                for (step, (bs, ss)) in b.dx.iter().zip(s.dx.iter()).enumerate() {
+                    for (i, (x, y)) in bs.iter().zip(ss.iter()).enumerate() {
+                        assert!(
+                            x.to_bits() == y.to_bits(),
+                            "case {case} threads {threads} param {k} step {step} row {i}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
