@@ -178,6 +178,96 @@ pub enum Device {
     Mosfet(Mosfet),
 }
 
+/// One numeric-only circuit modification, applied via [`Circuit::revalue`].
+///
+/// Overrides change device values, source levels, sizing or mismatch σ
+/// **without touching the netlist topology**, so the MNA sparsity pattern
+/// is preserved and any symbolic analysis cached for the base circuit
+/// remains valid. They are the vocabulary of the scenario/campaign layer:
+/// a corner is a list of overrides against a base circuit.
+///
+/// [`CircuitOverride::is_statistical_only`] distinguishes overrides that
+/// affect only the mismatch statistics (σ) from those that change the
+/// solved equations — campaigns share one PSS+LPTV solve across scenarios
+/// whose solve-affecting overrides agree, because the unit-parameter
+/// responses are independent of σ.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CircuitOverride {
+    /// Sets a resistor's resistance (Ω, must be positive).
+    Resistance {
+        /// Target resistor.
+        device: DeviceId,
+        /// New resistance (Ω).
+        ohms: f64,
+    },
+    /// Sets a capacitor's capacitance (F, must be positive).
+    Capacitance {
+        /// Target capacitor.
+        device: DeviceId,
+        /// New capacitance (F).
+        farads: f64,
+    },
+    /// Sets an inductor's inductance (H, must be positive).
+    Inductance {
+        /// Target inductor.
+        device: DeviceId,
+        /// New inductance (H).
+        henries: f64,
+    },
+    /// Replaces the level of a DC V/I source (supply or bias corner).
+    SourceDc {
+        /// Target source.
+        device: DeviceId,
+        /// New DC level (V or A).
+        value: f64,
+    },
+    /// Scales a V/I source waveform by a factor (works for any waveform —
+    /// DC, pulse, sine, PWL — scaling every level, like the
+    /// source-stepping homotopy does).
+    SourceScale {
+        /// Target source.
+        device: DeviceId,
+        /// Multiplicative level factor.
+        factor: f64,
+    },
+    /// Resizes a MOSFET's drawn width (m, must be positive). Pelgrom
+    /// mismatch parameters attached to the device are re-scaled by
+    /// `√(W_old/W_new)` (σ ∝ 1/√(W·L)).
+    MosWidth {
+        /// Target MOSFET.
+        device: DeviceId,
+        /// New drawn width (m).
+        width: f64,
+    },
+    /// Scales every registered mismatch σ (the Fig. 11-style mismatch-level
+    /// sweep). Statistical-only: does not change the solved equations.
+    SigmaScale {
+        /// Multiplicative σ factor (non-negative).
+        factor: f64,
+    },
+    /// Sets one mismatch parameter's σ. Statistical-only.
+    SigmaSet {
+        /// Mismatch-parameter index.
+        param: usize,
+        /// New standard deviation in the parameter's natural unit.
+        sigma: f64,
+    },
+}
+
+impl CircuitOverride {
+    /// `true` if the override affects only the mismatch statistics (σ) and
+    /// not the solved circuit equations: the nominal orbit and the
+    /// unit-parameter responses of circuits differing only in such
+    /// overrides are identical, so their solves can be shared.
+    pub fn is_statistical_only(&self) -> bool {
+        matches!(
+            self,
+            CircuitOverride::SigmaScale { .. } | CircuitOverride::SigmaSet { .. }
+        )
+    }
+}
+
 /// Sparse derivative of the MNA residual with respect to one scalar
 /// parameter: the pseudo-noise injection vector of the paper.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -983,6 +1073,169 @@ impl Circuit {
         }
     }
 
+    /// Applies a set of numeric-only overrides in place.
+    ///
+    /// Every override rewrites device *values* (or mismatch σ) without
+    /// adding, removing or rewiring anything, so the MNA sparsity pattern —
+    /// and with it any cached symbolic analysis keyed on that pattern — is
+    /// preserved exactly. This is the scenario-application primitive of the
+    /// campaign layer in `tranvar-core`: a worker session revalues one
+    /// clone of the base circuit per scenario and every solve after the
+    /// first is a pure numeric replay.
+    ///
+    /// Overrides are applied in order; later overrides see the effects of
+    /// earlier ones (relevant for [`CircuitOverride::SourceScale`] after
+    /// [`CircuitOverride::SourceDc`], or stacked sigma scalings).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParameter`] for a kind mismatch
+    /// (e.g. a resistance override on a capacitor) or a non-positive
+    /// element value, and [`CircuitError::UnknownMismatchParam`] /
+    /// [`CircuitError::UnknownDevice`] for out-of-range indices. The
+    /// circuit is modified up to the failing override.
+    pub fn revalue(&mut self, overrides: &[CircuitOverride]) -> Result<(), CircuitError> {
+        for ov in overrides {
+            self.apply_override(ov)?;
+        }
+        Ok(())
+    }
+
+    fn apply_override(&mut self, ov: &CircuitOverride) -> Result<(), CircuitError> {
+        let device_of = |this: &Circuit, id: DeviceId| -> Result<(), CircuitError> {
+            if id.0 >= this.devices.len() {
+                return Err(CircuitError::UnknownDevice { index: id.0 });
+            }
+            Ok(())
+        };
+        let positive = |this: &Circuit, id: DeviceId, what: &str, v: f64| {
+            if v > 0.0 {
+                Ok(())
+            } else {
+                Err(CircuitError::InvalidParameter {
+                    device: this.labels[id.0].clone(),
+                    reason: format!("{what} must be positive, got {v:e}"),
+                })
+            }
+        };
+        let mismatch_err =
+            |this: &Circuit, id: DeviceId, what: &str| CircuitError::InvalidParameter {
+                device: this.labels[id.0].clone(),
+                reason: format!("{what} override does not match the device kind"),
+            };
+        match *ov {
+            CircuitOverride::Resistance { device, ohms } => {
+                device_of(self, device)?;
+                positive(self, device, "resistance", ohms)?;
+                match &mut self.devices[device.0] {
+                    Device::Resistor { r, .. } => *r = ohms,
+                    _ => return Err(mismatch_err(self, device, "resistance")),
+                }
+            }
+            CircuitOverride::Capacitance { device, farads } => {
+                device_of(self, device)?;
+                positive(self, device, "capacitance", farads)?;
+                match &mut self.devices[device.0] {
+                    Device::Capacitor { c, .. } => *c = farads,
+                    _ => return Err(mismatch_err(self, device, "capacitance")),
+                }
+            }
+            CircuitOverride::Inductance { device, henries } => {
+                device_of(self, device)?;
+                positive(self, device, "inductance", henries)?;
+                match &mut self.devices[device.0] {
+                    Device::Inductor { l, .. } => *l = henries,
+                    _ => return Err(mismatch_err(self, device, "inductance")),
+                }
+            }
+            CircuitOverride::SourceDc { device, value } => {
+                device_of(self, device)?;
+                if !value.is_finite() {
+                    return Err(CircuitError::InvalidParameter {
+                        device: self.labels[device.0].clone(),
+                        reason: format!("source level must be finite, got {value:e}"),
+                    });
+                }
+                match &mut self.devices[device.0] {
+                    Device::Vsource { wave, .. } | Device::Isource { wave, .. } => match wave {
+                        Waveform::Dc(v) => *v = value,
+                        _ => {
+                            return Err(CircuitError::InvalidParameter {
+                                device: self.labels[device.0].clone(),
+                                reason: "SourceDc override needs a DC waveform (use SourceScale \
+                                         for time-varying stimuli)"
+                                    .into(),
+                            })
+                        }
+                    },
+                    _ => return Err(mismatch_err(self, device, "source-level")),
+                }
+            }
+            CircuitOverride::SourceScale { device, factor } => {
+                device_of(self, device)?;
+                if !factor.is_finite() {
+                    return Err(CircuitError::InvalidParameter {
+                        device: self.labels[device.0].clone(),
+                        reason: format!("source scale must be finite, got {factor:e}"),
+                    });
+                }
+                match &mut self.devices[device.0] {
+                    Device::Vsource { wave, .. } | Device::Isource { wave, .. } => {
+                        *wave = scale_waveform(wave, factor);
+                    }
+                    _ => return Err(mismatch_err(self, device, "source-scale")),
+                }
+            }
+            CircuitOverride::MosWidth { device, width } => {
+                device_of(self, device)?;
+                positive(self, device, "width", width)?;
+                let w_old = match &mut self.devices[device.0] {
+                    Device::Mosfet(m) => {
+                        let w_old = m.w;
+                        m.w = width;
+                        w_old
+                    }
+                    _ => return Err(mismatch_err(self, device, "width")),
+                };
+                // Pelgrom σ ∝ 1/√(W·L): geometry changes re-scale every
+                // matching parameter attached to this device.
+                let factor = (w_old / width).sqrt();
+                for p in &mut self.mismatch {
+                    if p.device == device
+                        && matches!(p.kind, MismatchKind::MosVt | MismatchKind::MosBetaRel)
+                    {
+                        p.sigma *= factor;
+                    }
+                }
+            }
+            CircuitOverride::SigmaScale { factor } => {
+                if factor.is_nan() || factor < 0.0 {
+                    return Err(CircuitError::InvalidParameter {
+                        device: "<all mismatch>".into(),
+                        reason: format!("sigma scale must be non-negative, got {factor:e}"),
+                    });
+                }
+                for p in &mut self.mismatch {
+                    p.sigma *= factor;
+                }
+            }
+            CircuitOverride::SigmaSet { param, sigma } => {
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(CircuitError::InvalidParameter {
+                        device: format!("<mismatch param {param}>"),
+                        reason: format!("sigma must be finite and non-negative, got {sigma:e}"),
+                    });
+                }
+                let p = self
+                    .mismatch
+                    .get_mut(param)
+                    .ok_or(CircuitError::UnknownMismatchParam { index: param })?;
+                p.sigma = sigma;
+            }
+        }
+        Ok(())
+    }
+
     /// Returns a copy of the circuit with every independent source scaled by
     /// `alpha` (source-stepping homotopy for hard DC problems).
     pub fn scaled_sources(&self, alpha: f64) -> Circuit {
@@ -1103,6 +1356,157 @@ fn push_pair(ckt: &Circuit, list: &mut Vec<(usize, f64)>, a: NodeId, b: NodeId, 
 mod tests {
     use super::*;
     use crate::mismatch::MismatchKind;
+
+    /// Revalued circuits must assemble exactly like circuits built with the
+    /// target values directly, and the stamp pattern must be unchanged.
+    #[test]
+    fn revalue_matches_direct_construction_and_preserves_pattern() {
+        let build = |r: f64, c: f64, v: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(v));
+            let r1 = ckt.add_resistor("R1", a, b, r);
+            let c1 = ckt.add_capacitor("C1", b, NodeId::GROUND, c);
+            ckt.annotate_resistor_mismatch(r1, 10.0);
+            ckt.annotate_capacitor_mismatch(c1, 1e-11);
+            (ckt, r1, c1)
+        };
+        let (mut ckt, r1, c1) = build(1e3, 1e-9, 1.0);
+        let v1 = ckt.find_device("V1").unwrap();
+        ckt.revalue(&[
+            CircuitOverride::Resistance {
+                device: r1,
+                ohms: 2.2e3,
+            },
+            CircuitOverride::Capacitance {
+                device: c1,
+                farads: 0.5e-9,
+            },
+            CircuitOverride::SourceDc {
+                device: v1,
+                value: 1.4,
+            },
+            CircuitOverride::SigmaScale { factor: 2.0 },
+        ])
+        .unwrap();
+        let (direct, _, _) = build(2.2e3, 0.5e-9, 1.4);
+        let x = vec![0.7, 0.3, -1e-3];
+        let (base, fresh) = (ckt.assemble(&x, 0.0), direct.assemble(&x, 0.0));
+        assert_eq!(base.f, fresh.f);
+        assert_eq!(base.q, fresh.q);
+        assert_eq!(base.g.to_csc(), fresh.g.to_csc());
+        assert_eq!(base.c.to_csc(), fresh.c.to_csc());
+        // σ: scaled by 2 relative to the direct build.
+        assert_eq!(ckt.mismatch_sigmas(), vec![20.0, 2e-11]);
+        // Pattern identical to the pre-revalue circuit: the original CSC
+        // structure accepts a value-refill from the revalued stamps.
+        let (orig, _, _) = build(1e3, 1e-9, 1.0);
+        let mut csc = orig.assemble(&x, 0.0).g.to_csc();
+        assert!(csc.refill_from(&ckt.assemble(&x, 0.0).g).is_ok());
+    }
+
+    #[test]
+    fn revalue_mos_width_rescales_pelgrom_sigma() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let m = ckt.add_mosfet(
+            "M1",
+            d,
+            d,
+            NodeId::GROUND,
+            MosType::Nmos,
+            MosModel::nmos_013(),
+            2e-6,
+            0.13e-6,
+        );
+        ckt.annotate_pelgrom(m, 6.5e-9, 3.25e-8);
+        let before = ckt.mismatch_sigmas();
+        ckt.revalue(&[CircuitOverride::MosWidth {
+            device: m,
+            width: 8e-6,
+        }])
+        .unwrap();
+        match ckt.device(m) {
+            Device::Mosfet(mm) => assert_eq!(mm.w, 8e-6),
+            _ => unreachable!(),
+        }
+        let after = ckt.mismatch_sigmas();
+        for (b, a) in before.iter().zip(after.iter()) {
+            assert!((a - b * 0.5).abs() < 1e-15 * b, "{a} vs {}", b * 0.5);
+        }
+    }
+
+    #[test]
+    fn revalue_rejects_kind_mismatch_and_bad_values() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        let r1 = ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        assert!(ckt
+            .revalue(&[CircuitOverride::Capacitance {
+                device: r1,
+                farads: 1e-9
+            }])
+            .is_err());
+        assert!(ckt
+            .revalue(&[CircuitOverride::Resistance {
+                device: r1,
+                ohms: -5.0
+            }])
+            .is_err());
+        assert!(ckt
+            .revalue(&[CircuitOverride::SigmaSet {
+                param: 3,
+                sigma: 1.0
+            }])
+            .is_err());
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        assert!(ckt
+            .revalue(&[CircuitOverride::SigmaSet {
+                param: 0,
+                sigma: -1.0
+            }])
+            .is_err());
+        assert!(ckt
+            .revalue(&[CircuitOverride::SigmaSet {
+                param: 0,
+                sigma: f64::NAN
+            }])
+            .is_err());
+        assert!(ckt
+            .revalue(&[CircuitOverride::SigmaScale { factor: -2.0 }])
+            .is_err());
+        let v1 = ckt.find_device("V1").unwrap();
+        assert!(ckt
+            .revalue(&[CircuitOverride::SourceDc {
+                device: v1,
+                value: 2.5
+            }])
+            .is_ok());
+        assert!(matches!(
+            ckt.device(v1),
+            Device::Vsource {
+                wave: Waveform::Dc(v),
+                ..
+            } if *v == 2.5
+        ));
+    }
+
+    #[test]
+    fn statistical_only_classification() {
+        assert!(CircuitOverride::SigmaScale { factor: 2.0 }.is_statistical_only());
+        assert!(CircuitOverride::SigmaSet {
+            param: 0,
+            sigma: 1.0
+        }
+        .is_statistical_only());
+        assert!(!CircuitOverride::Resistance {
+            device: DeviceId(0),
+            ohms: 1.0
+        }
+        .is_statistical_only());
+    }
 
     #[test]
     fn retime_sources_matches_fresh_assembly() {

@@ -44,7 +44,9 @@ pub mod mosfet;
 pub mod noise;
 pub mod waveform;
 
-pub use circuit::{Assembly, Circuit, Device, DeviceId, Mosfet, NodeId, ParamDeriv};
+pub use circuit::{
+    Assembly, Circuit, CircuitOverride, Device, DeviceId, Mosfet, NodeId, ParamDeriv,
+};
 pub use error::CircuitError;
 pub use mismatch::{MismatchKind, MismatchParam, Pelgrom};
 pub use mosfet::{MosModel, MosOp, MosType};

@@ -16,8 +16,9 @@ use crate::error::CoreError;
 use crate::metric::Metric;
 use crate::report::{Contribution, VariationReport};
 use tranvar_circuit::{Circuit, NodeId};
+use tranvar_engine::Session;
 use tranvar_lptv::{PeriodicResponse, PeriodicSolver};
-use tranvar_pss::{autonomous_pss, shooting_pss, OscOptions, PssOptions, PssSolution};
+use tranvar_pss::{autonomous_pss_in, shooting_pss_in, OscOptions, PssOptions, PssSolution};
 
 /// How the periodic steady state is obtained.
 #[derive(Clone, Debug)]
@@ -63,7 +64,7 @@ impl MetricSpec {
 
 /// Result of the full flow: the PSS orbit, the per-parameter periodic
 /// responses, and one variation report per requested metric.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AnalysisResult {
     /// The converged periodic steady state.
     pub pss: PssSolution,
@@ -121,8 +122,49 @@ pub fn analyze(
     config: &PssConfig,
     metrics: &[MetricSpec],
 ) -> Result<AnalysisResult, CoreError> {
-    let pss = solve_pss(ckt, config)?;
-    analyze_with_pss(ckt, pss, metrics)
+    analyze_in(&mut session_for(config), ckt, config, metrics)
+}
+
+/// [`analyze`] borrowing an analysis [`Session`]: every stage (DC seed,
+/// PSS shooting, LPTV propagation) runs through the session's cached
+/// workspaces, so repeated analyses on one circuit — the scenario-campaign
+/// regime — perform no per-call allocation or symbolic re-analysis. A
+/// fresh session reproduces [`analyze`] bit-for-bit; a reused one is
+/// bit-identical for the dense backend (see [`tranvar_engine::session`]).
+///
+/// # Errors
+///
+/// See [`analyze`].
+pub fn analyze_in(
+    session: &mut Session,
+    ckt: &Circuit,
+    config: &PssConfig,
+    metrics: &[MetricSpec],
+) -> Result<AnalysisResult, CoreError> {
+    let pss = solve_pss_in(session, ckt, config)?;
+    let solver = PeriodicSolver::with_session(ckt, &pss, session)?;
+    let responses = solver.all_param_responses()?;
+    drop(solver);
+    let reports = reports_from_responses(ckt, &pss, &responses, metrics)?;
+    Ok(AnalysisResult {
+        pss,
+        responses,
+        reports,
+    })
+}
+
+/// The linear-solver backend a configuration asks for.
+pub(crate) fn solver_of(config: &PssConfig) -> tranvar_engine::SolverKind {
+    match config {
+        PssConfig::Driven { opts, .. } => opts.newton.solver,
+        PssConfig::Autonomous { opts, .. } => opts.pss.newton.solver,
+    }
+}
+
+/// The session a fresh per-call entry point runs on: solver backend taken
+/// from the config's Newton options, automatic threading.
+pub(crate) fn session_for(config: &PssConfig) -> Session {
+    Session::with_solver(solver_of(config))
 }
 
 /// Solves only the PSS part of the flow (exposed for benchmarking the cost
@@ -132,14 +174,27 @@ pub fn analyze(
 ///
 /// Propagates PSS failures.
 pub fn solve_pss(ckt: &Circuit, config: &PssConfig) -> Result<PssSolution, CoreError> {
+    solve_pss_in(&mut session_for(config), ckt, config)
+}
+
+/// [`solve_pss`] borrowing an analysis [`Session`].
+///
+/// # Errors
+///
+/// Propagates PSS failures.
+pub fn solve_pss_in(
+    session: &mut Session,
+    ckt: &Circuit,
+    config: &PssConfig,
+) -> Result<PssSolution, CoreError> {
     Ok(match config {
-        PssConfig::Driven { period, opts } => shooting_pss(ckt, *period, opts)?,
+        PssConfig::Driven { period, opts } => shooting_pss_in(session, ckt, *period, opts)?,
         PssConfig::Autonomous {
             period_hint,
             phase_node,
             phase_value,
             opts,
-        } => autonomous_pss(ckt, *period_hint, *phase_node, *phase_value, opts)?,
+        } => autonomous_pss_in(session, ckt, *period_hint, *phase_node, *phase_value, opts)?,
     })
 }
 
@@ -155,13 +210,40 @@ pub fn analyze_with_pss(
 ) -> Result<AnalysisResult, CoreError> {
     let solver = PeriodicSolver::new(ckt, &pss)?;
     let responses = solver.all_param_responses()?;
+    drop(solver);
+    let reports = reports_from_responses(ckt, &pss, &responses, metrics)?;
+    Ok(AnalysisResult {
+        pss,
+        responses,
+        reports,
+    })
+}
+
+/// Builds one [`VariationReport`] per metric from solved unit-parameter
+/// responses.
+///
+/// The responses are independent of the mismatch σ (they are solved at unit
+/// parameter value); σ enters only here, read from `ckt`'s current
+/// annotations. The campaign layer exploits that split: scenarios that
+/// differ only in statistical overrides share one solve and re-run only
+/// this assembly step against their own σ.
+///
+/// # Errors
+///
+/// Propagates metric-extraction failures.
+pub fn reports_from_responses(
+    ckt: &Circuit,
+    pss: &PssSolution,
+    responses: &[PeriodicResponse],
+    metrics: &[MetricSpec],
+) -> Result<Vec<VariationReport>, CoreError> {
     let params = ckt.mismatch_params();
     let mut reports = Vec::with_capacity(metrics.len());
     for spec in metrics {
-        let nominal = spec.metric.nominal(ckt, &pss)?;
+        let nominal = spec.metric.nominal(ckt, pss)?;
         let mut contributions = Vec::with_capacity(params.len());
         for (k, (param, resp)) in params.iter().zip(responses.iter()).enumerate() {
-            let sens = spec.metric.sensitivity(ckt, &pss, resp)?;
+            let sens = spec.metric.sensitivity(ckt, pss, resp)?;
             contributions.push(Contribution {
                 label: param.label.clone(),
                 param_index: k,
@@ -175,12 +257,7 @@ pub fn analyze_with_pss(
             contributions,
         });
     }
-    drop(solver);
-    Ok(AnalysisResult {
-        pss,
-        responses,
-        reports,
-    })
+    Ok(reports)
 }
 
 #[cfg(test)]

@@ -1,0 +1,513 @@
+//! Scenario campaigns: many circuit variants × many metrics, one serving
+//! layer.
+//!
+//! A real variation-analysis service rarely runs the paper's flow once: it
+//! sweeps the same testbench over supply corners, device sizings, mismatch
+//! levels and bias points. A [`Campaign`] evaluates a grid of named
+//! [`Scenario`]s — each a list of numeric-only
+//! [`CircuitOverride`]s against one base circuit — through per-worker
+//! analysis [`Session`]s, and returns per-scenario [`AnalysisResult`]s plus
+//! an aggregate per-metric summary.
+//!
+//! Two levels of reuse make the campaign faster than a loop of per-call
+//! [`analyze`] invocations:
+//!
+//! 1. **Session reuse.** Overrides preserve the MNA sparsity pattern
+//!    ([`Circuit::revalue`]), so each worker's session stages the pattern
+//!    and runs the symbolic analysis once; every further scenario is a pure
+//!    numeric replay with zero workspace allocation.
+//! 2. **Solve sharing.** The LPTV responses are solved at *unit* parameter
+//!    value — mismatch σ enters only the report assembly. Scenarios whose
+//!    solve-affecting overrides agree (differing only in
+//!    [statistical-only](CircuitOverride::is_statistical_only) overrides,
+//!    e.g. a σ-level sweep) share one PSS+LPTV solve and re-run only the
+//!    report assembly, the campaign-layer version of the paper's "no
+//!    additional simulation cost" claim.
+//!
+//! Determinism: scenarios are keyed and chunked position-wise, each unique
+//! solve is an isolated function of (base circuit, solve overrides), and —
+//! for the dense backend — warm-session solves are bit-identical to fresh
+//! ones, so `Campaign::run` produces byte-identical results for **any**
+//! worker-thread count, and byte-identical to a sequential loop of
+//! per-call `analyze` invocations. (The sparse backend replays pivot
+//! orders across a worker's scenarios; see [`tranvar_engine::session`] for
+//! its machine-precision caveat.)
+
+use crate::analysis::{analyze, reports_from_responses, AnalysisResult, MetricSpec, PssConfig};
+use crate::error::CoreError;
+use tranvar_circuit::{Circuit, CircuitOverride};
+use tranvar_engine::{
+    chunk_ranges, effective_threads, map_scoped, Session, SessionOptions, SessionStats,
+};
+use tranvar_lptv::{PeriodicResponse, PeriodicSolver};
+use tranvar_pss::PssSolution;
+
+/// A named circuit variant: numeric-only overrides against a base circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Report name (e.g. `"vdd=1.26 w=10u"`).
+    pub name: String,
+    /// Overrides applied (in order) to the base circuit.
+    pub overrides: Vec<CircuitOverride>,
+}
+
+impl Scenario {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, overrides: Vec<CircuitOverride>) -> Self {
+        Scenario {
+            name: name.into(),
+            overrides,
+        }
+    }
+
+    /// The solve-affecting prefix of this scenario's overrides: everything
+    /// that is not [statistical-only](CircuitOverride::is_statistical_only),
+    /// in application order. Two scenarios with equal solve overrides share
+    /// one PSS+LPTV solve.
+    fn solve_overrides(&self) -> Vec<CircuitOverride> {
+        self.overrides
+            .iter()
+            .filter(|ov| !ov.is_statistical_only())
+            .cloned()
+            .collect()
+    }
+}
+
+/// A scenario grid bound to one analysis configuration and metric set.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    config: PssConfig,
+    metrics: Vec<MetricSpec>,
+    threads: usize,
+}
+
+impl Campaign {
+    /// Creates a campaign with automatic worker threading (`0` = all
+    /// cores, capped at the number of unique solves).
+    pub fn new(config: PssConfig, metrics: Vec<MetricSpec>) -> Self {
+        Campaign {
+            config,
+            metrics,
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker-thread count (`0` = all cores). On the dense solver
+    /// backend (the default) the worker count never affects results, only
+    /// scheduling; the sparse backend carries the pivot-replay caveat of
+    /// [`tranvar_engine::session`] (worker assignment decides which solve
+    /// seeds a session's pivot order — machine-precision identical, not
+    /// byte-identical).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The campaign's analysis configuration.
+    pub fn config(&self) -> &PssConfig {
+        &self.config
+    }
+
+    /// The campaign's metric specs.
+    pub fn metrics(&self) -> &[MetricSpec] {
+        &self.metrics
+    }
+
+    /// Evaluates every scenario against `base` and aggregates the reports.
+    ///
+    /// Scenario failures (bad override, non-convergence at a corner) are
+    /// captured per scenario in [`ScenarioOutcome::result`] as typed
+    /// [`CoreError`]s — one failing corner does not poison the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible at the campaign level (all failures are
+    /// per-scenario); the `Result` reserves room for campaign-level
+    /// validation.
+    pub fn run(&self, base: &Circuit, scenarios: &[Scenario]) -> Result<CampaignResult, CoreError> {
+        // ── Group scenarios by their solve-affecting overrides. ──
+        let mut solve_keys: Vec<Vec<CircuitOverride>> = Vec::new();
+        let mut key_of_scenario = Vec::with_capacity(scenarios.len());
+        for sc in scenarios {
+            let key = sc.solve_overrides();
+            let idx = match solve_keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    solve_keys.push(key);
+                    solve_keys.len() - 1
+                }
+            };
+            key_of_scenario.push(idx);
+        }
+        let n_unique = solve_keys.len();
+
+        // ── Solve each unique variant on worker sessions. ──
+        let solver = crate::analysis::solver_of(&self.config);
+        let workers = effective_threads(self.threads, n_unique);
+        let chunk = n_unique.div_ceil(workers.max(1)).max(1);
+        // Workers solving in parallel keep their inner batched analyses
+        // single-threaded (the parallelism is across scenarios); a lone
+        // worker lets them auto-thread.
+        let inner_threads = if workers > 1 { 1 } else { 0 };
+        let solve_chunk = |range: (usize, usize)| -> (Vec<SolveOutcome>, SessionStats) {
+            let (start, len) = range;
+            let mut session = Session::new(SessionOptions {
+                solver,
+                threads: inner_threads,
+            });
+            let mut outcomes = Vec::with_capacity(len);
+            for key in &solve_keys[start..start + len] {
+                outcomes.push(solve_variant(&mut session, base, key, &self.config));
+            }
+            (outcomes, session.stats())
+        };
+        let chunks = map_scoped(chunk_ranges(n_unique, chunk), solve_chunk);
+        let mut solves = Vec::with_capacity(n_unique);
+        let mut stats = SessionStats::default();
+        for (outcomes, worker_stats) in chunks {
+            solves.extend(outcomes);
+            stats = stats.merged(worker_stats);
+        }
+
+        // ── Assemble per-scenario reports against their own σ. ──
+        // Remaining-use counts let the last scenario of each solve take the
+        // heavy PSS/response data by move; only genuinely shared solves pay
+        // a clone for the owned per-scenario `AnalysisResult`.
+        let mut remaining = vec![0usize; n_unique];
+        for &key in &key_of_scenario {
+            remaining[key] += 1;
+        }
+        let mut outcomes = Vec::with_capacity(scenarios.len());
+        for (sc, &key) in scenarios.iter().zip(key_of_scenario.iter()) {
+            remaining[key] -= 1;
+            let reports = match &solves[key] {
+                Err(e) => Err(e.clone()),
+                Ok((pss, responses)) => scenario_reports(base, sc, pss, responses, &self.metrics),
+            };
+            let result = reports.map(|reports| {
+                let (pss, responses) = if remaining[key] == 0 {
+                    let taken = std::mem::replace(
+                        &mut solves[key],
+                        Err(CoreError::BadConfig(
+                            "campaign solve already consumed".into(),
+                        )),
+                    );
+                    taken.expect("solve checked Ok above")
+                } else {
+                    match &solves[key] {
+                        Ok((pss, responses)) => (pss.clone(), responses.clone()),
+                        Err(_) => unreachable!("solve checked Ok above"),
+                    }
+                };
+                AnalysisResult {
+                    pss,
+                    responses,
+                    reports,
+                }
+            });
+            outcomes.push(ScenarioOutcome {
+                scenario: sc.name.clone(),
+                result,
+            });
+        }
+        let summaries = summarize(&self.metrics, &outcomes);
+        Ok(CampaignResult {
+            outcomes,
+            summaries,
+            n_unique_solves: n_unique,
+            stats,
+        })
+    }
+}
+
+/// One unique variant's solve: the PSS orbit plus unit-parameter responses.
+type SolveOutcome = Result<(PssSolution, Vec<PeriodicResponse>), CoreError>;
+
+fn solve_variant(
+    session: &mut Session,
+    base: &Circuit,
+    solve_overrides: &[CircuitOverride],
+    config: &PssConfig,
+) -> SolveOutcome {
+    let mut ckt = base.clone();
+    ckt.revalue(solve_overrides)?;
+    let pss = crate::analysis::solve_pss_in(session, &ckt, config)?;
+    let lptv = PeriodicSolver::with_session(&ckt, &pss, session)?;
+    let responses = lptv.all_param_responses()?;
+    Ok((pss, responses))
+}
+
+fn scenario_reports(
+    base: &Circuit,
+    sc: &Scenario,
+    pss: &PssSolution,
+    responses: &[PeriodicResponse],
+    metrics: &[MetricSpec],
+) -> Result<Vec<crate::report::VariationReport>, CoreError> {
+    // The fully revalued circuit carries the scenario's σ annotations (and
+    // equals the solve circuit in everything the solve reads).
+    let mut ckt = base.clone();
+    ckt.revalue(&sc.overrides)?;
+    reports_from_responses(&ckt, pss, responses, metrics)
+}
+
+fn summarize(metrics: &[MetricSpec], outcomes: &[ScenarioOutcome]) -> Vec<MetricSummary> {
+    metrics
+        .iter()
+        .enumerate()
+        .map(|(mi, spec)| {
+            let mut s = MetricSummary {
+                metric: spec.name.clone(),
+                n_ok: 0,
+                n_failed: 0,
+                min_sigma: f64::INFINITY,
+                max_sigma: f64::NEG_INFINITY,
+                mean_sigma: 0.0,
+                worst_scenario: String::new(),
+            };
+            for oc in outcomes {
+                match &oc.result {
+                    Err(_) => s.n_failed += 1,
+                    Ok(res) => {
+                        let sigma = res.reports[mi].sigma();
+                        s.n_ok += 1;
+                        s.mean_sigma += sigma;
+                        s.min_sigma = s.min_sigma.min(sigma);
+                        if sigma > s.max_sigma {
+                            s.max_sigma = sigma;
+                            s.worst_scenario = oc.scenario.clone();
+                        }
+                    }
+                }
+            }
+            if s.n_ok > 0 {
+                s.mean_sigma /= s.n_ok as f64;
+            } else {
+                s.min_sigma = f64::NAN;
+                s.max_sigma = f64::NAN;
+                s.mean_sigma = f64::NAN;
+            }
+            s
+        })
+        .collect()
+}
+
+/// One scenario's outcome: the full analysis result, or the typed error
+/// that failed it.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// The analysis result, or the per-scenario failure.
+    pub result: Result<AnalysisResult, CoreError>,
+}
+
+/// Aggregate statistics of one metric across a campaign's scenarios.
+#[derive(Clone, Debug)]
+pub struct MetricSummary {
+    /// Metric name (from the [`MetricSpec`]).
+    pub metric: String,
+    /// Scenarios that evaluated successfully.
+    pub n_ok: usize,
+    /// Scenarios that failed.
+    pub n_failed: usize,
+    /// Smallest metric σ across successful scenarios (NaN if none).
+    pub min_sigma: f64,
+    /// Largest metric σ across successful scenarios (NaN if none).
+    pub max_sigma: f64,
+    /// Mean metric σ across successful scenarios (NaN if none).
+    pub mean_sigma: f64,
+    /// Name of the scenario with the largest σ (empty if none succeeded).
+    pub worst_scenario: String,
+}
+
+/// Everything a [`Campaign::run`] produced.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Per-metric aggregates across scenarios, in metric order.
+    pub summaries: Vec<MetricSummary>,
+    /// Number of distinct PSS+LPTV solves performed (scenarios differing
+    /// only in statistical overrides share one).
+    pub n_unique_solves: usize,
+    /// Structural-work counters summed over all worker sessions: with a
+    /// pattern-preserving scenario grid, `pattern_builds` and
+    /// `symbolic_analyses` stay at one per sparsity pattern per worker
+    /// regardless of the scenario count.
+    pub stats: SessionStats,
+}
+
+impl CampaignResult {
+    /// Finds a scenario outcome by name.
+    pub fn outcome(&self, name: &str) -> Option<&ScenarioOutcome> {
+        self.outcomes.iter().find(|o| o.scenario == name)
+    }
+
+    /// Finds a metric summary by name.
+    pub fn summary(&self, metric: &str) -> Option<&MetricSummary> {
+        self.summaries.iter().find(|s| s.metric == metric)
+    }
+}
+
+/// Runs each scenario as an isolated per-call [`analyze`] — no session
+/// reuse, no solve sharing. This is the reference the campaign is measured
+/// against (bench `campaign_throughput`) and validated against (bit-identity
+/// property tests); it exists so the comparison is an honest public API
+/// rather than a bench-local reimplementation.
+///
+/// # Errors
+///
+/// Propagates override failures; analysis failures are per-scenario.
+pub fn run_scenarios_per_call(
+    base: &Circuit,
+    scenarios: &[Scenario],
+    config: &PssConfig,
+    metrics: &[MetricSpec],
+) -> Result<Vec<ScenarioOutcome>, CoreError> {
+    scenarios
+        .iter()
+        .map(|sc| {
+            let mut ckt = base.clone();
+            ckt.revalue(&sc.overrides)?;
+            Ok(ScenarioOutcome {
+                scenario: sc.name.clone(),
+                result: analyze(&ckt, config, metrics),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use tranvar_circuit::{NodeId, Waveform};
+    use tranvar_pss::PssOptions;
+
+    fn divider() -> Circuit {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        let r1 = ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
+        ckt.annotate_resistor_mismatch(r1, 10.0);
+        ckt
+    }
+
+    fn campaign(ckt: &Circuit) -> Campaign {
+        let mut opts = PssOptions::default();
+        opts.n_steps = 16;
+        let b = ckt.find_node("b").unwrap();
+        Campaign::new(
+            PssConfig::Driven { period: 1e-6, opts },
+            vec![MetricSpec::new("vout", Metric::DcAverage { node: b })],
+        )
+    }
+
+    fn grid(ckt: &Circuit) -> Vec<Scenario> {
+        let v1 = ckt.find_device("V1").unwrap();
+        let mut scenarios = Vec::new();
+        for (vi, vdd) in [1.8, 2.0, 2.2].iter().enumerate() {
+            for (si, sf) in [1.0, 2.0].iter().enumerate() {
+                scenarios.push(Scenario::new(
+                    format!("v{vi}s{si}"),
+                    vec![
+                        CircuitOverride::SourceDc {
+                            device: v1,
+                            value: *vdd,
+                        },
+                        CircuitOverride::SigmaScale { factor: *sf },
+                    ],
+                ));
+            }
+        }
+        scenarios
+    }
+
+    /// Analytic check: σ(vout) = V/4/1000·σ_R scales with both the supply
+    /// and the σ override; solves are shared across the σ dimension.
+    #[test]
+    fn campaign_matches_analytic_divider() {
+        let ckt = divider();
+        let scenarios = grid(&ckt);
+        let res = campaign(&ckt)
+            .with_threads(1)
+            .run(&ckt, &scenarios)
+            .unwrap();
+        assert_eq!(res.outcomes.len(), 6);
+        assert_eq!(res.n_unique_solves, 3, "σ sweep must share solves");
+        for oc in &res.outcomes {
+            let rep = &oc.result.as_ref().unwrap().reports[0];
+            let (vdd, sf) = match oc.scenario.as_str() {
+                "v0s0" => (1.8, 1.0),
+                "v0s1" => (1.8, 2.0),
+                "v1s0" => (2.0, 1.0),
+                "v1s1" => (2.0, 2.0),
+                "v2s0" => (2.2, 1.0),
+                "v2s1" => (2.2, 2.0),
+                other => panic!("unexpected scenario {other}"),
+            };
+            let expect = vdd / 4.0 / 1e3 * 10.0 * sf;
+            assert!(
+                (rep.sigma() - expect).abs() < 1e-6 * expect,
+                "{}: {} vs {expect}",
+                oc.scenario,
+                rep.sigma()
+            );
+            assert!((rep.nominal - vdd / 2.0).abs() < 1e-9);
+        }
+        let sum = res.summary("vout").unwrap();
+        assert_eq!(sum.n_ok, 6);
+        assert_eq!(sum.n_failed, 0);
+        assert_eq!(sum.worst_scenario, "v2s1");
+        assert!(sum.max_sigma >= sum.mean_sigma && sum.mean_sigma >= sum.min_sigma);
+    }
+
+    /// A failing corner is reported as a typed per-scenario error without
+    /// failing the campaign.
+    #[test]
+    fn failing_scenario_is_isolated_and_typed() {
+        let ckt = divider();
+        let r1 = ckt.find_device("R1").unwrap();
+        let scenarios = vec![
+            Scenario::new("ok", vec![]),
+            Scenario::new(
+                "bad-override",
+                vec![CircuitOverride::Capacitance {
+                    device: r1,
+                    farads: 1e-9,
+                }],
+            ),
+        ];
+        let res = campaign(&ckt).run(&ckt, &scenarios).unwrap();
+        assert!(res.outcome("ok").unwrap().result.is_ok());
+        let err = res.outcome("bad-override").unwrap().result.as_ref();
+        assert!(matches!(err, Err(CoreError::Circuit(_))), "{err:?}");
+        let sum = res.summary("vout").unwrap();
+        assert_eq!((sum.n_ok, sum.n_failed), (1, 1));
+    }
+
+    /// The per-call reference produces the same reports as the campaign.
+    #[test]
+    fn campaign_matches_per_call_reference() {
+        let ckt = divider();
+        let scenarios = grid(&ckt);
+        let camp = campaign(&ckt);
+        let res = camp.run(&ckt, &scenarios).unwrap();
+        let reference =
+            run_scenarios_per_call(&ckt, &scenarios, camp.config(), camp.metrics()).unwrap();
+        for (a, b) in res.outcomes.iter().zip(reference.iter()) {
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            for (x, y) in ra.reports.iter().zip(rb.reports.iter()) {
+                assert_eq!(x.nominal.to_bits(), y.nominal.to_bits());
+                for (cx, cy) in x.contributions.iter().zip(y.contributions.iter()) {
+                    assert_eq!(cx.sensitivity.to_bits(), cy.sensitivity.to_bits());
+                    assert_eq!(cx.sigma.to_bits(), cy.sigma.to_bits());
+                }
+            }
+        }
+    }
+}

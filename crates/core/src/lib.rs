@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod dcmatch;
 pub mod error;
 pub mod interpret;
@@ -61,7 +62,13 @@ pub mod mixture;
 pub mod report;
 pub mod sensitivity;
 
-pub use analysis::{analyze, analyze_with_pss, solve_pss, AnalysisResult, MetricSpec, PssConfig};
+pub use analysis::{
+    analyze, analyze_in, analyze_with_pss, reports_from_responses, solve_pss, solve_pss_in,
+    AnalysisResult, MetricSpec, PssConfig,
+};
+pub use campaign::{
+    run_scenarios_per_call, Campaign, CampaignResult, MetricSummary, Scenario, ScenarioOutcome,
+};
 pub use error::CoreError;
 pub use metric::Metric;
 pub use report::{difference_sigma, Contribution, VariationReport};
@@ -69,7 +76,8 @@ pub use sensitivity::{resize_most_sensitive, width_sensitivities, WidthSensitivi
 
 /// Convenient glob-import surface for downstream code.
 pub mod prelude {
-    pub use crate::analysis::{analyze, AnalysisResult, MetricSpec, PssConfig};
+    pub use crate::analysis::{analyze, analyze_in, AnalysisResult, MetricSpec, PssConfig};
+    pub use crate::campaign::{Campaign, CampaignResult, Scenario};
     pub use crate::dcmatch::dc_match;
     pub use crate::metric::Metric;
     pub use crate::report::{difference_sigma, Contribution, VariationReport};

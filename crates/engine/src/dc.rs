@@ -73,11 +73,37 @@ pub fn solve_static(
     x0: &[f64],
     opts: &NewtonOptions,
 ) -> Result<Vec<f64>, EngineError> {
+    solve_static_with(
+        ckt,
+        t,
+        gmin,
+        x0,
+        opts,
+        &mut JacobianWorkspace::new(opts.solver),
+    )
+}
+
+/// [`solve_static`] with an explicit factorization workspace, so repeated
+/// static solves (gmin stepping, source stepping, one-session scenario
+/// sweeps) reuse the staged pattern and — for the sparse backend — the
+/// symbolic pivot analysis. For the dense backend the results are
+/// bit-identical to a fresh per-call solve.
+///
+/// # Errors
+///
+/// See [`solve_static`].
+pub fn solve_static_with(
+    ckt: &Circuit,
+    t: f64,
+    gmin: f64,
+    x0: &[f64],
+    opts: &NewtonOptions,
+    jws: &mut JacobianWorkspace,
+) -> Result<Vec<f64>, EngineError> {
     let n = ckt.n_unknowns();
     let n_node = ckt.n_nodes() - 1;
     let mut x = x0.to_vec();
     let mut asm = ckt.assemble(&x, t);
-    let mut jws = JacobianWorkspace::new(opts.solver);
     let mut r = vec![0.0; n];
     let mut delta = vec![0.0; n];
     let mut scratch = vec![0.0; n];
@@ -148,19 +174,53 @@ pub fn solve_static(
 /// # Ok::<(), tranvar_engine::EngineError>(())
 /// ```
 pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<Vec<f64>, EngineError> {
+    // A fresh workspace per homotopy stage, exactly as before the session
+    // refactor: on the sparse backend a shared workspace would replay the
+    // first stage's pivot order into later stages, which is legitimate but
+    // not bit-identical to the historical per-stage fresh analysis.
+    dc_operating_point_impl(ckt, opts, None)
+}
+
+/// [`dc_operating_point`] with an explicit factorization workspace shared
+/// across every homotopy stage (and across calls, for one-session scenario
+/// sweeps). The static MNA pattern `G + gmin·I` is staged once and every
+/// subsequent solve refactors in place; for the dense backend the results
+/// are bit-identical to the per-call path, while the sparse backend replays
+/// the first solve's pivot order (machine-precision identical).
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_with(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    jws: &mut JacobianWorkspace,
+) -> Result<Vec<f64>, EngineError> {
+    dc_operating_point_impl(ckt, opts, Some(jws))
+}
+
+fn dc_operating_point_impl(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    mut jws: Option<&mut JacobianWorkspace>,
+) -> Result<Vec<f64>, EngineError> {
+    let mut solve = |ckt: &Circuit, gmin: f64, x0: &[f64]| match jws.as_deref_mut() {
+        Some(ws) => solve_static_with(ckt, 0.0, gmin, x0, &opts.newton, ws),
+        None => solve_static(ckt, 0.0, gmin, x0, &opts.newton),
+    };
     let n = ckt.n_unknowns();
     let x0 = vec![0.0; n];
     let final_gmin = *opts.gmin_schedule.last().unwrap_or(&1e-12);
 
     // 1. Direct attempt at the target gmin.
-    if let Ok(x) = solve_static(ckt, 0.0, final_gmin, &x0, &opts.newton) {
+    if let Ok(x) = solve(ckt, final_gmin, &x0) {
         return Ok(x);
     }
     // 2. gmin stepping.
     let mut x = x0.clone();
     let mut ok = true;
     for &g in &opts.gmin_schedule {
-        match solve_static(ckt, 0.0, g, &x, &opts.newton) {
+        match solve(ckt, g, &x) {
             Ok(xs) => x = xs,
             Err(_) => {
                 ok = false;
@@ -176,11 +236,9 @@ pub fn dc_operating_point(ckt: &Circuit, opts: &DcOptions) -> Result<Vec<f64>, E
     for k in 1..=opts.source_steps {
         let alpha = k as f64 / opts.source_steps as f64;
         let scaled = ckt.scaled_sources(alpha);
-        x = solve_static(&scaled, 0.0, final_gmin, &x, &opts.newton).map_err(|e| {
-            EngineError::NoConvergence {
-                analysis: "dc".into(),
-                detail: format!("source stepping failed at alpha={alpha:.2}: {e}"),
-            }
+        x = solve(&scaled, final_gmin, &x).map_err(|e| EngineError::NoConvergence {
+            analysis: "dc".into(),
+            detail: format!("source stepping failed at alpha={alpha:.2}: {e}"),
         })?;
     }
     Ok(x)

@@ -15,7 +15,13 @@
 //! - [`mc`]: deterministic parallel Monte-Carlo driver (the paper's
 //!   reference method, Table II),
 //! - [`measure`]: delay/period/settled-value measurements shared by the
-//!   Monte-Carlo and LPTV paths.
+//!   Monte-Carlo and LPTV paths,
+//! - [`session`]: shared solver state (pattern-keyed symbolic cache,
+//!   workspace pools, thread policy) for running many analyses on one
+//!   circuit without per-call setup — the substrate of the scenario
+//!   campaigns in `tranvar-core`,
+//! - [`par`]: the scoped worker-thread chunking shared by every batched
+//!   analysis.
 
 #![warn(missing_docs)]
 
@@ -24,7 +30,9 @@ pub mod dc;
 pub mod error;
 pub mod mc;
 pub mod measure;
+pub mod par;
 pub mod sens;
+pub mod session;
 pub mod solver;
 pub mod tran;
 pub mod transens;
@@ -32,9 +40,11 @@ pub mod transens;
 pub use dc::{dc_operating_point, DcOptions, NewtonOptions};
 pub use error::EngineError;
 pub use mc::{monte_carlo, monte_carlo_multi, McOptions, McResult};
-pub use solver::{FactoredJacobian, SolverKind};
+pub use par::{chunk_ranges, map_scoped};
+pub use session::{Session, SessionOptions, SessionStats};
+pub use solver::{FactoredJacobian, SolverKind, SolverStats};
 pub use tran::{
-    integrate_cycle, integrate_cycle_with, transient, CycleResult, CycleWorkspace, Integrator,
-    StepRecord, TranOptions, TranResult,
+    integrate_cycle, integrate_cycle_with, transient, transient_with, CycleResult, CycleWorkspace,
+    Integrator, StepRecord, TranOptions, TranResult,
 };
 pub use transens::{effective_threads, effective_threads_for_work, MIN_WORK_PER_THREAD};

@@ -185,6 +185,42 @@ impl CombineStage {
     }
 }
 
+/// Counters describing how much structural work a [`JacobianWorkspace`] has
+/// actually performed — the observable behind the session layer's claim that
+/// repeated solves replay one cached analysis instead of re-running it.
+///
+/// The counters distinguish the three cost tiers of a factorization:
+///
+/// - `pattern_builds`: the sparsity structure had to be (re)built — staging
+///   a fresh CSC pattern (sparse) or (re)allocating the dense storage. Paid
+///   once per distinct MNA pattern the workspace ever sees.
+/// - `symbolic_analyses`: a full *analyzing* factorization ran — the sparse
+///   pivot search, or the first dense factorization into fresh storage.
+///   A warm workspace replays this analysis instead of repeating it.
+/// - `numeric_factorizations`: value-level factorizations, including
+///   replays; value-identical repeats are deduplicated and not counted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Sparsity-pattern (re)builds (once per distinct MNA pattern).
+    pub pattern_builds: usize,
+    /// Fresh analyzing factorizations (pivot search / storage build).
+    pub symbolic_analyses: usize,
+    /// Numeric factorizations actually performed (replays included,
+    /// value-identical repeats deduplicated).
+    pub numeric_factorizations: usize,
+}
+
+impl SolverStats {
+    /// Component-wise sum of two counter sets.
+    pub fn merged(self, other: SolverStats) -> SolverStats {
+        SolverStats {
+            pattern_builds: self.pattern_builds + other.pattern_builds,
+            symbolic_analyses: self.symbolic_analyses + other.symbolic_analyses,
+            numeric_factorizations: self.numeric_factorizations + other.numeric_factorizations,
+        }
+    }
+}
+
 /// Reusable factorization state for the per-timestep hot loops.
 ///
 /// A circuit's MNA sparsity pattern never changes between timesteps or
@@ -215,6 +251,7 @@ pub struct JacobianWorkspace {
     /// first Newton Jacobian share the same `G`/`C`, so the comparison
     /// routinely deduplicates one numeric factorization per timestep.
     snapshot: Vec<f64>,
+    stats: SolverStats,
 }
 
 impl JacobianWorkspace {
@@ -228,12 +265,18 @@ impl JacobianWorkspace {
             dense: None,
             cached: None,
             snapshot: Vec::new(),
+            stats: SolverStats::default(),
         }
     }
 
     /// The backend this workspace factors with.
     pub fn kind(&self) -> SolverKind {
         self.kind
+    }
+
+    /// Structural-work counters accumulated since creation.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// Rebuilds the staged CSC values for the combination
@@ -273,10 +316,11 @@ impl JacobianWorkspace {
     ) -> Result<&FactoredJacobian, NumError> {
         match self.kind {
             SolverKind::Dense => {
-                let dense = self.dense.get_or_insert_with(|| DMat::zeros(asm.n, asm.n));
-                if dense.rows() != asm.n {
-                    *dense = DMat::zeros(asm.n, asm.n);
+                if self.dense.as_ref().map(|d| d.rows()) != Some(asm.n) {
+                    self.dense = Some(DMat::zeros(asm.n, asm.n));
+                    self.stats.pattern_builds += 1;
                 }
+                let dense = self.dense.as_mut().expect("dense storage");
                 fill_combined_dense(dense, asm, alpha_g, alpha_c, gmin, n_node_unknowns);
                 // When the values are unchanged the cached factorization is
                 // exact (the warm-started first Newton iteration of a step
@@ -285,19 +329,29 @@ impl JacobianWorkspace {
                 if !unchanged {
                     self.snapshot.clear();
                     self.snapshot.extend_from_slice(dense.as_slice());
+                    self.stats.numeric_factorizations += 1;
                     match self.cached.as_mut() {
-                        Some(FactoredJacobian::Dense(lu)) => lu.refactor(dense)?,
-                        _ => self.cached = Some(FactoredJacobian::Dense(dense.clone().lu()?)),
+                        Some(FactoredJacobian::Dense(lu)) if lu.n() == asm.n => {
+                            lu.refactor(dense)?
+                        }
+                        _ => {
+                            self.stats.symbolic_analyses += 1;
+                            self.cached = Some(FactoredJacobian::Dense(dense.clone().lu()?));
+                        }
                     }
                 }
             }
             SolverKind::Sparse => {
                 let rebuilt = self.stage_csc(asm, alpha_g, alpha_c, gmin, n_node_unknowns);
+                if rebuilt {
+                    self.stats.pattern_builds += 1;
+                }
                 let csc = self.csc.as_ref().expect("staged csc");
                 let unchanged = !rebuilt && self.cached.is_some() && self.snapshot == csc.values();
                 if !unchanged {
                     self.snapshot.clear();
                     self.snapshot.extend_from_slice(csc.values());
+                    self.stats.numeric_factorizations += 1;
                     let refactored = match self.cached.as_mut() {
                         Some(FactoredJacobian::Sparse(lu)) if !rebuilt => lu.refactor(csc).is_ok(),
                         _ => false,
@@ -306,6 +360,7 @@ impl JacobianWorkspace {
                         // First factorization, pattern change, or stale
                         // pivots: run the analyzing factorization and
                         // refresh the symbolic record.
+                        self.stats.symbolic_analyses += 1;
                         let lu = csc.lu()?;
                         self.symbolic = Some(lu.symbolic());
                         self.cached = Some(FactoredJacobian::Sparse(lu));

@@ -104,6 +104,17 @@ impl TranResult {
     }
 }
 
+/// Shared validation for every transient-style run (plain, sensitivity,
+/// session): one copy of the config check and its error message.
+pub(crate) fn validate_step_config(opts: &TranOptions) -> Result<(), EngineError> {
+    if opts.dt <= 0.0 || opts.t_stop <= opts.t_start {
+        return Err(EngineError::BadConfig(
+            "transient needs dt > 0 and t_stop > t_start".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Record of one accepted timestep for PSS/LPTV reuse.
 #[derive(Clone, Debug)]
 pub struct StepRecord {
@@ -190,12 +201,50 @@ impl StepState {
 #[derive(Default)]
 pub struct CycleWorkspace {
     st: Option<StepState>,
+    /// Counters of step states this workspace has already retired (a
+    /// backend or system-size change rebuilds the state), so
+    /// [`CycleWorkspace::stats`] never undercounts structural work.
+    retired: crate::solver::SolverStats,
 }
 
 impl CycleWorkspace {
     /// Creates an empty workspace; buffers are built lazily on first use.
     pub fn new() -> Self {
         CycleWorkspace::default()
+    }
+
+    /// Structural-work counters accumulated over the workspace's lifetime
+    /// (including retired step states), or `None` if it was never used.
+    pub fn stats(&self) -> Option<crate::solver::SolverStats> {
+        self.st
+            .as_ref()
+            .map(|st| self.retired.merged(st.jws.stats()))
+    }
+
+    /// Returns the step state re-anchored at `(x0, t0)`, reusing every
+    /// retained buffer when the backend and system size still match, and
+    /// rebuilding from scratch otherwise.
+    pub(crate) fn state_for(
+        &mut self,
+        ckt: &Circuit,
+        kind: crate::solver::SolverKind,
+        x0: &[f64],
+        t0: f64,
+    ) -> &mut StepState {
+        let reusable = matches!(
+            &self.st,
+            Some(st) if st.jws.kind() == kind && st.r.len() == ckt.n_unknowns()
+        );
+        if reusable {
+            let st = self.st.as_mut().expect("step state");
+            st.reset(ckt, x0, t0);
+            st
+        } else {
+            if let Some(old) = &self.st {
+                self.retired = self.retired.merged(old.jws.stats());
+            }
+            self.st.insert(StepState::new(ckt, kind, x0, t0))
+        }
     }
 }
 
@@ -344,11 +393,25 @@ pub(crate) fn step(
 /// # Ok::<(), tranvar_engine::EngineError>(())
 /// ```
 pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, EngineError> {
-    if opts.dt <= 0.0 || opts.t_stop <= opts.t_start {
-        return Err(EngineError::BadConfig(
-            "transient needs dt > 0 and t_stop > t_start".into(),
-        ));
-    }
+    transient_with(ckt, &mut CycleWorkspace::new(), opts)
+}
+
+/// [`transient`] with an explicit reusable workspace: repeated runs on one
+/// circuit (scenario campaigns, Monte-Carlo-style re-simulation loops) skip
+/// the per-call buffer allocation and — for the sparse backend — the
+/// symbolic pivot re-analysis, exactly like
+/// [`integrate_cycle_with`] does for cycle integrations. For the dense
+/// backend the results are bit-identical to a fresh per-call run.
+///
+/// # Errors
+///
+/// Propagates DC and per-step Newton failures.
+pub fn transient_with(
+    ckt: &Circuit,
+    ws: &mut CycleWorkspace,
+    opts: &TranOptions,
+) -> Result<TranResult, EngineError> {
+    validate_step_config(opts)?;
     let n_node = ckt.n_nodes() - 1;
     let x0 = match &opts.x0 {
         Some(x) => x.clone(),
@@ -366,7 +429,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Engine
     times.push(opts.t_start);
     states.push(x0.clone());
 
-    let mut st = StepState::new(ckt, opts.newton.solver, &x0, opts.t_start);
+    let st = ws.state_for(ckt, opts.newton.solver, &x0, opts.t_start);
     let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += opts.gmin * x0[i];
@@ -378,7 +441,7 @@ pub fn transient(ckt: &Circuit, opts: &TranOptions) -> Result<TranResult, Engine
         let t1 = opts.t_start + k as f64 * opts.dt;
         step(
             ckt,
-            &mut st,
+            st,
             &mut x,
             &mut f_aug,
             &mut q,
@@ -467,13 +530,7 @@ pub fn integrate_cycle_with(
     times.push(t0);
     states.push(x0.to_vec());
 
-    let st = match &mut ws.st {
-        Some(st) if st.jws.kind() == newton.solver && st.r.len() == ckt.n_unknowns() => {
-            st.reset(ckt, x0, t0);
-            st
-        }
-        slot => slot.insert(StepState::new(ckt, newton.solver, x0, t0)),
-    };
+    let st = ws.state_for(ckt, newton.solver, x0, t0);
     let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += gmin * x0[i];

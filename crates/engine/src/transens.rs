@@ -78,11 +78,7 @@ fn initial_state_and_sens(
     opts: &TranOptions,
     init: SensInit,
 ) -> Result<(Vec<f64>, Vec<Vec<f64>>), EngineError> {
-    if opts.dt <= 0.0 || opts.t_stop <= opts.t_start {
-        return Err(EngineError::BadConfig(
-            "transient needs dt > 0 and t_stop > t_start".into(),
-        ));
-    }
+    crate::tran::validate_step_config(opts)?;
     let n = ckt.n_unknowns();
     let n_params = ckt.mismatch_params().len();
     let x0 = match &opts.x0 {
@@ -132,6 +128,24 @@ struct ChunkState {
 /// Propagates DC and per-step Newton failures.
 pub fn transient_with_sensitivities(
     ckt: &Circuit,
+    opts: &TranOptions,
+    init: SensInit,
+) -> Result<TranSensResult, EngineError> {
+    transient_with_sensitivities_with(ckt, &mut crate::tran::CycleWorkspace::new(), opts, init)
+}
+
+/// [`transient_with_sensitivities`] with an explicit reusable integration
+/// workspace: repeated runs on one circuit (scenario campaigns) skip the
+/// per-call buffer allocation and — for the sparse backend — the symbolic
+/// pivot re-analysis. For the dense backend the results are bit-identical
+/// to a fresh per-call run.
+///
+/// # Errors
+///
+/// See [`transient_with_sensitivities`].
+pub fn transient_with_sensitivities_with(
+    ckt: &Circuit,
+    ws: &mut crate::tran::CycleWorkspace,
     opts: &TranOptions,
     init: SensInit,
 ) -> Result<TranSensResult, EngineError> {
@@ -195,7 +209,7 @@ pub fn transient_with_sensitivities(
     let mut states = Vec::with_capacity(n_steps + 1);
     times.push(opts.t_start);
     states.push(x0.clone());
-    let mut st = crate::tran::StepState::new(ckt, opts.newton.solver, &x0, opts.t_start);
+    let st = ws.state_for(ckt, opts.newton.solver, &x0, opts.t_start);
     let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += opts.gmin * x0[i];
@@ -216,7 +230,7 @@ pub fn transient_with_sensitivities(
             let t1 = opts.t_start + step_idx as f64 * opts.dt;
             let rec = crate::tran::step(
                 ckt,
-                &mut st,
+                st,
                 &mut x,
                 &mut f_aug,
                 &mut q,
@@ -290,23 +304,14 @@ pub fn transient_with_sensitivities(
                 }
                 Ok(())
             };
-        if threads == 1 {
-            run_chunk(&mut chunk_states[0], &mut sens)?;
-        } else {
-            let results: Vec<Result<(), EngineError>> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (cs, sens_chunk) in chunk_states.iter_mut().zip(sens.chunks_mut(chunk)) {
-                    let run_chunk = &run_chunk;
-                    handles.push(scope.spawn(move || run_chunk(cs, sens_chunk)));
-                }
-                handles
-                    .into_iter()
-                    .map(|ha| ha.join().expect("sensitivity worker panicked"))
-                    .collect()
-            });
-            for r in results {
-                r?;
-            }
+        // One scoped worker per (state, sensitivity) chunk pair via the
+        // shared helper; a single chunk runs inline.
+        let jobs: Vec<(&mut ChunkState, &mut [Vec<Vec<f64>>])> = chunk_states
+            .iter_mut()
+            .zip(sens.chunks_mut(chunk))
+            .collect();
+        for r in crate::par::map_scoped(jobs, |(cs, sens_chunk)| run_chunk(cs, sens_chunk)) {
+            r?;
         }
         window_start = window_end + 1;
     }

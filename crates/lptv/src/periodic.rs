@@ -24,7 +24,7 @@
 use crate::error::LptvError;
 use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_engine::sens::param_step_rhs;
-use tranvar_engine::{effective_threads_for_work, MIN_WORK_PER_THREAD};
+use tranvar_engine::{effective_threads_for_work, map_scoped, Session, MIN_WORK_PER_THREAD};
 use tranvar_num::dense::vecops;
 use tranvar_num::{DMat, Lu};
 use tranvar_pss::PssSolution;
@@ -86,6 +86,29 @@ impl<'a> PeriodicSolver<'a> {
     ///   circuit with an undamped mode).
     pub fn new(ckt: &'a Circuit, sol: &'a PssSolution) -> Result<Self, LptvError> {
         PeriodicSolver::with_options(ckt, sol, LptvOptions::default())
+    }
+
+    /// [`PeriodicSolver::new`] inheriting an analysis [`Session`]'s thread
+    /// policy (the batched parameter propagation uses the session's default
+    /// worker count). The boundary factorization itself is per-orbit state
+    /// and is always computed here; the per-step factorizations come from
+    /// the PSS records, which the session-run PSS solve already reused.
+    ///
+    /// # Errors
+    ///
+    /// See [`PeriodicSolver::new`].
+    pub fn with_session(
+        ckt: &'a Circuit,
+        sol: &'a PssSolution,
+        session: &Session,
+    ) -> Result<Self, LptvError> {
+        PeriodicSolver::with_options(
+            ckt,
+            sol,
+            LptvOptions {
+                threads: session.threads(),
+            },
+        )
     }
 
     /// [`PeriodicSolver::new`] with explicit [`LptvOptions`].
@@ -267,22 +290,15 @@ impl<'a> PeriodicSolver<'a> {
                 dperiod: 0.0,
             })
             .collect();
-        if threads == 1 {
-            self.respond_chunk(0, &mut out)?;
-        } else {
-            let results: Vec<Result<(), LptvError>> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
-                    handles.push(scope.spawn(move || self.respond_chunk(ci * chunk, out_chunk)));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("lptv worker panicked"))
-                    .collect()
-            });
-            for r in results {
-                r?;
-            }
+        // One scoped worker per parameter chunk via the shared engine
+        // helper; a single chunk runs inline.
+        let jobs: Vec<(usize, &mut [PeriodicResponse])> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, c)| (ci * chunk, c))
+            .collect();
+        for r in map_scoped(jobs, |(k0, out_chunk)| self.respond_chunk(k0, out_chunk)) {
+            r?;
         }
         Ok(out)
     }

@@ -17,9 +17,10 @@
 use crate::error::PssError;
 use crate::shooting::{check_periodicity, finish, monodromy_threaded, PssOptions, PssSolution};
 use tranvar_circuit::{Circuit, NodeId};
-use tranvar_engine::dc::{dc_operating_point, DcOptions};
+use tranvar_engine::dc::DcOptions;
 use tranvar_engine::measure::average_period;
-use tranvar_engine::tran::{integrate_cycle_with, transient, CycleWorkspace, TranOptions};
+use tranvar_engine::tran::{integrate_cycle_with, TranOptions};
+use tranvar_engine::{NewtonOptions, Session, SessionOptions};
 use tranvar_num::dense::vecops;
 use tranvar_num::interp::{crossings, Edge};
 use tranvar_num::DMat;
@@ -62,16 +63,21 @@ struct Warmup {
 }
 
 fn warm_up(
+    session: &mut Session,
     ckt: &Circuit,
     period_hint: f64,
     phase_node: NodeId,
     phase_value: f64,
     opts: &OscOptions,
 ) -> Result<Warmup, PssError> {
-    let mut x0 = dc_operating_point(
+    let newton = NewtonOptions {
+        solver: session.solver(),
+        ..opts.pss.newton
+    };
+    let mut x0 = session.dc_operating_point(
         ckt,
         &DcOptions {
-            newton: opts.pss.newton,
+            newton,
             ..DcOptions::default()
         },
     )?;
@@ -82,10 +88,10 @@ fn warm_up(
     let dt = period_hint / opts.pss.n_steps as f64;
     let mut tran_opts = TranOptions::new(t_stop, dt);
     tran_opts.method = opts.pss.method;
-    tran_opts.newton = opts.pss.newton;
+    tran_opts.newton = newton;
     tran_opts.gmin = opts.pss.gmin;
     tran_opts.x0 = Some(x0);
-    let res = transient(ckt, &tran_opts)?;
+    let res = session.transient(ckt, &tran_opts)?;
     let period_est = average_period(ckt, &res, phase_node, phase_value, 3).map_err(|e| {
         PssError::NoOscillation {
             detail: format!("warm-up transient shows no periodicity: {e}"),
@@ -122,33 +128,68 @@ pub fn autonomous_pss(
     phase_value: f64,
     opts: &OscOptions,
 ) -> Result<PssSolution, PssError> {
+    autonomous_pss_in(
+        &mut Session::new(SessionOptions {
+            solver: opts.pss.newton.solver,
+            threads: opts.pss.threads,
+        }),
+        ckt,
+        period_hint,
+        phase_node,
+        phase_value,
+        opts,
+    )
+}
+
+/// [`autonomous_pss`] borrowing an analysis [`Session`]: the DC seed, the
+/// warm-up transient and every bordered-Newton cycle run through the
+/// session's workspaces (see [`crate::shooting::shooting_pss_in`] for the
+/// reuse and determinism contract).
+///
+/// # Errors
+///
+/// See [`autonomous_pss`].
+pub fn autonomous_pss_in(
+    session: &mut Session,
+    ckt: &Circuit,
+    period_hint: f64,
+    phase_node: NodeId,
+    phase_value: f64,
+    opts: &OscOptions,
+) -> Result<PssSolution, PssError> {
     check_periodicity(ckt, period_hint)?; // only DC sources are allowed anyway
     let n = ckt.n_unknowns();
     let pi = ckt
         .unknown_of_node(phase_node)
         .ok_or_else(|| PssError::BadConfig("phase node cannot be ground".into()))?;
+    let newton = NewtonOptions {
+        solver: session.solver(),
+        ..opts.pss.newton
+    };
+    let threads = session.effective_threads(opts.pss.threads);
 
-    let warm = warm_up(ckt, period_hint, phase_node, phase_value, opts)?;
+    let warm = warm_up(session, ckt, period_hint, phase_node, phase_value, opts)?;
     let mut x0 = warm.x_start;
     let mut period = warm.period_est;
     // Pin the phase to the state actually sampled (closest grid point to the
     // crossing) — this keeps the initial phase residual tiny.
     let v_pin = warm.phase_value;
 
-    // Shared workspace for every cycle of the bordered Newton loop (two
-    // integrations per round: nominal and period-perturbed).
-    let mut ws = CycleWorkspace::new();
+    // The session's cycle workspace serves every cycle of the bordered
+    // Newton loop (two integrations per round: nominal and
+    // period-perturbed) and carries over to later solves.
+    let ws = session.cycle_workspace();
     let mut last_residual = f64::INFINITY;
     for _iter in 0..opts.pss.max_iter {
         let cyc = integrate_cycle_with(
             ckt,
-            &mut ws,
+            ws,
             &x0,
             0.0,
             period,
             opts.pss.n_steps,
             opts.pss.method,
-            &opts.pss.newton,
+            &newton,
             opts.pss.gmin,
             true,
         )?;
@@ -156,19 +197,19 @@ pub fn autonomous_pss(
         let r = vecops::sub(&x_end, &x0);
         let phase_res = x0[pi] - v_pin;
         last_residual = vecops::norm_inf(&r).max(phase_res.abs());
-        let m = monodromy_threaded(&cyc.records, n, opts.pss.threads);
+        let m = monodromy_threaded(&cyc.records, n, threads);
 
         // ∂Φ/∂T by forward difference on the period.
         let dt_rel = 1e-6;
         let cyc2 = integrate_cycle_with(
             ckt,
-            &mut ws,
+            ws,
             &x0,
             0.0,
             period * (1.0 + dt_rel),
             opts.pss.n_steps,
             opts.pss.method,
-            &opts.pss.newton,
+            &newton,
             opts.pss.gmin,
             false,
         )?;
@@ -246,6 +287,8 @@ pub fn autonomous_pss(
 mod tests {
     use super::*;
     use tranvar_circuit::{MosModel, MosType, Waveform};
+    use tranvar_engine::dc::dc_operating_point;
+    use tranvar_engine::tran::transient;
 
     /// Builds an N-stage MOSFET inverter ring oscillator with explicit load
     /// capacitors (mirrors the paper's Section IV-C example at small scale).

@@ -21,8 +21,9 @@ pub mod autonomous;
 pub mod error;
 pub mod shooting;
 
-pub use autonomous::{autonomous_pss, OscOptions};
+pub use autonomous::{autonomous_pss, autonomous_pss_in, OscOptions};
 pub use error::PssError;
 pub use shooting::{
-    monodromy, monodromy_seq, monodromy_threaded, shooting_pss, PssOptions, PssSolution,
+    monodromy, monodromy_seq, monodromy_threaded, shooting_pss, shooting_pss_in, PssOptions,
+    PssSolution,
 };

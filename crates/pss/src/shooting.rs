@@ -13,11 +13,12 @@
 
 use crate::error::PssError;
 use tranvar_circuit::{Circuit, NodeId};
-use tranvar_engine::dc::{dc_operating_point, DcOptions, NewtonOptions};
-use tranvar_engine::tran::{
-    integrate_cycle_with, CycleResult, CycleWorkspace, Integrator, StepRecord,
+use tranvar_engine::dc::{DcOptions, NewtonOptions};
+use tranvar_engine::tran::{integrate_cycle_with, CycleResult, Integrator, StepRecord};
+use tranvar_engine::{
+    chunk_ranges, effective_threads_for_work, map_scoped, Session, SessionOptions,
+    MIN_WORK_PER_THREAD,
 };
-use tranvar_engine::{effective_threads_for_work, MIN_WORK_PER_THREAD};
 use tranvar_num::dense::vecops;
 use tranvar_num::DMat;
 
@@ -165,24 +166,9 @@ pub fn monodromy_threaded(records: &[StepRecord], n: usize, threads: usize) -> D
         }
         cur
     };
-    let blocks: Vec<(usize, Vec<f64>)> = if threads == 1 {
-        vec![(0, propagate(0, n))]
-    } else {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            let mut c0 = 0;
-            while c0 < n {
-                let p = chunk.min(n - c0);
-                let propagate = &propagate;
-                handles.push((c0, scope.spawn(move || propagate(c0, p))));
-                c0 += p;
-            }
-            handles
-                .into_iter()
-                .map(|(c0, h)| (c0, h.join().expect("monodromy worker panicked")))
-                .collect()
-        })
-    };
+    // One scoped worker per column chunk via the shared engine helper (a
+    // single chunk runs inline on the calling thread).
+    let blocks = map_scoped(chunk_ranges(n, chunk), |(c0, p)| (c0, propagate(c0, p)));
     for (c0, blk) in blocks {
         let p = blk.len() / n;
         for j in 0..p {
@@ -232,31 +218,71 @@ pub fn shooting_pss(
     period: f64,
     opts: &PssOptions,
 ) -> Result<PssSolution, PssError> {
+    shooting_pss_in(
+        &mut Session::new(SessionOptions {
+            solver: opts.newton.solver,
+            threads: opts.threads,
+        }),
+        ckt,
+        period,
+        opts,
+    )
+}
+
+/// [`shooting_pss`] borrowing an analysis [`Session`]: the DC seed, every
+/// warm-up cycle and every shooting round run through the session's
+/// workspaces, so repeated solves on one circuit (scenario campaigns,
+/// corner sweeps) perform no per-call allocation or symbolic re-analysis.
+/// The session's solver choice overrides [`NewtonOptions::solver`], and its
+/// thread policy is applied when [`PssOptions::threads`] is automatic (`0`).
+///
+/// A fresh session reproduces [`shooting_pss`] bit-for-bit; a reused one
+/// is bit-identical on the dense backend. On the sparse backend the
+/// session's pivot-order replay (across DC homotopy stages and reused
+/// workspaces) is identical to machine precision only — see
+/// [`tranvar_engine::session`].
+///
+/// # Errors
+///
+/// See [`shooting_pss`].
+pub fn shooting_pss_in(
+    session: &mut Session,
+    ckt: &Circuit,
+    period: f64,
+    opts: &PssOptions,
+) -> Result<PssSolution, PssError> {
     check_periodicity(ckt, period)?;
     let n = ckt.n_unknowns();
+    let newton = NewtonOptions {
+        solver: session.solver(),
+        ..opts.newton
+    };
+    let threads = session.effective_threads(opts.threads);
 
     // Initial guess: DC operating point, then a few forward cycles.
-    let mut x0 = dc_operating_point(
+    let mut x0 = session.dc_operating_point(
         ckt,
         &DcOptions {
-            newton: opts.newton,
+            newton,
             ..DcOptions::default()
         },
     )?;
-    // One workspace for every cycle this solve integrates: warm-up cycles
-    // and shooting rounds share the assembly buffers, Newton vectors and
-    // factorization staging instead of re-allocating them per round.
-    let mut ws = CycleWorkspace::new();
+    // The session's cycle workspace serves every cycle this solve
+    // integrates: warm-up cycles and shooting rounds share the assembly
+    // buffers, Newton vectors and factorization staging instead of
+    // re-allocating them per round — and a warm session extends that reuse
+    // across solves.
+    let ws = session.cycle_workspace();
     for _ in 0..opts.warmup_cycles {
         let cyc = integrate_cycle_with(
             ckt,
-            &mut ws,
+            ws,
             &x0,
             0.0,
             period,
             opts.n_steps,
             opts.method,
-            &opts.newton,
+            &newton,
             opts.gmin,
             false,
         )?;
@@ -267,20 +293,20 @@ pub fn shooting_pss(
     for _iter in 0..opts.max_iter {
         let cyc = integrate_cycle_with(
             ckt,
-            &mut ws,
+            ws,
             &x0,
             0.0,
             period,
             opts.n_steps,
             opts.method,
-            &opts.newton,
+            &newton,
             opts.gmin,
             true,
         )?;
         let x_end = cyc.states.last().expect("cycle states").clone();
         let r = vecops::sub(&x_end, &x0);
         last_residual = vecops::norm_inf(&r);
-        let m = monodromy_threaded(&cyc.records, n, opts.threads);
+        let m = monodromy_threaded(&cyc.records, n, threads);
         if last_residual < opts.tol {
             return Ok(finish(
                 cyc,

@@ -1,0 +1,168 @@
+//! Corner campaign: StrongARM comparator offset and logic-path delay swept
+//! over a supply/sizing corner grid through the scenario-campaign API.
+//!
+//! One `Campaign::run` replaces a hand-written loop of `analyze` calls:
+//! scenarios are numeric-only overrides against one base circuit (supply
+//! scaling, input-pair resizing, mismatch-level scaling), worker sessions
+//! reuse all solver state across corners, and scenarios differing only in
+//! mismatch σ share one PSS+LPTV solve outright. The campaign result
+//! carries per-scenario reports plus per-metric aggregates (worst corner,
+//! spread).
+//!
+//! Run with: `cargo run --release --example corner_campaign`
+
+use tranvar::circuit::CircuitOverride;
+use tranvar::circuits::{ArrivalOrder, LogicPath, StrongArm, Tech};
+use tranvar::prelude::*;
+use tranvar::TranvarError;
+
+fn main() -> Result<(), TranvarError> {
+    let tech = Tech::t013();
+
+    // ── 1. StrongARM comparator offset over supply × input-pair width. ──
+    let sa = StrongArm::paper(&tech);
+    let ckt = &sa.circuit;
+    let vdd = ckt.find_device("VDD")?;
+    let vclk = ckt.find_device("VCLK")?;
+    let m2 = ckt.find_device("M2")?;
+    let m3 = ckt.find_device("M3")?;
+
+    let mut scenarios = Vec::new();
+    for supply in [0.95f64, 1.05] {
+        for w_input in [8.32e-6f64, 12e-6] {
+            // The supply corner scales both the rail and the clock swing;
+            // the sizing corner widens the input pair (Pelgrom σ rescales
+            // automatically with √(W_old/W_new)).
+            let corner = vec![
+                CircuitOverride::SourceScale {
+                    device: vdd,
+                    factor: supply,
+                },
+                CircuitOverride::SourceScale {
+                    device: vclk,
+                    factor: supply,
+                },
+                CircuitOverride::MosWidth {
+                    device: m2,
+                    width: w_input,
+                },
+                CircuitOverride::MosWidth {
+                    device: m3,
+                    width: w_input,
+                },
+            ];
+            for sigma_scale in [1.0f64, 1.5] {
+                let mut overrides = corner.clone();
+                overrides.push(CircuitOverride::SigmaScale {
+                    factor: sigma_scale,
+                });
+                scenarios.push(Scenario::new(
+                    format!(
+                        "vdd={:.2}V w={:.1}um mm={sigma_scale:.1}x",
+                        supply * tech.vdd,
+                        w_input * 1e6
+                    ),
+                    overrides,
+                ));
+            }
+        }
+    }
+
+    let campaign = Campaign::new(
+        PssConfig::Driven {
+            period: sa.period,
+            opts: sa.pss_options(),
+        },
+        vec![sa.offset_metric()],
+    );
+    let res = campaign.run(ckt, &scenarios)?;
+    println!(
+        "StrongARM offset: {} scenarios, {} PSS+LPTV solves (sigma sweeps ride along free)",
+        res.outcomes.len(),
+        res.n_unique_solves
+    );
+    for oc in &res.outcomes {
+        match &oc.result {
+            Ok(r) => println!(
+                "  {:<28} sigma(offset) = {:6.2} mV",
+                oc.scenario,
+                r.reports[0].sigma() * 1e3
+            ),
+            Err(e) => println!("  {:<28} FAILED: {e}", oc.scenario),
+        }
+    }
+    let sum = res.summary("offset").expect("offset summary");
+    println!(
+        "  worst corner: {} ({:.2} mV); spread {:.2}-{:.2} mV\n",
+        sum.worst_scenario,
+        sum.max_sigma * 1e3,
+        sum.min_sigma * 1e3,
+        sum.max_sigma * 1e3
+    );
+
+    // ── 2. Logic-path delays over supply corners × mismatch level. ──
+    let path = LogicPath::new(&tech, ArrivalOrder::XFirst);
+    let pckt = &path.circuit;
+    let sources: Vec<_> = ["VDD", "VX", "VY"]
+        .iter()
+        .map(|l| pckt.find_device(l))
+        .collect::<Result<_, _>>()?;
+    let mut scenarios = Vec::new();
+    for supply in [0.95f64, 1.0, 1.05] {
+        let corner: Vec<CircuitOverride> = sources
+            .iter()
+            .map(|&device| CircuitOverride::SourceScale {
+                device,
+                factor: supply,
+            })
+            .collect();
+        for sigma_scale in [1.0f64, 2.0] {
+            let mut overrides = corner.clone();
+            overrides.push(CircuitOverride::SigmaScale {
+                factor: sigma_scale,
+            });
+            scenarios.push(Scenario::new(
+                format!("vdd={:.2}V mm={sigma_scale:.1}x", supply * tech.vdd),
+                overrides,
+            ));
+        }
+    }
+    let campaign = Campaign::new(
+        PssConfig::Driven {
+            period: path.period,
+            opts: path.pss_options(),
+        },
+        path.delay_metrics(),
+    );
+    let res = campaign.run(pckt, &scenarios)?;
+    println!(
+        "Logic-path delays: {} scenarios, {} solves",
+        res.outcomes.len(),
+        res.n_unique_solves
+    );
+    for oc in &res.outcomes {
+        match &oc.result {
+            Ok(r) => {
+                let (a, b) = (&r.reports[0], &r.reports[1]);
+                println!(
+                    "  {:<20} delay_A = {:6.1} ps (sigma {:5.2}), delay_B = {:6.1} ps (sigma {:5.2})",
+                    oc.scenario,
+                    a.nominal * 1e12,
+                    a.sigma() * 1e12,
+                    b.nominal * 1e12,
+                    b.sigma() * 1e12
+                );
+            }
+            Err(e) => println!("  {:<20} FAILED: {e}", oc.scenario),
+        }
+    }
+    for name in ["delay_A", "delay_B"] {
+        let sum = res.summary(name).expect("delay summary");
+        println!(
+            "  {name}: worst corner {} (sigma {:.2} ps)",
+            sum.worst_scenario,
+            sum.max_sigma * 1e12
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! The workspace-wide error type.
+//!
+//! Every crate in the workspace carries its own typed error
+//! ([`CircuitError`], [`NumError`], [`EngineError`], [`PssError`],
+//! [`LptvError`], [`CoreError`]); [`TranvarError`] is the facade's union of
+//! all of them, with `From` impls in both the per-crate and transitive
+//! directions that matter for `?`-propagation. Campaign outcomes and
+//! application code can therefore keep errors fully typed end-to-end —
+//! matching on a `NoConvergence` at one corner of a scenario grid instead
+//! of grepping a stringified message.
+
+use std::error::Error;
+use std::fmt;
+use tranvar_circuit::CircuitError;
+use tranvar_core::CoreError;
+use tranvar_engine::EngineError;
+use tranvar_lptv::LptvError;
+use tranvar_num::NumError;
+use tranvar_pss::PssError;
+
+/// Any error the `tranvar` workspace can produce, preserved with full type
+/// information.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum TranvarError {
+    /// Circuit construction/lookup failure.
+    Circuit(CircuitError),
+    /// Numerical-kernel failure (singular matrix, ...).
+    Num(NumError),
+    /// Engine-analysis failure (DC/transient/sensitivity/Monte-Carlo).
+    Engine(EngineError),
+    /// Periodic steady-state failure.
+    Pss(PssError),
+    /// LPTV/periodic-solver failure.
+    Lptv(LptvError),
+    /// Analysis-flow failure (metrics, campaign configuration).
+    Core(CoreError),
+}
+
+impl fmt::Display for TranvarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranvarError::Circuit(e) => write!(f, "circuit error: {e}"),
+            TranvarError::Num(e) => write!(f, "numerical error: {e}"),
+            TranvarError::Engine(e) => write!(f, "engine error: {e}"),
+            TranvarError::Pss(e) => write!(f, "pss error: {e}"),
+            TranvarError::Lptv(e) => write!(f, "lptv error: {e}"),
+            TranvarError::Core(e) => write!(f, "analysis error: {e}"),
+        }
+    }
+}
+
+impl Error for TranvarError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TranvarError::Circuit(e) => Some(e),
+            TranvarError::Num(e) => Some(e),
+            TranvarError::Engine(e) => Some(e),
+            TranvarError::Pss(e) => Some(e),
+            TranvarError::Lptv(e) => Some(e),
+            TranvarError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CircuitError> for TranvarError {
+    fn from(e: CircuitError) -> Self {
+        TranvarError::Circuit(e)
+    }
+}
+impl From<NumError> for TranvarError {
+    fn from(e: NumError) -> Self {
+        TranvarError::Num(e)
+    }
+}
+impl From<EngineError> for TranvarError {
+    fn from(e: EngineError) -> Self {
+        TranvarError::Engine(e)
+    }
+}
+impl From<PssError> for TranvarError {
+    fn from(e: PssError) -> Self {
+        TranvarError::Pss(e)
+    }
+}
+impl From<LptvError> for TranvarError {
+    fn from(e: LptvError) -> Self {
+        TranvarError::Lptv(e)
+    }
+}
+impl From<CoreError> for TranvarError {
+    fn from(e: CoreError) -> Self {
+        TranvarError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_every_layer_with_source_and_display() {
+        let cases: Vec<TranvarError> = vec![
+            CircuitError::UnknownNode { name: "x".into() }.into(),
+            NumError::Singular { col: 1 }.into(),
+            EngineError::BadConfig("dt".into()).into(),
+            PssError::BadConfig("period".into()).into(),
+            LptvError::MissingRecords.into(),
+            CoreError::Metric("no crossing".into()).into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some(), "{e:?}");
+        }
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TranvarError>();
+    }
+
+    #[test]
+    fn question_mark_propagation_compiles_across_layers() {
+        fn engine_stage() -> Result<(), EngineError> {
+            Err(EngineError::BadConfig("synthetic".into()))
+        }
+        fn pipeline() -> Result<(), TranvarError> {
+            engine_stage()?;
+            Ok(())
+        }
+        assert!(matches!(pipeline(), Err(TranvarError::Engine(_))));
+    }
+}

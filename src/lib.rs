@@ -27,11 +27,11 @@
 //! | crate | role |
 //! |-------|------|
 //! | [`num`] | dense/sparse LU, FFT, Cholesky, normal RNG, statistics |
-//! | [`circuit`] | netlist, MNA stamps, MOSFET model, Pelgrom mismatch, noise descriptors |
-//! | [`engine`] | DC/AC/transient, DC & transient sensitivity, Monte-Carlo driver |
+//! | [`circuit`] | netlist, MNA stamps, MOSFET model, Pelgrom mismatch, noise descriptors, numeric-only scenario overrides |
+//! | [`engine`] | DC/AC/transient, DC & transient sensitivity, Monte-Carlo driver, analysis sessions |
 //! | [`pss`] | shooting-Newton PSS (driven + autonomous) |
 //! | [`lptv`] | periodic BVP solver, harmonic transfers, PNOISE, statistical waveforms |
-//! | [`core`] | the paper's flow: metrics, reports, correlations, yield sensitivities, mixtures |
+//! | [`core`] | the paper's flow: metrics, reports, correlations, yield sensitivities, mixtures, scenario campaigns |
 //! | [`circuits`] | StrongARM comparator, logic path, ring oscillator, DAC, technology |
 //!
 //! ## Quickstart
@@ -78,8 +78,40 @@
 //! parameters as one batched block across worker threads
 //! ([`engine::TranOptions::threads`]). See ROADMAP.md's "Performance"
 //! section and `BENCH_transens.json` for the measured trajectory.
+//!
+//! ## Sessions & campaigns
+//!
+//! One analysis call is the paper's unit of work; a variation-analysis
+//! *service* runs that call across corners, supplies, sizings and mismatch
+//! levels. Two layers turn the per-call library into that serving shape:
+//!
+//! - An [`engine::Session`] owns the solver choice, the symbolic-analysis
+//!   cache keyed by MNA sparsity pattern, the reusable integration
+//!   workspaces and the thread policy. Every analysis
+//!   ([`engine::Session::dc_operating_point`], [`engine::Session::transient`],
+//!   [`engine::Session::transient_with_sensitivities`],
+//!   [`pss::shooting_pss_in`], [`pss::autonomous_pss_in`],
+//!   [`core::analyze_in`]) borrows from it instead of allocating per call;
+//!   the classic free functions remain as thin wrappers over a fresh
+//!   session, bit-identical to before on the dense backend (the sparse
+//!   backend's pivot-order replay is machine-precision identical — see
+//!   [`engine::session`]).
+//! - A [`core::Campaign`] evaluates named [`core::Scenario`]s — lists of
+//!   numeric-only [`circuit::CircuitOverride`]s applied via
+//!   [`circuit::Circuit::revalue`], which preserves the sparsity pattern —
+//!   against one base circuit on worker sessions, sharing one PSS+LPTV
+//!   solve across scenarios that differ only in mismatch σ. Results are
+//!   byte-identical for any worker-thread count (dense backend) and to a
+//!   sequential loop of per-call [`core::analyze`] calls; `BENCH_campaign.json`
+//!   records the measured cached-vs-per-call speedup.
+//!
+//! Errors stay typed end-to-end: [`TranvarError`] unions every layer's
+//! error with `From` impls, so campaign outcomes can be matched on rather
+//! than stringified.
 
 #![warn(missing_docs)]
+
+pub mod error;
 
 pub use tranvar_circuit as circuit;
 pub use tranvar_circuits as circuits;
@@ -89,4 +121,5 @@ pub use tranvar_lptv as lptv;
 pub use tranvar_num as num;
 pub use tranvar_pss as pss;
 
+pub use error::TranvarError;
 pub use tranvar_core::prelude;

@@ -205,6 +205,120 @@ fn random_mismatched_ladder(rng: &mut Rng64, stages: usize) -> Circuit {
     ckt
 }
 
+/// Session-cached re-solves are bit-identical to fresh per-call solves
+/// (dense backend): one warm `Session` run over a sequence of randomized
+/// circuits reproduces the free-function results byte-for-byte, PSS states
+/// and reports alike.
+#[test]
+fn session_cached_resolves_are_bit_identical_to_fresh() {
+    use tranvar::engine::Session;
+    let mut rng = Rng64::seed_from(0x5E55_1081);
+    let mut session = Session::default();
+    for case in 0..6 {
+        let stages = 2 + (rng.next_u64() % 3) as usize;
+        let ckt = random_mismatched_ladder(&mut rng, stages);
+        let mid = ckt.find_node("n0").unwrap();
+        let mut opts = PssOptions::default();
+        opts.n_steps = 24;
+        let config = PssConfig::Driven { period: 1e-6, opts };
+        let metrics = [MetricSpec::new("v", Metric::DcAverage { node: mid })];
+        let fresh = analyze(&ckt, &config, &metrics).unwrap();
+        let cached = tranvar::core::analyze_in(&mut session, &ckt, &config, &metrics).unwrap();
+        assert_eq!(fresh.pss.states.len(), cached.pss.states.len());
+        for (a, b) in fresh.pss.states.iter().zip(cached.pss.states.iter()) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "case {case}: pss state");
+            }
+        }
+        for (ra, rb) in fresh.reports.iter().zip(cached.reports.iter()) {
+            assert_eq!(ra.nominal.to_bits(), rb.nominal.to_bits(), "case {case}");
+            for (ca, cb) in ra.contributions.iter().zip(rb.contributions.iter()) {
+                assert_eq!(
+                    ca.sensitivity.to_bits(),
+                    cb.sensitivity.to_bits(),
+                    "case {case}: {}",
+                    ca.label
+                );
+            }
+        }
+    }
+}
+
+/// `Campaign::run` produces identical bytes per scenario for 1, 2 and N
+/// worker threads, and identical bytes to the per-call reference loop; the
+/// whole grid performs one symbolic analysis per sparsity pattern.
+#[test]
+fn campaign_is_bit_identical_for_any_thread_count() {
+    use tranvar::circuit::CircuitOverride;
+    use tranvar::core::run_scenarios_per_call;
+    let mut rng = Rng64::seed_from(0xCA4A16);
+    let ckt = random_mismatched_ladder(&mut rng, 3);
+    let mid = ckt.find_node("n1").unwrap();
+    let v1 = ckt.find_device("V1").unwrap();
+    let r0 = ckt.find_device("R0").unwrap();
+    let mut scenarios = Vec::new();
+    for (vi, vs) in [0.9, 1.0, 1.1].iter().enumerate() {
+        for (si, sf) in [1.0, 1.8, 2.4].iter().enumerate() {
+            scenarios.push(tranvar::core::Scenario::new(
+                format!("v{vi}s{si}"),
+                vec![
+                    CircuitOverride::SourceScale {
+                        device: v1,
+                        factor: *vs,
+                    },
+                    CircuitOverride::Resistance {
+                        device: r0,
+                        ohms: 1e3 * (1.0 + 0.1 * vi as f64),
+                    },
+                    CircuitOverride::SigmaScale { factor: *sf },
+                ],
+            ));
+        }
+    }
+    assert!(scenarios.len() >= 8);
+    let mut opts = PssOptions::default();
+    opts.n_steps = 24;
+    let config = PssConfig::Driven { period: 1e-6, opts };
+    let metrics = vec![MetricSpec::new("v", Metric::DcAverage { node: mid })];
+    let campaign = Campaign::new(config.clone(), metrics.clone());
+    let runs: Vec<CampaignResult> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            campaign
+                .clone()
+                .with_threads(t)
+                .run(&ckt, &scenarios)
+                .unwrap()
+        })
+        .collect();
+    let reference = run_scenarios_per_call(&ckt, &scenarios, &config, &metrics).unwrap();
+    for run in &runs {
+        // The σ sweep shares solves: 3 unique supply/sizing corners.
+        assert_eq!(run.n_unique_solves, 3);
+        assert_eq!(run.outcomes.len(), scenarios.len());
+        for (oc, rf) in run.outcomes.iter().zip(reference.iter()) {
+            let (a, b) = (oc.result.as_ref().unwrap(), rf.result.as_ref().unwrap());
+            for (sa, sb) in a.pss.states.iter().zip(b.pss.states.iter()) {
+                for (x, y) in sa.iter().zip(sb.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{}", oc.scenario);
+                }
+            }
+            for (ra, rb) in a.reports.iter().zip(b.reports.iter()) {
+                assert_eq!(ra.nominal.to_bits(), rb.nominal.to_bits());
+                for (cx, cy) in ra.contributions.iter().zip(rb.contributions.iter()) {
+                    assert_eq!(cx.sensitivity.to_bits(), cy.sensitivity.to_bits());
+                    assert_eq!(cx.sigma.to_bits(), cy.sigma.to_bits());
+                }
+            }
+        }
+    }
+    // One symbolic analysis per sparsity pattern per worker: the
+    // single-worker run sees exactly two patterns (static DC, dynamic
+    // integration) across all 9 scenarios / 3 solves.
+    assert_eq!(runs[0].stats.pattern_builds, 2, "{:?}", runs[0].stats);
+    assert_eq!(runs[0].stats.symbolic_analyses, 2, "{:?}", runs[0].stats);
+}
+
 /// The interleaved+threaded monodromy accumulation is bit-identical to the
 /// retained per-column sequential reference for 1, 2 and N threads, on
 /// randomized PSS orbits.
