@@ -169,8 +169,15 @@ fn bench_strongarm_lptv(quick: bool) -> (Comparison, String) {
         "StrongARM must expose >= 10 mismatch parameters, has {n_params}"
     );
     let sol = shooting_pss(&sa.circuit, sa.period, &sa.pss_options()).expect("StrongARM PSS");
-    let solver =
-        PeriodicSolver::with_options(&sa.circuit, &sol, LptvOptions { threads: 0 }).unwrap();
+    let solver = PeriodicSolver::with_options(
+        &sa.circuit,
+        &sol,
+        LptvOptions {
+            threads: 0,
+            ..LptvOptions::default()
+        },
+    )
+    .unwrap();
 
     // Correctness gate: batched/threaded vs sequential reference.
     let batched = solver.all_param_responses().unwrap();

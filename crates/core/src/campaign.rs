@@ -35,12 +35,15 @@
 
 use crate::analysis::{analyze, reports_from_responses, AnalysisResult, MetricSpec, PssConfig};
 use crate::error::CoreError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use tranvar_circuit::{Circuit, CircuitOverride};
 use tranvar_engine::{
-    chunk_ranges, effective_threads, map_scoped, Session, SessionOptions, SessionStats,
+    chunk_ranges, effective_threads, fault, is_retryable, map_scoped, Escalation, RetryPolicy,
+    Session, SessionOptions, SessionStats, SolveDiagnostics, SolverKind,
 };
-use tranvar_lptv::{PeriodicResponse, PeriodicSolver};
-use tranvar_pss::PssSolution;
+use tranvar_lptv::{LptvError, PeriodicResponse, PeriodicSolver};
+use tranvar_num::NumError;
+use tranvar_pss::{PssError, PssSolution};
 
 /// A named circuit variant: numeric-only overrides against a base circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -79,17 +82,34 @@ pub struct Campaign {
     config: PssConfig,
     metrics: Vec<MetricSpec>,
     threads: usize,
+    retry: RetryPolicy,
 }
 
 impl Campaign {
     /// Creates a campaign with automatic worker threading (`0` = all
-    /// cores, capped at the number of unique solves).
+    /// cores, capped at the number of unique solves) and no retry
+    /// escalation (a failing corner is reported after its first attempt;
+    /// see [`Campaign::with_retry`]).
     pub fn new(config: PssConfig, metrics: Vec<MetricSpec>) -> Self {
         Campaign {
             config,
             metrics,
             threads: 0,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Enables retry/fallback escalation for failing unique solves. On a
+    /// retryable failure (non-convergence, a singular or non-finite
+    /// factorization) the solve escalates through the periodic ladder —
+    /// doubled shooting steps ([`Escalation::HalveTimestep`]), then the
+    /// other solver backend ([`Escalation::SwitchBackend`]) — bounded by
+    /// `policy.max_attempts`. Every attempt lands in the scenario's
+    /// [`ScenarioOutcome::diagnostics`] trail. Budget exhaustion and panics
+    /// are never retried.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
     }
 
     /// Sets the worker-thread count (`0` = all cores). On the dense solver
@@ -118,6 +138,12 @@ impl Campaign {
     /// Scenario failures (bad override, non-convergence at a corner) are
     /// captured per scenario in [`ScenarioOutcome::result`] as typed
     /// [`CoreError`]s — one failing corner does not poison the campaign.
+    /// A worker panic is caught at the solve boundary
+    /// ([`CoreError::Panic`]) and the worker continues with a fresh
+    /// session, so even a buggy device model cannot take the campaign
+    /// down. With [`Campaign::with_retry`], failing solves escalate
+    /// through the periodic retry ladder first; each scenario's
+    /// [`ScenarioOutcome::diagnostics`] records the attempt trail.
     ///
     /// # Errors
     ///
@@ -149,23 +175,49 @@ impl Campaign {
         // single-threaded (the parallelism is across scenarios); a lone
         // worker lets them auto-thread.
         let inner_threads = if workers > 1 { 1 } else { 0 };
-        let solve_chunk = |range: (usize, usize)| -> (Vec<SolveOutcome>, SessionStats) {
-            let (start, len) = range;
-            let mut session = Session::new(SessionOptions {
-                solver,
-                threads: inner_threads,
-            });
-            let mut outcomes = Vec::with_capacity(len);
-            for key in &solve_keys[start..start + len] {
-                outcomes.push(solve_variant(&mut session, base, key, &self.config));
-            }
-            (outcomes, session.stats())
-        };
+        let solve_chunk =
+            |range: (usize, usize)| -> (Vec<(SolveOutcome, SolveDiagnostics)>, SessionStats) {
+                let (start, len) = range;
+                let mut stats = SessionStats::default();
+                let mut session = Session::new(SessionOptions {
+                    solver,
+                    threads: inner_threads,
+                });
+                let mut outcomes = Vec::with_capacity(len);
+                for (j, key) in solve_keys[start..start + len].iter().enumerate() {
+                    let vs = solve_variant_resilient(
+                        &mut session,
+                        base,
+                        key,
+                        &self.config,
+                        &self.retry,
+                        start + j,
+                        inner_threads,
+                        &mut stats,
+                    );
+                    if vs.poisoned {
+                        // A caught panic may have left the session's cached
+                        // workspaces mid-update; retire it so the chunk's
+                        // remaining solves see clean state.
+                        stats = stats.merged(session.stats());
+                        session = Session::new(SessionOptions {
+                            solver,
+                            threads: inner_threads,
+                        });
+                    }
+                    outcomes.push((vs.outcome, vs.diagnostics));
+                }
+                (outcomes, stats.merged(session.stats()))
+            };
         let chunks = map_scoped(chunk_ranges(n_unique, chunk), solve_chunk);
         let mut solves = Vec::with_capacity(n_unique);
+        let mut diags = Vec::with_capacity(n_unique);
         let mut stats = SessionStats::default();
         for (outcomes, worker_stats) in chunks {
-            solves.extend(outcomes);
+            for (outcome, diag) in outcomes {
+                solves.push(outcome);
+                diags.push(diag);
+            }
             stats = stats.merged(worker_stats);
         }
 
@@ -184,37 +236,44 @@ impl Campaign {
                 Err(e) => Err(e.clone()),
                 Ok((pss, responses)) => scenario_reports(base, sc, pss, responses, &self.metrics),
             };
-            let result = reports.map(|reports| {
-                let (pss, responses) = if remaining[key] == 0 {
-                    let taken = std::mem::replace(
+            let result = reports.and_then(|reports| {
+                // The last scenario of each solve takes the heavy data by
+                // move; shared solves pay a clone.
+                let data = if remaining[key] == 0 {
+                    std::mem::replace(
                         &mut solves[key],
                         Err(CoreError::BadConfig(
                             "campaign solve already consumed".into(),
                         )),
-                    );
-                    taken.expect("solve checked Ok above")
+                    )
                 } else {
-                    match &solves[key] {
-                        Ok((pss, responses)) => (pss.clone(), responses.clone()),
-                        Err(_) => unreachable!("solve checked Ok above"),
-                    }
+                    solves[key]
+                        .as_ref()
+                        .map(|(pss, responses)| (pss.clone(), responses.clone()))
+                        .map_err(|e| e.clone())
                 };
-                AnalysisResult {
+                data.map(|(pss, responses)| AnalysisResult {
                     pss,
                     responses,
                     reports,
-                }
+                })
             });
             outcomes.push(ScenarioOutcome {
                 scenario: sc.name.clone(),
                 result,
+                diagnostics: diags[key].clone(),
             });
         }
         let summaries = summarize(&self.metrics, &outcomes);
+        let retry_attempts = diags
+            .iter()
+            .map(|d| d.retry_attempts().saturating_sub(1))
+            .sum();
         Ok(CampaignResult {
             outcomes,
             summaries,
             n_unique_solves: n_unique,
+            retry_attempts,
             stats,
         })
     }
@@ -228,13 +287,195 @@ fn solve_variant(
     base: &Circuit,
     solve_overrides: &[CircuitOverride],
     config: &PssConfig,
+    solve_index: usize,
 ) -> SolveOutcome {
+    fault::panic_at(fault::sites::SCENARIO, solve_index);
     let mut ckt = base.clone();
     ckt.revalue(solve_overrides)?;
     let pss = crate::analysis::solve_pss_in(session, &ckt, config)?;
     let lptv = PeriodicSolver::with_session(&ckt, &pss, session)?;
     let responses = lptv.all_param_responses()?;
     Ok((pss, responses))
+}
+
+/// The result of one unique solve after panic isolation and (optional)
+/// retry escalation.
+struct VariantSolve {
+    outcome: SolveOutcome,
+    diagnostics: SolveDiagnostics,
+    /// A panic was caught; the worker session may hold half-updated caches
+    /// and must be retired.
+    poisoned: bool,
+}
+
+/// The escalation rungs that apply to a periodic (PSS+LPTV) solve: the
+/// DC-only gmin/source rungs are skipped, `HalveTimestep` doubles the
+/// shooting step count, `SwitchBackend` re-solves on the other backend.
+fn campaign_ladder(policy: &RetryPolicy) -> Vec<Escalation> {
+    let mut l = vec![Escalation::Initial];
+    if policy.halve_timestep {
+        l.push(Escalation::HalveTimestep);
+    }
+    if policy.switch_backend {
+        l.push(Escalation::SwitchBackend);
+    }
+    l
+}
+
+fn flip(kind: SolverKind) -> SolverKind {
+    match kind {
+        SolverKind::Dense => SolverKind::Sparse,
+        SolverKind::Sparse => SolverKind::Dense,
+    }
+}
+
+/// Applies one escalation rung (cumulatively) to the PSS configuration.
+fn escalate_config(config: &mut PssConfig, esc: Escalation) {
+    match esc {
+        Escalation::HalveTimestep => match config {
+            PssConfig::Driven { opts, .. } => opts.n_steps *= 2,
+            PssConfig::Autonomous { opts, .. } => opts.pss.n_steps *= 2,
+        },
+        Escalation::SwitchBackend => match config {
+            PssConfig::Driven { opts, .. } => opts.newton.solver = flip(opts.newton.solver),
+            PssConfig::Autonomous { opts, .. } => {
+                opts.pss.newton.solver = flip(opts.pss.newton.solver);
+            }
+        },
+        _ => {}
+    }
+}
+
+/// Stringifies a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// True when the campaign retry ladder may re-attempt after `e`
+/// (non-convergence or a singular/non-finite factorization anywhere in the
+/// PSS/LPTV stack; budget exhaustion, config errors and panics are final).
+fn retryable_core(e: &CoreError) -> bool {
+    fn num(n: &NumError) -> bool {
+        matches!(n, NumError::Singular { .. } | NumError::NonFinite { .. })
+    }
+    match e {
+        CoreError::Engine(e) => is_retryable(e),
+        CoreError::Num(n) => num(n),
+        CoreError::Pss(PssError::NoConvergence { .. })
+        | CoreError::Pss(PssError::NoOscillation { .. }) => true,
+        CoreError::Pss(PssError::Engine(e)) | CoreError::Lptv(LptvError::Engine(e)) => {
+            is_retryable(e)
+        }
+        CoreError::Pss(PssError::Num(n)) | CoreError::Lptv(LptvError::Num(n)) => num(n),
+        _ => false,
+    }
+}
+
+/// The engine-level view of a core failure, for the [`SolveDiagnostics`]
+/// attempt records (which are typed on [`tranvar_engine::EngineError`]).
+fn engine_view(e: &CoreError) -> tranvar_engine::EngineError {
+    use tranvar_engine::EngineError;
+    match e {
+        CoreError::Engine(e)
+        | CoreError::Pss(PssError::Engine(e))
+        | CoreError::Lptv(LptvError::Engine(e)) => e.clone(),
+        CoreError::Num(n)
+        | CoreError::Pss(PssError::Num(n))
+        | CoreError::Lptv(LptvError::Num(n)) => EngineError::Num(n.clone()),
+        other => EngineError::BadConfig(other.to_string()),
+    }
+}
+
+/// Runs one unique solve with panic isolation and the campaign's retry
+/// ladder, recording every attempt. `SwitchBackend` attempts run on a
+/// throwaway session with the flipped backend (sessions pin their solver);
+/// its structural work is merged into `stats`.
+#[allow(clippy::too_many_arguments)]
+fn solve_variant_resilient(
+    session: &mut Session,
+    base: &Circuit,
+    key: &[CircuitOverride],
+    config: &PssConfig,
+    policy: &RetryPolicy,
+    solve_index: usize,
+    inner_threads: usize,
+    stats: &mut SessionStats,
+) -> VariantSolve {
+    let mut diag = SolveDiagnostics::new();
+    let ladder = campaign_ladder(policy);
+    let n = ladder.len().min(policy.max_attempts.max(1));
+    let mut cur = config.clone();
+    let mut last_err: Option<CoreError> = None;
+    for (i, &esc) in ladder.iter().take(n).enumerate() {
+        escalate_config(&mut cur, esc);
+        let mut poisoned = false;
+        let res = match fault::attempt_fault(fault::sites::RETRY_ATTEMPT, i) {
+            Some(e) => Err(CoreError::Engine(e)),
+            None => {
+                let caught = catch_unwind(AssertUnwindSafe(|| {
+                    if esc == Escalation::SwitchBackend {
+                        let mut fresh = Session::new(SessionOptions {
+                            solver: crate::analysis::solver_of(&cur),
+                            threads: inner_threads,
+                        });
+                        let r = solve_variant(&mut fresh, base, key, &cur, solve_index);
+                        (r, Some(fresh.stats()))
+                    } else {
+                        (solve_variant(session, base, key, &cur, solve_index), None)
+                    }
+                }));
+                match caught {
+                    Ok((r, fresh_stats)) => {
+                        if let Some(s) = fresh_stats {
+                            *stats = stats.merged(s);
+                        }
+                        r
+                    }
+                    Err(payload) => {
+                        poisoned = true;
+                        Err(CoreError::Panic {
+                            context: format!("campaign unique solve {solve_index}"),
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+        };
+        diag.record(
+            format!("retry[{i}]:{}", esc.label()),
+            res.as_ref().err().map(engine_view),
+        );
+        match res {
+            Ok(x) => {
+                return VariantSolve {
+                    outcome: Ok(x),
+                    diagnostics: diag,
+                    poisoned: false,
+                }
+            }
+            Err(e) if !poisoned && retryable_core(&e) => last_err = Some(e),
+            Err(e) => {
+                return VariantSolve {
+                    outcome: Err(e),
+                    diagnostics: diag,
+                    poisoned,
+                }
+            }
+        }
+    }
+    VariantSolve {
+        outcome: Err(
+            last_err.unwrap_or_else(|| CoreError::BadConfig("retry ladder ran no attempts".into()))
+        ),
+        diagnostics: diag,
+        poisoned: false,
+    }
 }
 
 fn scenario_reports(
@@ -300,6 +541,10 @@ pub struct ScenarioOutcome {
     pub scenario: String,
     /// The analysis result, or the per-scenario failure.
     pub result: Result<AnalysisResult, CoreError>,
+    /// The attempt trail of the scenario's unique solve (shared between
+    /// scenarios that share the solve). Empty for entry points that do not
+    /// run the fault-tolerant path.
+    pub diagnostics: SolveDiagnostics,
 }
 
 /// Aggregate statistics of one metric across a campaign's scenarios.
@@ -331,6 +576,10 @@ pub struct CampaignResult {
     /// Number of distinct PSS+LPTV solves performed (scenarios differing
     /// only in statistical overrides share one).
     pub n_unique_solves: usize,
+    /// Total escalation attempts beyond each unique solve's first try
+    /// (0 without [`Campaign::with_retry`] or when every corner converges
+    /// first time).
+    pub retry_attempts: usize,
     /// Structural-work counters summed over all worker sessions: with a
     /// pattern-preserving scenario grid, `pattern_builds` and
     /// `symbolic_analyses` stay at one per sparsity pattern per worker
@@ -358,7 +607,8 @@ impl CampaignResult {
 ///
 /// # Errors
 ///
-/// Propagates override failures; analysis failures are per-scenario.
+/// Propagates override failures; analysis failures (including caught
+/// panics) are per-scenario.
 pub fn run_scenarios_per_call(
     base: &Circuit,
     scenarios: &[Scenario],
@@ -367,12 +617,24 @@ pub fn run_scenarios_per_call(
 ) -> Result<Vec<ScenarioOutcome>, CoreError> {
     scenarios
         .iter()
-        .map(|sc| {
+        .enumerate()
+        .map(|(i, sc)| {
             let mut ckt = base.clone();
             ckt.revalue(&sc.overrides)?;
+            let result = match catch_unwind(AssertUnwindSafe(|| {
+                fault::panic_at(fault::sites::SCENARIO, i);
+                analyze(&ckt, config, metrics)
+            })) {
+                Ok(r) => r,
+                Err(payload) => Err(CoreError::Panic {
+                    context: format!("scenario `{}`", sc.name),
+                    message: panic_message(payload.as_ref()),
+                }),
+            };
             Ok(ScenarioOutcome {
                 scenario: sc.name.clone(),
-                result: analyze(&ckt, config, metrics),
+                result,
+                diagnostics: SolveDiagnostics::new(),
             })
         })
         .collect()
@@ -490,6 +752,33 @@ mod tests {
         assert_eq!((sum.n_ok, sum.n_failed), (1, 1));
     }
 
+    /// Aggregation over zero successful scenarios: the summary must not
+    /// panic, and the NaN sentinels must be accompanied by explicit
+    /// failure counts (never NaN with `n_ok > 0`).
+    #[test]
+    fn all_scenarios_failing_summarizes_without_panicking() {
+        let ckt = divider();
+        let r1 = ckt.find_device("R1").unwrap();
+        let bad = |name: &str| {
+            Scenario::new(
+                name,
+                vec![CircuitOverride::Capacitance {
+                    device: r1,
+                    farads: 1e-9,
+                }],
+            )
+        };
+        let res = campaign(&ckt).run(&ckt, &[bad("a"), bad("b")]).unwrap();
+        assert_eq!(res.outcomes.len(), 2);
+        assert!(res.outcomes.iter().all(|o| o.result.is_err()));
+        let sum = res.summary("vout").unwrap();
+        assert_eq!((sum.n_ok, sum.n_failed), (0, 2));
+        assert!(sum.min_sigma.is_nan());
+        assert!(sum.max_sigma.is_nan());
+        assert!(sum.mean_sigma.is_nan());
+        assert!(sum.worst_scenario.is_empty());
+    }
+
     /// The per-call reference produces the same reports as the campaign.
     #[test]
     fn campaign_matches_per_call_reference() {
@@ -508,6 +797,125 @@ mod tests {
                     assert_eq!(cx.sigma.to_bits(), cy.sigma.to_bits());
                 }
             }
+        }
+    }
+
+    #[cfg(feature = "fault-inject")]
+    mod fault_injected {
+        use super::*;
+        use tranvar_engine::fault::{sites, FaultAction, FaultPlan};
+        use tranvar_engine::RetryPolicy;
+
+        fn vdd_grid(ckt: &Circuit) -> Vec<Scenario> {
+            let v1 = ckt.find_device("V1").unwrap();
+            [1.8, 2.0, 2.2]
+                .iter()
+                .enumerate()
+                .map(|(i, vdd)| {
+                    Scenario::new(
+                        format!("v{i}"),
+                        vec![CircuitOverride::SourceDc {
+                            device: v1,
+                            value: *vdd,
+                        }],
+                    )
+                })
+                .collect()
+        }
+
+        /// A worker panicking mid-chunk becomes a typed per-scenario
+        /// error; the chunk's remaining solves run on a fresh session and
+        /// the campaign completes with a sane summary.
+        #[test]
+        fn worker_panic_mid_chunk_is_isolated() {
+            let ckt = divider();
+            let scenarios = vdd_grid(&ckt);
+            let _guard = FaultPlan::new()
+                .fail(sites::SCENARIO, 1, FaultAction::Panic)
+                .install();
+            let res = campaign(&ckt)
+                .with_threads(1)
+                .run(&ckt, &scenarios)
+                .unwrap();
+            assert!(res.outcome("v0").unwrap().result.is_ok());
+            assert!(res.outcome("v2").unwrap().result.is_ok());
+            let failed = res.outcome("v1").unwrap();
+            match &failed.result {
+                Err(CoreError::Panic { context, message }) => {
+                    assert!(context.contains("unique solve 1"), "{context}");
+                    assert!(message.contains("injected panic"), "{message}");
+                }
+                other => panic!("expected Panic outcome, got {other:?}"),
+            }
+            assert_eq!(failed.diagnostics.stages(), vec!["retry[0]:initial"]);
+            assert!(failed.diagnostics.attempts[0].error.is_some());
+            let sum = res.summary("vout").unwrap();
+            assert_eq!((sum.n_ok, sum.n_failed), (2, 1));
+            assert!(sum.mean_sigma.is_finite());
+        }
+
+        /// The per-call reference isolates panics the same way.
+        #[test]
+        fn per_call_reference_isolates_panics() {
+            let ckt = divider();
+            let scenarios = vdd_grid(&ckt);
+            let camp = campaign(&ckt);
+            let _guard = FaultPlan::new()
+                .fail(sites::SCENARIO, 0, FaultAction::Panic)
+                .install();
+            let outcomes =
+                run_scenarios_per_call(&ckt, &scenarios, camp.config(), camp.metrics()).unwrap();
+            assert!(matches!(outcomes[0].result, Err(CoreError::Panic { .. })));
+            assert!(outcomes[1].result.is_ok());
+            assert!(outcomes[2].result.is_ok());
+        }
+
+        /// An injected first-attempt failure is rescued by the periodic
+        /// retry ladder, and the rescue is visible in the attempt trail.
+        #[test]
+        fn retry_ladder_rescues_injected_nonconvergence() {
+            let ckt = divider();
+            let scenarios = vec![Scenario::new("only", vec![])];
+            let _guard = FaultPlan::new()
+                .fail(sites::RETRY_ATTEMPT, 0, FaultAction::NoConverge)
+                .install();
+            let res = campaign(&ckt)
+                .with_retry(RetryPolicy::default())
+                .with_threads(1)
+                .run(&ckt, &scenarios)
+                .unwrap();
+            let oc = res.outcome("only").unwrap();
+            assert!(oc.result.is_ok(), "{:?}", oc.result.as_ref().err());
+            assert_eq!(
+                oc.diagnostics.stages(),
+                vec!["retry[0]:initial", "retry[1]:halve-dt"]
+            );
+            assert_eq!(oc.diagnostics.succeeded_stage(), Some("retry[1]:halve-dt"));
+            assert_eq!(res.retry_attempts, 1);
+        }
+
+        /// Without retry enabled the injected failure is final — the
+        /// escalation never runs behind the user's back.
+        #[test]
+        fn no_retry_by_default() {
+            let ckt = divider();
+            let scenarios = vec![Scenario::new("only", vec![])];
+            let _guard = FaultPlan::new()
+                .fail(sites::RETRY_ATTEMPT, 0, FaultAction::NoConverge)
+                .install();
+            let res = campaign(&ckt)
+                .with_threads(1)
+                .run(&ckt, &scenarios)
+                .unwrap();
+            let oc = res.outcome("only").unwrap();
+            assert!(matches!(
+                oc.result,
+                Err(CoreError::Engine(
+                    tranvar_engine::EngineError::NoConvergence { .. }
+                ))
+            ));
+            assert_eq!(oc.diagnostics.stages(), vec!["retry[0]:initial"]);
+            assert_eq!(res.retry_attempts, 0);
         }
     }
 }

@@ -26,6 +26,17 @@ pub enum CoreError {
     Circuit(CircuitError),
     /// Underlying numerical failure.
     Num(NumError),
+    /// A worker panicked while evaluating a scenario; the panic was caught
+    /// at the campaign boundary and converted into this typed error, so one
+    /// buggy corner cannot take down the whole campaign.
+    Panic {
+        /// What was running when the panic fired (e.g. a scenario name or
+        /// unique-solve index).
+        context: String,
+        /// The stringified panic payload (`"non-string panic payload"` if
+        /// it was neither `&str` nor `String`).
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +49,9 @@ impl fmt::Display for CoreError {
             CoreError::Engine(e) => write!(f, "engine failure: {e}"),
             CoreError::Circuit(e) => write!(f, "circuit failure: {e}"),
             CoreError::Num(e) => write!(f, "numerical failure: {e}"),
+            CoreError::Panic { context, message } => {
+                write!(f, "worker panicked in {context}: {message}")
+            }
         }
     }
 }

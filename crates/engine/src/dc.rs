@@ -5,13 +5,16 @@
 //! an initial state, the DC-match baseline linearizes here, and the PSS
 //! shooting iteration seeds from a settled transient that itself starts here.
 
+use crate::budget::SolveBudget;
 use crate::error::EngineError;
+use crate::fault;
+use crate::retry::SolveDiagnostics;
 use crate::solver::{JacobianWorkspace, SolverKind};
 use tranvar_circuit::Circuit;
 use tranvar_num::dense::vecops;
 
 /// Newton iteration controls shared by DC and transient solves.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NewtonOptions {
     /// Maximum Newton iterations per solve.
     pub max_iter: usize,
@@ -24,6 +27,9 @@ pub struct NewtonOptions {
     pub step_limit: f64,
     /// Linear-solver backend.
     pub solver: SolverKind,
+    /// Cooperative work bound, checked once per Newton iteration. The
+    /// default is unlimited; see [`crate::budget`].
+    pub budget: SolveBudget,
 }
 
 impl Default for NewtonOptions {
@@ -34,6 +40,7 @@ impl Default for NewtonOptions {
             itol: 1e-10,
             step_limit: 0.4,
             solver: SolverKind::Dense,
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -108,6 +115,8 @@ pub fn solve_static_with(
     let mut delta = vec![0.0; n];
     let mut scratch = vec![0.0; n];
     for _iter in 0..opts.max_iter {
+        opts.budget.begin_iteration("dc newton")?;
+        opts.budget.count_factorization();
         let lu = jws.factor(&asm, 1.0, 0.0, gmin, n_node)?;
         // Residual includes the gmin bleed so the Jacobian is consistent.
         r.copy_from_slice(&asm.f);
@@ -133,7 +142,20 @@ pub fn solve_static_with(
             let aug = fi + if i < n_node { gmin * x[i] } else { 0.0 };
             rnorm = rnorm.max(aug.abs());
         }
-        let dnorm = vecops::norm_inf(&delta);
+        let mut dnorm = vecops::norm_inf(&delta);
+        if fault::poison_nan(fault::sites::DC_RESIDUAL) {
+            dnorm = f64::NAN;
+        }
+        // Fail fast on garbage: iterating further on a NaN/Inf residual or
+        // update can never converge, it only burns the iteration budget.
+        if !dnorm.is_finite() || !rnorm.is_finite() {
+            return Err(EngineError::NonFinite {
+                analysis: "dc newton".into(),
+                detail: format!(
+                    "residual |f|={rnorm:.3e}, update |dx|={dnorm:.3e} (gmin={gmin:.1e})"
+                ),
+            });
+        }
         if dnorm < opts.vtol && rnorm < opts.itol {
             return Ok(x);
         }
@@ -199,29 +221,93 @@ pub fn dc_operating_point_with(
     dc_operating_point_impl(ckt, opts, Some(jws))
 }
 
+/// [`dc_operating_point_with`] that also records one [`crate::retry::Attempt`]
+/// per homotopy stage solve (direct, each gmin-schedule entry, each source
+/// step) into `diag`, in the order they ran. This is the trail the
+/// retry/escalation layer and campaign diagnostics report.
+///
+/// # Errors
+///
+/// See [`dc_operating_point`].
+pub fn dc_operating_point_traced(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    jws: Option<&mut JacobianWorkspace>,
+    diag: &mut SolveDiagnostics,
+) -> Result<Vec<f64>, EngineError> {
+    dc_operating_point_inner(ckt, opts, jws, Some(diag))
+}
+
 fn dc_operating_point_impl(
     ckt: &Circuit,
     opts: &DcOptions,
-    mut jws: Option<&mut JacobianWorkspace>,
+    jws: Option<&mut JacobianWorkspace>,
 ) -> Result<Vec<f64>, EngineError> {
-    let mut solve = |ckt: &Circuit, gmin: f64, x0: &[f64]| match jws.as_deref_mut() {
-        Some(ws) => solve_static_with(ckt, 0.0, gmin, x0, &opts.newton, ws),
-        None => solve_static(ckt, 0.0, gmin, x0, &opts.newton),
+    dc_operating_point_inner(ckt, opts, jws, None)
+}
+
+fn dc_operating_point_inner(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    mut jws: Option<&mut JacobianWorkspace>,
+    mut diag: Option<&mut SolveDiagnostics>,
+) -> Result<Vec<f64>, EngineError> {
+    // Every homotopy stage funnels through here: the fault harness can fail
+    // any stage by its attempt ordinal, and the outcome lands in the trail.
+    let mut attempt_no = 0usize;
+    let mut solve = |ckt: &Circuit,
+                     gmin: f64,
+                     x0: &[f64],
+                     stage: &dyn Fn() -> String,
+                     jws: &mut Option<&mut JacobianWorkspace>,
+                     diag: &mut Option<&mut SolveDiagnostics>| {
+        let idx = attempt_no;
+        attempt_no += 1;
+        let res = match fault::attempt_fault(fault::sites::DC_STAGE, idx) {
+            Some(e) => Err(e),
+            None => match jws.as_deref_mut() {
+                Some(ws) => solve_static_with(ckt, 0.0, gmin, x0, &opts.newton, ws),
+                None => solve_static(ckt, 0.0, gmin, x0, &opts.newton),
+            },
+        };
+        if let Some(d) = diag.as_deref_mut() {
+            d.record(stage(), res.as_ref().err().cloned());
+        }
+        res
     };
     let n = ckt.n_unknowns();
     let x0 = vec![0.0; n];
     let final_gmin = *opts.gmin_schedule.last().unwrap_or(&1e-12);
 
     // 1. Direct attempt at the target gmin.
-    if let Ok(x) = solve(ckt, final_gmin, &x0) {
-        return Ok(x);
+    match solve(
+        ckt,
+        final_gmin,
+        &x0,
+        &|| "dc:direct".into(),
+        &mut jws,
+        &mut diag,
+    ) {
+        Ok(x) => return Ok(x),
+        // A tripped budget is a global bound: further homotopy stages would
+        // only re-trip it, so it propagates instead of escalating.
+        Err(e @ EngineError::BudgetExceeded { .. }) => return Err(e),
+        Err(_) => {}
     }
     // 2. gmin stepping.
     let mut x = x0.clone();
     let mut ok = true;
     for &g in &opts.gmin_schedule {
-        match solve(ckt, g, &x) {
+        match solve(
+            ckt,
+            g,
+            &x,
+            &|| format!("dc:gmin[{g:.1e}]"),
+            &mut jws,
+            &mut diag,
+        ) {
             Ok(xs) => x = xs,
+            Err(e @ EngineError::BudgetExceeded { .. }) => return Err(e),
             Err(_) => {
                 ok = false;
                 break;
@@ -236,9 +322,21 @@ fn dc_operating_point_impl(
     for k in 1..=opts.source_steps {
         let alpha = k as f64 / opts.source_steps as f64;
         let scaled = ckt.scaled_sources(alpha);
-        x = solve(&scaled, final_gmin, &x).map_err(|e| EngineError::NoConvergence {
-            analysis: "dc".into(),
-            detail: format!("source stepping failed at alpha={alpha:.2}: {e}"),
+        let steps = opts.source_steps;
+        x = solve(
+            &scaled,
+            final_gmin,
+            &x,
+            &|| format!("dc:source[{k}/{steps}]"),
+            &mut jws,
+            &mut diag,
+        )
+        .map_err(|e| match e {
+            e @ EngineError::BudgetExceeded { .. } => e,
+            e => EngineError::NoConvergence {
+                analysis: "dc".into(),
+                detail: format!("source stepping failed at alpha={alpha:.2}: {e}"),
+            },
         })?;
     }
     Ok(x)

@@ -1,5 +1,6 @@
 //! Error types for circuit analyses.
 
+use crate::budget::BudgetProgress;
 use std::error::Error;
 use std::fmt;
 use tranvar_circuit::CircuitError;
@@ -17,6 +18,25 @@ pub enum EngineError {
         /// Diagnostic detail (iterations, final residual, ...).
         detail: String,
     },
+    /// A residual, Newton update or factorization produced NaN/Inf.
+    ///
+    /// Distinct from a singular system ([`tranvar_num::NumError::Singular`]
+    /// wrapped in [`EngineError::Num`]): non-finite values mean the model
+    /// evaluation itself blew up, so burning further Newton iterations on
+    /// them is pointless and the solve fails fast instead.
+    NonFinite {
+        /// Which analysis detected the non-finite value.
+        analysis: String,
+        /// Where it was seen (residual, update, factor, ...).
+        detail: String,
+    },
+    /// A cooperative [`crate::budget::SolveBudget`] limit was exhausted.
+    BudgetExceeded {
+        /// Which analysis hit the limit.
+        analysis: String,
+        /// Work completed when the budget ran out, and which limit tripped.
+        progress: BudgetProgress,
+    },
     /// A numerical kernel failed (singular matrix, ...).
     Num(NumError),
     /// Circuit construction or lookup failed.
@@ -32,6 +52,12 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoConvergence { analysis, detail } => {
                 write!(f, "{analysis} failed to converge: {detail}")
+            }
+            EngineError::NonFinite { analysis, detail } => {
+                write!(f, "{analysis} produced a non-finite value: {detail}")
+            }
+            EngineError::BudgetExceeded { analysis, progress } => {
+                write!(f, "{analysis} exceeded its solve budget: {progress}")
             }
             EngineError::Num(e) => write!(f, "numerical failure: {e}"),
             EngineError::Circuit(e) => write!(f, "circuit error: {e}"),

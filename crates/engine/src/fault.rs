@@ -1,0 +1,429 @@
+//! Deterministic fault injection for exercising recovery paths.
+//!
+//! Every fault-tolerance mechanism in the workspace — non-finite guards,
+//! budget deadlines, retry escalation, campaign panic isolation — has a
+//! failure mode that is hard to provoke with a real circuit and impossible
+//! to provoke *deterministically*. This module provides injectable failure
+//! points so CI can drive each recovery path on demand, in the spirit of
+//! the bit-identity property tests: same plan, same failures, every run.
+//!
+//! The harness is gated behind the `fault-inject` cargo feature. Without
+//! the feature every hook is an `#[inline(always)]` no-op and the product
+//! code paths compile exactly as before; with it, a `FaultPlan` installed
+//! on the current thread (and propagated to [`crate::par::map_scoped`]
+//! workers) arms specific *sites*:
+//!
+//! ```ignore
+//! use tranvar_engine::fault::{sites, FaultAction, FaultPlan};
+//!
+//! // Make the 3rd factorization call return a NaN factor, and panic when
+//! // campaign scenario 1 is solved.
+//! let _guard = FaultPlan::new()
+//!     .fail(sites::FACTOR, 2, FaultAction::NonFinite)
+//!     .fail(sites::SCENARIO, 1, FaultAction::Panic)
+//!     .install();
+//! ```
+//!
+//! Two trigger styles exist: *counted* sites fire on the n-th call at that
+//! site (per-plan call counter), *indexed* sites fire when the caller's own
+//! index (attempt number, scenario ordinal) matches. A plan also carries an
+//! optional mock clock consulted by [`crate::budget::SolveBudget`] deadline
+//! checks, so deadline tests never sleep.
+
+/// Site names for the injectable failure points.
+///
+/// Present (and referenced by product code) regardless of the feature so
+/// call sites need no `cfg` — the hooks themselves compile to no-ops
+/// without `fault-inject`.
+pub mod sites {
+    /// Counted: every `JacobianWorkspace::factor`/`factor_owned` call.
+    pub const FACTOR: &str = "engine::solver::factor";
+    /// Counted: the residual-norm check in each DC Newton iteration.
+    pub const DC_RESIDUAL: &str = "engine::dc::residual";
+    /// Counted: the update-norm check in each transient Newton iteration.
+    pub const TRAN_UPDATE: &str = "engine::tran::update";
+    /// Indexed: one per DC homotopy stage solve (direct, gmin walk entries,
+    /// source steps), in attempt order.
+    pub const DC_STAGE: &str = "engine::dc::stage";
+    /// Indexed: one per retry-escalation attempt.
+    pub const RETRY_ATTEMPT: &str = "engine::retry::attempt";
+    /// Indexed: one per unique campaign solve, in scenario order.
+    pub const SCENARIO: &str = "core::campaign::scenario";
+}
+
+/// What an armed site does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return `NumError::Singular` (counted sites) or the engine-level
+    /// equivalent (indexed sites).
+    Singular,
+    /// Return `NumError::NonFinite` / `EngineError::NonFinite`.
+    NonFinite,
+    /// Poison a residual/update with NaN (counted guard sites only).
+    PoisonNan,
+    /// Return a synthetic `EngineError::NoConvergence` (indexed sites).
+    NoConverge,
+    /// Panic with an "injected panic" message.
+    Panic,
+}
+
+#[cfg(feature = "fault-inject")]
+pub use enabled::*;
+
+#[cfg(feature = "fault-inject")]
+mod enabled {
+    use super::FaultAction;
+    use crate::error::EngineError;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+    use tranvar_num::NumError;
+
+    /// One armed failure point: fires when the trigger index at `site`
+    /// falls in `[from, from + count)`.
+    #[derive(Clone, Debug)]
+    struct FaultSpec {
+        site: &'static str,
+        from: usize,
+        count: usize,
+        action: FaultAction,
+    }
+
+    #[derive(Debug)]
+    struct PlanState {
+        specs: Vec<FaultSpec>,
+        mock_elapsed: Mutex<Option<Duration>>,
+        counters: Mutex<HashMap<&'static str, usize>>,
+    }
+
+    impl PlanState {
+        fn bump(&self, site: &'static str) -> usize {
+            let mut c = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            let n = c.entry(site).or_insert(0);
+            let prev = *n;
+            *n += 1;
+            prev
+        }
+
+        fn action_at(&self, site: &str, idx: usize) -> Option<FaultAction> {
+            self.specs
+                .iter()
+                .find(|s| s.site == site && idx >= s.from && idx < s.from + s.count)
+                .map(|s| s.action)
+        }
+    }
+
+    thread_local! {
+        static ACTIVE: RefCell<Option<Arc<PlanState>>> = const { RefCell::new(None) };
+    }
+
+    /// A builder for a set of armed failure points.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        specs: Vec<FaultSpec>,
+        mock_elapsed: Option<Duration>,
+    }
+
+    impl FaultPlan {
+        /// An empty plan (no armed sites).
+        pub fn new() -> Self {
+            FaultPlan::default()
+        }
+
+        /// Arms `site` to perform `action` on trigger index `at` (the n-th
+        /// call for counted sites, the caller-supplied index for indexed
+        /// sites).
+        pub fn fail(self, site: &'static str, at: usize, action: FaultAction) -> Self {
+            self.fail_range(site, at, 1, action)
+        }
+
+        /// Arms `site` for `count` consecutive trigger indices starting at
+        /// `from`.
+        pub fn fail_range(
+            mut self,
+            site: &'static str,
+            from: usize,
+            count: usize,
+            action: FaultAction,
+        ) -> Self {
+            self.specs.push(FaultSpec {
+                site,
+                from,
+                count,
+                action,
+            });
+            self
+        }
+
+        /// Fixes the elapsed time every `SolveBudget` deadline check sees.
+        pub fn mock_elapsed(mut self, d: Duration) -> Self {
+            self.mock_elapsed = Some(d);
+            self
+        }
+
+        /// Installs the plan on the current thread, returning an RAII guard
+        /// that restores the previous plan on drop.
+        pub fn install(self) -> FaultGuard {
+            let state = Arc::new(PlanState {
+                specs: self.specs,
+                mock_elapsed: Mutex::new(self.mock_elapsed),
+                counters: Mutex::new(HashMap::new()),
+            });
+            let prev = ACTIVE.with(|a| a.replace(Some(state.clone())));
+            FaultGuard { prev, state }
+        }
+    }
+
+    /// RAII handle for an installed [`FaultPlan`].
+    #[derive(Debug)]
+    pub struct FaultGuard {
+        prev: Option<Arc<PlanState>>,
+        state: Arc<PlanState>,
+    }
+
+    impl FaultGuard {
+        /// How many times `site` has been triggered under this plan.
+        pub fn hits(&self, site: &str) -> usize {
+            self.state
+                .counters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .get(site)
+                .copied()
+                .unwrap_or(0)
+        }
+
+        /// Re-fixes the mocked elapsed time (e.g. to advance past a
+        /// deadline mid-test).
+        pub fn set_mock_elapsed(&self, d: Duration) {
+            *self
+                .state
+                .mock_elapsed
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(d);
+        }
+    }
+
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            let prev = self.prev.take();
+            ACTIVE.with(|a| *a.borrow_mut() = prev);
+        }
+    }
+
+    /// A shareable handle to the thread's active plan, for propagating into
+    /// worker threads (see [`crate::par::map_scoped`]).
+    #[derive(Clone, Debug)]
+    pub struct ActivePlan(Arc<PlanState>);
+
+    /// The current thread's active plan, if any.
+    pub fn current() -> Option<ActivePlan> {
+        ACTIVE.with(|a| a.borrow().clone()).map(ActivePlan)
+    }
+
+    /// Installs a shared plan on this (worker) thread; the guard restores
+    /// the previous plan on drop.
+    pub fn adopt(plan: Option<ActivePlan>) -> FaultGuard {
+        let state = match plan {
+            Some(p) => p.0,
+            None => Arc::new(PlanState {
+                specs: Vec::new(),
+                mock_elapsed: Mutex::new(None),
+                counters: Mutex::new(HashMap::new()),
+            }),
+        };
+        let prev = ACTIVE.with(|a| a.replace(Some(state.clone())));
+        FaultGuard { prev, state }
+    }
+
+    fn with_active<R>(f: impl FnOnce(&PlanState) -> R) -> Option<R> {
+        ACTIVE.with(|a| a.borrow().clone()).map(|st| f(&st))
+    }
+
+    /// Counted hook: an injected factorization failure at `site`, if armed
+    /// for this call ordinal.
+    pub fn numeric_fault(site: &'static str) -> Option<NumError> {
+        with_active(|st| {
+            let idx = st.bump(site);
+            match st.action_at(site, idx) {
+                Some(FaultAction::Singular) => Some(NumError::Singular { col: 0 }),
+                Some(FaultAction::NonFinite) => Some(NumError::NonFinite { col: 0 }),
+                Some(FaultAction::Panic) => panic!("injected panic at {site}[{idx}]"),
+                _ => None,
+            }
+        })
+        .flatten()
+    }
+
+    /// Counted hook: true when `site` should poison the current value with
+    /// NaN.
+    pub fn poison_nan(site: &'static str) -> bool {
+        with_active(|st| {
+            let idx = st.bump(site);
+            matches!(st.action_at(site, idx), Some(FaultAction::PoisonNan))
+        })
+        .unwrap_or(false)
+    }
+
+    /// Indexed hook: an injected engine error for attempt/stage `index` at
+    /// `site`, if armed.
+    pub fn attempt_fault(site: &'static str, index: usize) -> Option<EngineError> {
+        with_active(|st| {
+            st.bump(site);
+            match st.action_at(site, index) {
+                Some(FaultAction::NoConverge) => Some(EngineError::NoConvergence {
+                    analysis: site.to_string(),
+                    detail: format!("injected fault at attempt {index}"),
+                }),
+                Some(FaultAction::NonFinite) => Some(EngineError::NonFinite {
+                    analysis: site.to_string(),
+                    detail: format!("injected fault at attempt {index}"),
+                }),
+                Some(FaultAction::Singular) => {
+                    Some(EngineError::Num(NumError::Singular { col: 0 }))
+                }
+                Some(FaultAction::Panic) => panic!("injected panic at {site}[{index}]"),
+                _ => None,
+            }
+        })
+        .flatten()
+    }
+
+    /// Indexed hook: panics if `site` is armed with [`FaultAction::Panic`]
+    /// for `index`.
+    pub fn panic_at(site: &'static str, index: usize) {
+        let fire = with_active(|st| {
+            st.bump(site);
+            matches!(st.action_at(site, index), Some(FaultAction::Panic))
+        })
+        .unwrap_or(false);
+        if fire {
+            panic!("injected panic at {site}[{index}]");
+        }
+    }
+
+    /// The mocked elapsed time for budget deadline checks, if set.
+    pub fn mock_elapsed() -> Option<Duration> {
+        with_active(|st| *st.mock_elapsed.lock().unwrap_or_else(|e| e.into_inner())).flatten()
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+mod disabled {
+    use crate::error::EngineError;
+    use tranvar_num::NumError;
+
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn numeric_fault(_site: &str) -> Option<NumError> {
+        None
+    }
+
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn poison_nan(_site: &str) -> bool {
+        false
+    }
+
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn attempt_fault(_site: &str, _index: usize) -> Option<EngineError> {
+        None
+    }
+
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn panic_at(_site: &str, _index: usize) {}
+}
+
+#[cfg(not(feature = "fault-inject"))]
+pub use disabled::*;
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+    use crate::EngineError;
+    use std::time::Duration;
+    use tranvar_num::NumError;
+
+    #[test]
+    fn counted_site_fires_on_exact_ordinal() {
+        let guard = FaultPlan::new()
+            .fail(sites::FACTOR, 2, FaultAction::Singular)
+            .install();
+        assert_eq!(numeric_fault(sites::FACTOR), None);
+        assert_eq!(numeric_fault(sites::FACTOR), None);
+        assert_eq!(
+            numeric_fault(sites::FACTOR),
+            Some(NumError::Singular { col: 0 })
+        );
+        assert_eq!(numeric_fault(sites::FACTOR), None);
+        assert_eq!(guard.hits(sites::FACTOR), 4);
+    }
+
+    #[test]
+    fn indexed_site_ignores_call_order() {
+        let _guard = FaultPlan::new()
+            .fail(sites::RETRY_ATTEMPT, 1, FaultAction::NoConverge)
+            .install();
+        assert!(attempt_fault(sites::RETRY_ATTEMPT, 0).is_none());
+        assert!(matches!(
+            attempt_fault(sites::RETRY_ATTEMPT, 1),
+            Some(EngineError::NoConvergence { .. })
+        ));
+        assert!(attempt_fault(sites::RETRY_ATTEMPT, 2).is_none());
+    }
+
+    #[test]
+    fn plans_nest_and_restore() {
+        assert_eq!(numeric_fault(sites::FACTOR), None);
+        {
+            let _outer = FaultPlan::new()
+                .fail(sites::FACTOR, 0, FaultAction::Singular)
+                .install();
+            assert!(numeric_fault(sites::FACTOR).is_some());
+            {
+                let _inner = FaultPlan::new().install();
+                assert_eq!(numeric_fault(sites::FACTOR), None);
+            }
+        }
+        assert_eq!(numeric_fault(sites::FACTOR), None);
+    }
+
+    #[test]
+    fn mock_clock_is_settable() {
+        let guard = FaultPlan::new()
+            .mock_elapsed(Duration::from_secs(1))
+            .install();
+        assert_eq!(mock_elapsed(), Some(Duration::from_secs(1)));
+        guard.set_mock_elapsed(Duration::from_secs(5));
+        assert_eq!(mock_elapsed(), Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn plan_propagates_to_adopting_thread() {
+        let _guard = FaultPlan::new()
+            .fail(sites::FACTOR, 0, FaultAction::NonFinite)
+            .install();
+        let plan = current();
+        let got = std::thread::scope(|s| {
+            s.spawn(move || {
+                let _adopted = adopt(plan);
+                numeric_fault(sites::FACTOR)
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(got, Some(NumError::NonFinite { col: 0 }));
+    }
+
+    #[test]
+    fn poison_fires_once() {
+        let _guard = FaultPlan::new()
+            .fail(sites::DC_RESIDUAL, 0, FaultAction::PoisonNan)
+            .install();
+        assert!(poison_nan(sites::DC_RESIDUAL));
+        assert!(!poison_nan(sites::DC_RESIDUAL));
+    }
+}

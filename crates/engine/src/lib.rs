@@ -21,26 +21,38 @@
 //!   circuit without per-call setup — the substrate of the scenario
 //!   campaigns in `tranvar-core`,
 //! - [`par`]: the scoped worker-thread chunking shared by every batched
-//!   analysis.
+//!   analysis,
+//! - [`budget`]: cooperative solve budgets (Newton iterations,
+//!   factorizations, wall-clock deadline) checked once per Newton iteration,
+//! - [`retry`]: bounded retry/fallback escalation (denser gmin → more
+//!   source steps → halved timestep → the other solver backend) with a
+//!   recorded attempt trail,
+//! - [`fault`]: the deterministic fault-injection harness (behind the
+//!   `fault-inject` feature) that makes every recovery path testable.
 
 #![warn(missing_docs)]
 
 pub mod ac;
+pub mod budget;
 pub mod dc;
 pub mod error;
+pub mod fault;
 pub mod mc;
 pub mod measure;
 pub mod par;
+pub mod retry;
 pub mod sens;
 pub mod session;
 pub mod solver;
 pub mod tran;
 pub mod transens;
 
+pub use budget::{BudgetKind, BudgetLimits, BudgetProgress, SolveBudget};
 pub use dc::{dc_operating_point, DcOptions, NewtonOptions};
 pub use error::EngineError;
 pub use mc::{monte_carlo, monte_carlo_multi, McOptions, McResult};
 pub use par::{chunk_ranges, map_scoped};
+pub use retry::{is_retryable, Attempt, Escalation, RetryPolicy, SolveDiagnostics};
 pub use session::{Session, SessionOptions, SessionStats};
 pub use solver::{FactoredJacobian, SolverKind, SolverStats};
 pub use tran::{

@@ -56,12 +56,23 @@ where
     if jobs.len() <= 1 {
         return jobs.into_iter().map(f).collect();
     }
+    // Under the `fault-inject` feature the caller's thread-local fault plan
+    // follows the jobs onto the workers, so injected failures fire
+    // regardless of which worker a scenario lands on.
+    #[cfg(feature = "fault-inject")]
+    let fault_plan = crate::fault::current();
     std::thread::scope(|scope| {
         let handles: Vec<_> = jobs
             .into_iter()
             .map(|job| {
                 let f = &f;
-                scope.spawn(move || f(job))
+                #[cfg(feature = "fault-inject")]
+                let fault_plan = fault_plan.clone();
+                scope.spawn(move || {
+                    #[cfg(feature = "fault-inject")]
+                    let _fault = crate::fault::adopt(fault_plan);
+                    f(job)
+                })
             })
             .collect();
         handles

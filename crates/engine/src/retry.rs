@@ -1,0 +1,379 @@
+//! Bounded retry/fallback escalation for failed solves.
+//!
+//! Yield-style campaigns push circuits into exactly the corners where a
+//! solve is most likely to fail; a [`RetryPolicy`] gives those failures a
+//! second (and third, ...) chance without unbounded work. On a retryable
+//! failure — [`EngineError::NoConvergence`], [`EngineError::NonFinite`], a
+//! singular/non-finite factorization — the solve escalates through a fixed
+//! ladder of progressively more conservative configurations:
+//!
+//! 1. **denser gmin schedule** — geometric midpoints inserted between the
+//!    configured gmin steps (DC),
+//! 2. **more source steps** — 4× the source-stepping resolution (DC),
+//! 3. **halved timestep** (transient),
+//! 4. **the other [`SolverKind`] backend** — a pivot order that breaks down
+//!    in one elimination scheme may survive the other.
+//!
+//! Rungs that do not apply to an analysis are skipped; escalations are
+//! cumulative (the denser gmin schedule stays in force while source steps
+//! increase). A tripped [`EngineError::BudgetExceeded`] is *not* retried:
+//! the budget is a global bound and every further attempt would re-trip it.
+//!
+//! Every attempt — including the homotopy stages inside a DC attempt — is
+//! recorded in a [`SolveDiagnostics`] trail, so a campaign report can say
+//! not just *that* a corner needed rescue but *which* rung rescued it.
+
+use crate::dc::{dc_operating_point_traced, DcOptions};
+use crate::error::EngineError;
+use crate::fault;
+use crate::solver::SolverKind;
+use crate::tran::{transient, TranOptions, TranResult};
+use tranvar_circuit::Circuit;
+
+/// Bounds and enables the escalation ladder. The default enables every
+/// rung with at most 5 total attempts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts, including the initial one.
+    pub max_attempts: usize,
+    /// Enable the denser-gmin-schedule rung (DC).
+    pub denser_gmin: bool,
+    /// Enable the more-source-steps rung (DC).
+    pub more_source_steps: bool,
+    /// Enable the halved-timestep rung (transient / periodic).
+    pub halve_timestep: bool,
+    /// Enable the other-backend rung.
+    pub switch_backend: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            denser_gmin: true,
+            more_source_steps: true,
+            halve_timestep: true,
+            switch_backend: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            denser_gmin: false,
+            more_source_steps: false,
+            halve_timestep: false,
+            switch_backend: false,
+        }
+    }
+}
+
+/// One rung of the escalation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Escalation {
+    /// The unmodified first attempt.
+    Initial,
+    /// Geometric midpoints inserted into the gmin schedule.
+    DenserGmin,
+    /// 4× source-stepping resolution.
+    MoreSourceSteps,
+    /// Halved integration timestep (doubled step count for periodic
+    /// solves).
+    HalveTimestep,
+    /// The other linear-solver backend.
+    SwitchBackend,
+}
+
+impl Escalation {
+    /// Stable label used in [`Attempt::stage`] strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            Escalation::Initial => "initial",
+            Escalation::DenserGmin => "denser-gmin",
+            Escalation::MoreSourceSteps => "more-source-steps",
+            Escalation::HalveTimestep => "halve-dt",
+            Escalation::SwitchBackend => "switch-backend",
+        }
+    }
+}
+
+/// One recorded solve attempt: a homotopy stage or an escalation-ladder
+/// rung.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attempt {
+    /// What ran: `"dc:direct"`, `"dc:gmin[1.0e-5]"`, `"dc:source[3/20]"`,
+    /// `"retry[1]:denser-gmin"`, ...
+    pub stage: String,
+    /// `None` if the attempt succeeded, otherwise the failure.
+    pub error: Option<EngineError>,
+}
+
+/// The recorded attempt trail of one fault-tolerant solve.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Every attempt, in execution order.
+    pub attempts: Vec<Attempt>,
+}
+
+impl SolveDiagnostics {
+    /// An empty trail.
+    pub fn new() -> Self {
+        SolveDiagnostics::default()
+    }
+
+    /// Appends one attempt record.
+    pub fn record(&mut self, stage: String, error: Option<EngineError>) {
+        self.attempts.push(Attempt { stage, error });
+    }
+
+    /// The stage labels in execution order.
+    pub fn stages(&self) -> Vec<&str> {
+        self.attempts.iter().map(|a| a.stage.as_str()).collect()
+    }
+
+    /// The label of the last successful attempt, if any.
+    pub fn succeeded_stage(&self) -> Option<&str> {
+        self.attempts
+            .iter()
+            .rev()
+            .find(|a| a.error.is_none())
+            .map(|a| a.stage.as_str())
+    }
+
+    /// How many retry-ladder attempts were recorded (homotopy stages within
+    /// an attempt are not counted).
+    pub fn retry_attempts(&self) -> usize {
+        self.attempts
+            .iter()
+            .filter(|a| a.stage.starts_with("retry["))
+            .count()
+    }
+
+    /// Merges another trail's attempts onto this one.
+    pub fn extend(&mut self, other: SolveDiagnostics) {
+        self.attempts.extend(other.attempts);
+    }
+}
+
+/// True when the retry ladder is allowed to re-attempt after `e`.
+pub fn is_retryable(e: &EngineError) -> bool {
+    use tranvar_num::NumError;
+    matches!(
+        e,
+        EngineError::NoConvergence { .. }
+            | EngineError::NonFinite { .. }
+            | EngineError::Num(NumError::Singular { .. })
+            | EngineError::Num(NumError::NonFinite { .. })
+    )
+}
+
+fn flip(kind: SolverKind) -> SolverKind {
+    match kind {
+        SolverKind::Dense => SolverKind::Sparse,
+        SolverKind::Sparse => SolverKind::Dense,
+    }
+}
+
+/// Inserts a geometric midpoint between consecutive schedule entries.
+fn densify_gmin(schedule: &[f64]) -> Vec<f64> {
+    if schedule.is_empty() {
+        return vec![1e-3, 1e-6, 1e-9, 1e-12];
+    }
+    let mut out = Vec::with_capacity(schedule.len() * 2);
+    for w in schedule.windows(2) {
+        out.push(w[0]);
+        let mid = (w[0] * w[1]).sqrt();
+        if mid.is_finite() && mid > 0.0 {
+            out.push(mid);
+        }
+    }
+    out.push(schedule[schedule.len() - 1]);
+    out
+}
+
+/// The ladder for DC solves under `policy` (timestep rung skipped).
+pub(crate) fn dc_ladder(policy: &RetryPolicy) -> Vec<Escalation> {
+    let mut l = vec![Escalation::Initial];
+    if policy.denser_gmin {
+        l.push(Escalation::DenserGmin);
+    }
+    if policy.more_source_steps {
+        l.push(Escalation::MoreSourceSteps);
+    }
+    if policy.switch_backend {
+        l.push(Escalation::SwitchBackend);
+    }
+    l
+}
+
+/// The ladder for transient solves under `policy` (gmin/source rungs are
+/// DC-seed concerns and skipped here).
+pub(crate) fn tran_ladder(policy: &RetryPolicy) -> Vec<Escalation> {
+    let mut l = vec![Escalation::Initial];
+    if policy.halve_timestep {
+        l.push(Escalation::HalveTimestep);
+    }
+    if policy.switch_backend {
+        l.push(Escalation::SwitchBackend);
+    }
+    l
+}
+
+/// Applies one rung (cumulatively) to DC options.
+pub(crate) fn apply_dc(opts: &mut DcOptions, esc: Escalation) {
+    match esc {
+        Escalation::Initial | Escalation::HalveTimestep => {}
+        Escalation::DenserGmin => opts.gmin_schedule = densify_gmin(&opts.gmin_schedule),
+        Escalation::MoreSourceSteps => opts.source_steps = (opts.source_steps * 4).max(4),
+        Escalation::SwitchBackend => opts.newton.solver = flip(opts.newton.solver),
+    }
+}
+
+/// Applies one rung (cumulatively) to transient options.
+pub(crate) fn apply_tran(opts: &mut TranOptions, esc: Escalation) {
+    match esc {
+        Escalation::Initial | Escalation::DenserGmin | Escalation::MoreSourceSteps => {}
+        Escalation::HalveTimestep => opts.dt /= 2.0,
+        Escalation::SwitchBackend => opts.newton.solver = flip(opts.newton.solver),
+    }
+}
+
+/// Runs the escalation loop shared by every resilient entry point.
+///
+/// `solve_one(i, esc, diag)` performs attempt `i` at rung `esc`; the
+/// fault-injection site [`fault::sites::RETRY_ATTEMPT`] can fail any
+/// attempt by index before the real solve runs. Each attempt is recorded;
+/// non-retryable errors (including budget exhaustion) end the loop
+/// immediately.
+pub(crate) fn run_ladder<T>(
+    ladder: &[Escalation],
+    max_attempts: usize,
+    diag: &mut SolveDiagnostics,
+    mut solve_one: impl FnMut(Escalation, &mut SolveDiagnostics) -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    let n = ladder.len().min(max_attempts.max(1));
+    let mut last_err = None;
+    for (i, &esc) in ladder.iter().take(n).enumerate() {
+        let res = match fault::attempt_fault(fault::sites::RETRY_ATTEMPT, i) {
+            Some(e) => Err(e),
+            None => solve_one(esc, diag),
+        };
+        diag.record(
+            format!("retry[{i}]:{}", esc.label()),
+            res.as_ref().err().cloned(),
+        );
+        match res {
+            Ok(x) => return Ok(x),
+            Err(e) if is_retryable(&e) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| EngineError::BadConfig("retry ladder ran no attempts".into())))
+}
+
+/// DC operating point with retry/fallback escalation; returns the result
+/// together with the full attempt trail.
+///
+/// Uses fresh per-attempt solver workspaces so the backend-switch rung is
+/// exact; for session-cached solves see
+/// [`crate::session::Session::dc_operating_point_resilient`].
+pub fn dc_operating_point_resilient(
+    ckt: &Circuit,
+    opts: &DcOptions,
+    policy: &RetryPolicy,
+) -> (Result<Vec<f64>, EngineError>, SolveDiagnostics) {
+    let mut diag = SolveDiagnostics::new();
+    let ladder = dc_ladder(policy);
+    let mut cur = opts.clone();
+    let res = run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, diag| {
+        apply_dc(&mut cur, esc);
+        dc_operating_point_traced(ckt, &cur, None, diag)
+    });
+    (res, diag)
+}
+
+/// Transient analysis with retry/fallback escalation; returns the result
+/// together with the attempt trail.
+pub fn transient_resilient(
+    ckt: &Circuit,
+    opts: &TranOptions,
+    policy: &RetryPolicy,
+) -> (Result<TranResult, EngineError>, SolveDiagnostics) {
+    let mut diag = SolveDiagnostics::new();
+    let ladder = tran_ladder(policy);
+    let mut cur = opts.clone();
+    let res = run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, _diag| {
+        apply_tran(&mut cur, esc);
+        transient(ckt, &cur)
+    });
+    (res, diag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densify_inserts_geometric_midpoints() {
+        let d = densify_gmin(&[1e-3, 1e-5, 1e-7]);
+        assert_eq!(d.len(), 5);
+        assert!((d[1] - 1e-4).abs() < 1e-12);
+        assert!((d[3] - 1e-6).abs() < 1e-14);
+        assert_eq!(d[4], 1e-7);
+    }
+
+    #[test]
+    fn ladders_respect_policy_switches() {
+        let all = RetryPolicy::default();
+        assert_eq!(dc_ladder(&all).len(), 4);
+        assert_eq!(tran_ladder(&all).len(), 3);
+        let none = RetryPolicy::none();
+        assert_eq!(dc_ladder(&none), vec![Escalation::Initial]);
+        assert_eq!(tran_ladder(&none), vec![Escalation::Initial]);
+    }
+
+    #[test]
+    fn budget_errors_are_not_retryable() {
+        use crate::budget::{BudgetKind, BudgetProgress};
+        use std::time::Duration;
+        let e = EngineError::BudgetExceeded {
+            analysis: "dc".into(),
+            progress: BudgetProgress {
+                newton_iters: 1,
+                factorizations: 1,
+                elapsed: Duration::ZERO,
+                exhausted: BudgetKind::NewtonIters,
+            },
+        };
+        assert!(!is_retryable(&e));
+        assert!(is_retryable(&EngineError::NoConvergence {
+            analysis: "dc".into(),
+            detail: String::new(),
+        }));
+        assert!(is_retryable(&EngineError::Num(
+            tranvar_num::NumError::NonFinite { col: 0 }
+        )));
+        assert!(!is_retryable(&EngineError::BadConfig("x".into())));
+    }
+
+    #[test]
+    fn resilient_dc_succeeds_first_try_with_single_attempt_trail() {
+        use tranvar_circuit::{Circuit, NodeId, Waveform};
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+        ckt.add_resistor("R1", a, b, 1e3);
+        ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+        let (res, diag) =
+            dc_operating_point_resilient(&ckt, &DcOptions::default(), &RetryPolicy::default());
+        let x = res.unwrap();
+        assert!((ckt.voltage(&x, b) - 1.0).abs() < 1e-6);
+        assert_eq!(diag.stages(), vec!["dc:direct", "retry[0]:initial"]);
+        assert_eq!(diag.succeeded_stage(), Some("retry[0]:initial"));
+        assert_eq!(diag.retry_attempts(), 1);
+    }
+}

@@ -314,13 +314,19 @@ impl JacobianWorkspace {
         gmin: f64,
         n_node_unknowns: usize,
     ) -> Result<&FactoredJacobian, NumError> {
+        // Deterministic fault injection (no-op without the `fault-inject`
+        // feature): lets tests force a singular/non-finite factorization at
+        // an exact call ordinal.
+        if let Some(e) = crate::fault::numeric_fault(crate::fault::sites::FACTOR) {
+            return Err(e);
+        }
         match self.kind {
             SolverKind::Dense => {
                 if self.dense.as_ref().map(|d| d.rows()) != Some(asm.n) {
-                    self.dense = Some(DMat::zeros(asm.n, asm.n));
+                    self.dense = None;
                     self.stats.pattern_builds += 1;
                 }
-                let dense = self.dense.as_mut().expect("dense storage");
+                let dense = self.dense.get_or_insert_with(|| DMat::zeros(asm.n, asm.n));
                 fill_combined_dense(dense, asm, alpha_g, alpha_c, gmin, n_node_unknowns);
                 // When the values are unchanged the cached factorization is
                 // exact (the warm-started first Newton iteration of a step
@@ -346,7 +352,11 @@ impl JacobianWorkspace {
                 if rebuilt {
                     self.stats.pattern_builds += 1;
                 }
-                let csc = self.csc.as_ref().expect("staged csc");
+                let Some(csc) = self.csc.as_ref() else {
+                    return Err(NumError::Internal {
+                        what: "csc staging missing after stage_csc",
+                    });
+                };
                 let unchanged = !rebuilt && self.cached.is_some() && self.snapshot == csc.values();
                 if !unchanged {
                     self.snapshot.clear();
@@ -368,7 +378,9 @@ impl JacobianWorkspace {
                 }
             }
         }
-        Ok(self.cached.as_ref().expect("factorization cached"))
+        self.cached.as_ref().ok_or(NumError::Internal {
+            what: "factorization cache empty after factoring",
+        })
     }
 
     /// Factors the combined Jacobian into an *owned* value (for step

@@ -231,20 +231,19 @@ impl CycleWorkspace {
         x0: &[f64],
         t0: f64,
     ) -> &mut StepState {
-        let reusable = matches!(
-            &self.st,
-            Some(st) if st.jws.kind() == kind && st.r.len() == ckt.n_unknowns()
-        );
-        if reusable {
-            let st = self.st.as_mut().expect("step state");
-            st.reset(ckt, x0, t0);
-            st
-        } else {
-            if let Some(old) = &self.st {
-                self.retired = self.retired.merged(old.jws.stats());
+        let st = match self.st.take() {
+            Some(mut st) if st.jws.kind() == kind && st.r.len() == ckt.n_unknowns() => {
+                st.reset(ckt, x0, t0);
+                st
             }
-            self.st.insert(StepState::new(ckt, kind, x0, t0))
-        }
+            old => {
+                if let Some(old) = old {
+                    self.retired = self.retired.merged(old.jws.stats());
+                }
+                StepState::new(ckt, kind, x0, t0)
+            }
+        };
+        self.st.insert(st)
     }
 }
 
@@ -289,6 +288,7 @@ pub(crate) fn step(
     ckt.retime_sources(&mut st.asm_cur, t0, t1);
     let mut converged = false;
     for _ in 0..newton.max_iter {
+        newton.budget.begin_iteration("transient step")?;
         let asm1 = &st.asm_cur;
         // Residual r = (q1 − q0)/h + θ f1_aug + (1−θ) f0_aug.
         for i in 0..n {
@@ -300,10 +300,23 @@ pub(crate) fn step(
         // and skips the numeric work entirely when the values are unchanged
         // (the warm-started first iteration repeats the previous accepted
         // Jacobian).
+        newton.budget.count_factorization();
         let lu = st.jws.factor(asm1, theta, 1.0 / h, theta * gmin, n_node)?;
         lu.solve_into(&st.r, &mut st.delta, &mut st.scratch);
         vecops::scale(&mut st.delta, -1.0);
-        let dmax = vecops::norm_inf(&st.delta);
+        let mut dmax = vecops::norm_inf(&st.delta);
+        if crate::fault::poison_nan(crate::fault::sites::TRAN_UPDATE) {
+            dmax = f64::NAN;
+        }
+        // Non-finite guard, once per Newton iteration: a NaN/Inf update can
+        // never satisfy the `< vtol` check, so without this the loop would
+        // burn `max_iter` iterations and report a misleading NoConvergence.
+        if !dmax.is_finite() {
+            return Err(EngineError::NonFinite {
+                analysis: "transient step".into(),
+                detail: format!("update |dx|={dmax:.3e} at t={t1:.3e} (h={h:.3e})"),
+            });
+        }
         if dmax > newton.step_limit {
             let k = newton.step_limit / dmax;
             vecops::scale(&mut st.delta, k);
@@ -418,7 +431,7 @@ pub fn transient_with(
         None => dc_operating_point(
             ckt,
             &DcOptions {
-                newton: opts.newton,
+                newton: opts.newton.clone(),
                 ..DcOptions::default()
             },
         )?,

@@ -86,7 +86,7 @@ fn initial_state_and_sens(
         None => dc_operating_point(
             ckt,
             &DcOptions {
-                newton: opts.newton,
+                newton: opts.newton.clone(),
                 ..DcOptions::default()
             },
         )?,
@@ -373,7 +373,10 @@ pub fn transient_with_sensitivities_seq(
         );
         for k in 0..n_params {
             let w = param_step_rhs(ckt, k, x_cur, x_prev, h, theta)?;
-            let mut rhs = b.mat_vec(sens[k].last().expect("sensitivity history"));
+            let prev = sens[k].last().ok_or(tranvar_num::NumError::Internal {
+                what: "sensitivity history empty mid-propagation",
+            })?;
+            let mut rhs = b.mat_vec(prev);
             vecops::axpy(&mut rhs, -1.0, &w);
             sens[k].push(j.solve(&rhs));
         }

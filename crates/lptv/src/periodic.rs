@@ -24,7 +24,9 @@
 use crate::error::LptvError;
 use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_engine::sens::param_step_rhs;
-use tranvar_engine::{effective_threads_for_work, map_scoped, Session, MIN_WORK_PER_THREAD};
+use tranvar_engine::{
+    effective_threads_for_work, map_scoped, Session, SolveBudget, MIN_WORK_PER_THREAD,
+};
 use tranvar_num::dense::vecops;
 use tranvar_num::{DMat, Lu};
 use tranvar_pss::PssSolution;
@@ -33,7 +35,7 @@ use tranvar_pss::PssSolution;
 ///
 /// The default (`threads: 0`) chunks the parameters across all available
 /// cores.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LptvOptions {
     /// Worker threads for [`PeriodicSolver::all_param_responses`]: the
     /// mismatch parameters are split into contiguous chunks, one std scoped
@@ -42,6 +44,12 @@ pub struct LptvOptions {
     /// each parameter's arithmetic is independent of the partitioning
     /// (mirrors [`tranvar_engine::TranOptions::threads`]).
     pub threads: usize,
+    /// Cooperative solve budget checked once per periodic BVP pass (each
+    /// [`PeriodicSolver::solve_rhs`] call and each per-chunk batched
+    /// propagation). The LPTV passes reuse the PSS factorizations and never
+    /// factor, so only the wall-clock deadline can trip here; the default
+    /// unlimited budget adds a single `Option` test per pass.
+    pub budget: SolveBudget,
 }
 
 /// The periodic response of the circuit to a unit value of one quasi-DC
@@ -107,6 +115,7 @@ impl<'a> PeriodicSolver<'a> {
             sol,
             LptvOptions {
                 threads: session.threads(),
+                ..LptvOptions::default()
             },
         )
     }
@@ -194,6 +203,7 @@ impl<'a> PeriodicSolver<'a> {
     ///
     /// Returns [`LptvError::BadConfig`] on a length mismatch.
     pub fn solve_rhs(&self, w: &[Vec<f64>]) -> Result<PeriodicResponse, LptvError> {
+        self.opts.budget.checkpoint("lptv pass")?;
         let recs = &self.sol.records;
         if w.len() != recs.len() {
             return Err(LptvError::BadConfig(format!(
@@ -321,6 +331,7 @@ impl<'a> PeriodicSolver<'a> {
     /// with interleaved multi-RHS sweeps, writing each parameter's periodic
     /// response into its `out` slot.
     fn respond_chunk(&self, k0: usize, out: &mut [PeriodicResponse]) -> Result<(), LptvError> {
+        self.opts.budget.checkpoint("lptv pass")?;
         let recs = &self.sol.records;
         let n = self.ckt.n_unknowns();
         let p = out.len();
@@ -536,7 +547,11 @@ mod tests {
         opts.n_steps = 64;
         let sol = shooting_pss(&ckt, period, &opts).unwrap();
         for threads in [1usize, 2, 3, 8] {
-            let solver = PeriodicSolver::with_options(&ckt, &sol, LptvOptions { threads }).unwrap();
+            let opts = LptvOptions {
+                threads,
+                ..LptvOptions::default()
+            };
+            let solver = PeriodicSolver::with_options(&ckt, &sol, opts).unwrap();
             let batched = solver.all_param_responses().unwrap();
             let seq = solver.all_param_responses_seq().unwrap();
             assert_eq!(batched.len(), 3);

@@ -289,16 +289,25 @@ impl<T: Scalar> Lu<T> {
         let mut sign = 1.0;
         for k in 0..n {
             // Pivot: largest magnitude in column k at or below the diagonal.
+            // A NaN would lose every `>` comparison and hide behind a finite
+            // pivot, so finiteness is checked per candidate, not just on the
+            // winner.
             let mut p = k;
             let mut pmag = a[(k, k)].magnitude();
+            if !pmag.is_finite() {
+                return Err(NumError::NonFinite { col: k });
+            }
             for i in (k + 1)..n {
                 let m = a[(i, k)].magnitude();
+                if !m.is_finite() {
+                    return Err(NumError::NonFinite { col: k });
+                }
                 if m > pmag {
                     p = i;
                     pmag = m;
                 }
             }
-            if pmag == 0.0 || pmag.is_nan() {
+            if pmag == 0.0 {
                 return Err(NumError::Singular { col: k });
             }
             if p != k {
@@ -658,6 +667,23 @@ mod tests {
             Err(NumError::Singular { .. }) => {}
             other => panic!("expected singular error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn nan_entry_reports_non_finite_not_singular() {
+        // The NaN hides below a finite diagonal: a max-magnitude pivot scan
+        // that only inspects the winner would miss it.
+        let a = DMat::from_vec(2, 2, vec![1.0, 0.0, f64::NAN, 1.0]);
+        match a.lu() {
+            Err(NumError::NonFinite { col: 0 }) => {}
+            other => panic!("expected non-finite error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inf_entry_reports_non_finite() {
+        let a = DMat::from_vec(2, 2, vec![f64::INFINITY, 0.0, 0.0, 1.0]);
+        assert!(matches!(a.lu(), Err(NumError::NonFinite { col: 0 })));
     }
 
     #[test]

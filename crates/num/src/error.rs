@@ -12,6 +12,19 @@ pub enum NumError {
         /// Column at which elimination broke down.
         col: usize,
     },
+    /// A factorization encountered a NaN or infinite value.
+    ///
+    /// Distinct from [`NumError::Singular`]: a zero pivot means the matrix
+    /// (at its current values) has no usable pivot in that column, while a
+    /// non-finite entry means garbage — typically an overflowed or
+    /// ill-posed model evaluation — entered the kernel. Retry policies
+    /// treat the two differently: a singular system may be rescued by
+    /// regularization (gmin), whereas non-finite input needs the operands
+    /// themselves repaired.
+    NonFinite {
+        /// Column at which the first non-finite value was detected.
+        col: usize,
+    },
     /// A square-matrix operation was invoked on a non-square matrix.
     NotSquare {
         /// Row count of the offending matrix.
@@ -40,6 +53,14 @@ pub enum NumError {
     /// A numeric-only update was attempted on a matrix whose sparsity
     /// pattern differs from the one the structure was built for.
     PatternMismatch,
+    /// An internal workspace invariant was violated (e.g. staged storage or
+    /// a cached factorization missing where one must exist). Indicates a
+    /// kernel bug, surfaced as a typed error instead of a panic so solve
+    /// pipelines can isolate and report it.
+    Internal {
+        /// The violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for NumError {
@@ -47,6 +68,9 @@ impl fmt::Display for NumError {
         match self {
             NumError::Singular { col } => {
                 write!(f, "matrix is singular (zero pivot at column {col})")
+            }
+            NumError::NonFinite { col } => {
+                write!(f, "matrix contains a non-finite value (column {col})")
             }
             NumError::NotSquare { rows, cols } => {
                 write!(f, "matrix is not square ({rows}x{cols})")
@@ -63,6 +87,9 @@ impl fmt::Display for NumError {
             NumError::PatternMismatch => {
                 write!(f, "sparsity pattern differs from the analyzed structure")
             }
+            NumError::Internal { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
         }
     }
 }
@@ -77,6 +104,7 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errs = [
             NumError::Singular { col: 3 },
+            NumError::NonFinite { col: 3 },
             NumError::NotSquare { rows: 2, cols: 3 },
             NumError::NotPositiveDefinite { index: 1 },
             NumError::FftLength { len: 12 },
@@ -84,6 +112,8 @@ mod tests {
                 expected: 4,
                 actual: 5,
             },
+            NumError::PatternMismatch,
+            NumError::Internal { what: "test" },
         ];
         for e in errs {
             let s = e.to_string();

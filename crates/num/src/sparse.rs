@@ -515,15 +515,24 @@ impl<T: Scalar> SparseLu<T> {
                 Some(order) => {
                     let prow = order[col];
                     let pmag = work[prow].magnitude();
-                    if pmag == 0.0 || pmag.is_nan() {
+                    if !pmag.is_finite() {
+                        return Err(NumError::NonFinite { col });
+                    }
+                    if pmag == 0.0 {
                         return Err(NumError::Singular { col });
                     }
                     // Guard against a stale pivot order that has become
-                    // numerically poor on the new values.
+                    // numerically poor on the new values. A non-finite
+                    // value anywhere among the candidate rows is reported
+                    // as such, not folded into "singular".
                     let mut colmax = 0.0f64;
                     for &r in touched.iter() {
                         if pinv[r] == usize::MAX {
-                            colmax = colmax.max(work[r].magnitude());
+                            let m = work[r].magnitude();
+                            if !m.is_finite() {
+                                return Err(NumError::NonFinite { col });
+                            }
+                            colmax = colmax.max(m);
                         }
                     }
                     if pmag < REFACTOR_PIVOT_RTOL * colmax {
@@ -539,6 +548,9 @@ impl<T: Scalar> SparseLu<T> {
                             continue;
                         }
                         let m = work[r].magnitude();
+                        if !m.is_finite() {
+                            return Err(NumError::NonFinite { col });
+                        }
                         if m > pmag {
                             pmag = m;
                             prow = r;
@@ -551,6 +563,9 @@ impl<T: Scalar> SparseLu<T> {
                         for r in 0..n {
                             if pinv[r] == usize::MAX {
                                 let m = work[r].magnitude();
+                                if !m.is_finite() {
+                                    return Err(NumError::NonFinite { col });
+                                }
                                 if m > pmag {
                                     pmag = m;
                                     prow = r;
@@ -558,7 +573,7 @@ impl<T: Scalar> SparseLu<T> {
                             }
                         }
                     }
-                    if prow == usize::MAX || pmag == 0.0 || pmag.is_nan() {
+                    if prow == usize::MAX || pmag == 0.0 {
                         return Err(NumError::Singular { col });
                     }
                     prow
@@ -897,6 +912,41 @@ mod tests {
         t.push(1, 0, 1.0);
         // column 1 empty -> singular
         assert!(matches!(t.to_csc().lu(), Err(NumError::Singular { .. })));
+    }
+
+    #[test]
+    fn nan_value_detected_as_non_finite() {
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 0, f64::NAN);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 1.0);
+        assert!(matches!(
+            t.to_csc().lu(),
+            Err(NumError::NonFinite { col: 0 })
+        ));
+    }
+
+    #[test]
+    fn refactor_with_nan_reports_non_finite() {
+        // Factor a healthy matrix, then refactor (fixed pivot replay) with a
+        // NaN in the same sparsity pattern: the replay branch must report
+        // NonFinite, not Singular.
+        let mut t = Triplets::<f64>::new(2, 2);
+        t.push(0, 0, 4.0);
+        t.push(0, 1, 1.0);
+        t.push(1, 0, 1.0);
+        t.push(1, 1, 3.0);
+        let mut lu = t.to_csc().lu().unwrap();
+        let mut t2 = Triplets::<f64>::new(2, 2);
+        t2.push(0, 0, f64::NAN);
+        t2.push(0, 1, 1.0);
+        t2.push(1, 0, 1.0);
+        t2.push(1, 1, 3.0);
+        assert!(matches!(
+            lu.refactor(&t2.to_csc()),
+            Err(NumError::NonFinite { .. })
+        ));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! reuses the records and `∂Φ/∂T` stored here).
 
 use crate::error::PssError;
+use crate::shooting::last_state;
 use crate::shooting::{check_periodicity, finish, monodromy_threaded, PssOptions, PssSolution};
 use tranvar_circuit::{Circuit, NodeId};
 use tranvar_engine::dc::DcOptions;
@@ -72,12 +73,12 @@ fn warm_up(
 ) -> Result<Warmup, PssError> {
     let newton = NewtonOptions {
         solver: session.solver(),
-        ..opts.pss.newton
+        ..opts.pss.newton.clone()
     };
     let mut x0 = session.dc_operating_point(
         ckt,
         &DcOptions {
-            newton,
+            newton: newton.clone(),
             ..DcOptions::default()
         },
     )?;
@@ -164,7 +165,7 @@ pub fn autonomous_pss_in(
         .ok_or_else(|| PssError::BadConfig("phase node cannot be ground".into()))?;
     let newton = NewtonOptions {
         solver: session.solver(),
-        ..opts.pss.newton
+        ..opts.pss.newton.clone()
     };
     let threads = session.effective_threads(opts.pss.threads);
 
@@ -181,6 +182,9 @@ pub fn autonomous_pss_in(
     let ws = session.cycle_workspace();
     let mut last_residual = f64::INFINITY;
     for _iter in 0..opts.pss.max_iter {
+        // One bordered-Newton round per iteration, charged to the shared
+        // budget alongside its two inner cycle integrations.
+        newton.budget.begin_iteration("autonomous shooting")?;
         let cyc = integrate_cycle_with(
             ckt,
             ws,
@@ -193,7 +197,7 @@ pub fn autonomous_pss_in(
             opts.pss.gmin,
             true,
         )?;
-        let x_end = cyc.states.last().expect("cycle states").clone();
+        let x_end = last_state(&cyc)?.clone();
         let r = vecops::sub(&x_end, &x0);
         let phase_res = x0[pi] - v_pin;
         last_residual = vecops::norm_inf(&r).max(phase_res.abs());
@@ -213,7 +217,7 @@ pub fn autonomous_pss_in(
             opts.pss.gmin,
             false,
         )?;
-        let x_end2 = cyc2.states.last().expect("cycle states");
+        let x_end2 = last_state(&cyc2)?;
         let dphi_dt: Vec<f64> = x_end2
             .iter()
             .zip(x_end.iter())

@@ -20,7 +20,16 @@ use tranvar_engine::{
     MIN_WORK_PER_THREAD,
 };
 use tranvar_num::dense::vecops;
-use tranvar_num::DMat;
+use tranvar_num::{DMat, NumError};
+
+/// Last state of an integrated cycle, as a typed error instead of a panic
+/// when the cycle is empty (`n_steps == 0` should be rejected upstream, but
+/// a kernel bug must not take down a whole campaign worker).
+pub(crate) fn last_state(cyc: &CycleResult) -> Result<&Vec<f64>, PssError> {
+    cyc.states.last().ok_or(PssError::Num(NumError::Internal {
+        what: "cycle integration produced no states",
+    }))
+}
 
 /// PSS analysis controls.
 #[derive(Clone, Debug, PartialEq)]
@@ -255,7 +264,7 @@ pub fn shooting_pss_in(
     let n = ckt.n_unknowns();
     let newton = NewtonOptions {
         solver: session.solver(),
-        ..opts.newton
+        ..opts.newton.clone()
     };
     let threads = session.effective_threads(opts.threads);
 
@@ -263,7 +272,7 @@ pub fn shooting_pss_in(
     let mut x0 = session.dc_operating_point(
         ckt,
         &DcOptions {
-            newton,
+            newton: newton.clone(),
             ..DcOptions::default()
         },
     )?;
@@ -286,11 +295,14 @@ pub fn shooting_pss_in(
             opts.gmin,
             false,
         )?;
-        x0 = cyc.states.last().expect("cycle states").clone();
+        x0 = last_state(&cyc)?.clone();
     }
 
     let mut last_residual = f64::INFINITY;
     for _iter in 0..opts.max_iter {
+        // The shooting loop is itself a Newton iteration on the cycle map;
+        // charge it to the same budget its inner integrations draw from.
+        newton.budget.begin_iteration("pss shooting")?;
         let cyc = integrate_cycle_with(
             ckt,
             ws,
@@ -303,7 +315,7 @@ pub fn shooting_pss_in(
             opts.gmin,
             true,
         )?;
-        let x_end = cyc.states.last().expect("cycle states").clone();
+        let x_end = last_state(&cyc)?.clone();
         let r = vecops::sub(&x_end, &x0);
         last_residual = vecops::norm_inf(&r);
         let m = monodromy_threaded(&cyc.records, n, threads);

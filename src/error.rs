@@ -8,6 +8,34 @@
 //! application code can therefore keep errors fully typed end-to-end —
 //! matching on a `NoConvergence` at one corner of a scenario grid instead
 //! of grepping a stringified message.
+//!
+//! ## Failure taxonomy for fault-tolerant callers
+//!
+//! The variants a resilient caller (a retry loop, a serving layer, a
+//! campaign consumer) should distinguish:
+//!
+//! - [`EngineError::BudgetExceeded`] — a cooperative
+//!   [`tranvar_engine::SolveBudget`] limit (Newton iterations,
+//!   factorizations, or deadline) tripped mid-solve, with progress
+//!   diagnostics attached. *Not retryable*: retrying re-spends a budget
+//!   that is already gone; raise the budget or reject the request.
+//! - [`EngineError::NonFinite`] / [`NumError::NonFinite`] — NaN or Inf
+//!   entered a residual, update, or factorization. Distinct from
+//!   [`NumError::Singular`] (a structurally/numerically zero pivot):
+//!   singularity can often be rescued by gmin regularization or a
+//!   different homotopy path, non-finite operands mean the model
+//!   evaluation itself produced garbage.
+//! - [`CoreError::Panic`] — a campaign worker panicked; the panic was
+//!   caught, the worker session retired, and the message preserved. The
+//!   affected scenarios fail typed, the rest of the campaign completes.
+//! - [`NumError::Internal`] — a kernel workspace invariant was violated
+//!   (a bug surfaced as a typed error rather than a panic in library
+//!   code).
+//!
+//! [`tranvar_engine::is_retryable`] encodes which engine errors the
+//! [`tranvar_engine::RetryPolicy`] escalation ladder will re-attempt, and
+//! [`tranvar_engine::SolveDiagnostics`] records the attempt trail of every
+//! rescued (or abandoned) solve.
 
 use std::error::Error;
 use std::fmt;

@@ -108,6 +108,44 @@
 //! Errors stay typed end-to-end: [`TranvarError`] unions every layer's
 //! error with `From` impls, so campaign outcomes can be matched on rather
 //! than stringified.
+//!
+//! ## Fault tolerance
+//!
+//! A long-running service cannot let one pathological circuit spin, blow
+//! up, or take a worker down. The solve pipeline is guarded at four levels:
+//!
+//! - **Budgets** — [`engine::SolveBudget`] (from [`engine::BudgetLimits`]:
+//!   max Newton iterations, max factorizations, wall-clock deadline) is a
+//!   cooperative meter shared by every nested stage of a solve — DC
+//!   homotopy, transient steps, PSS shooting rounds, LPTV passes.
+//!   Exhaustion returns [`engine::EngineError::BudgetExceeded`] with the
+//!   tripped limit and progress so far. The default is unlimited and
+//!   costs a few atomic reads per Newton iteration.
+//! - **Non-finite guards** — NaN/Inf in residuals, updates, or LU pivots
+//!   fail fast as [`engine::EngineError::NonFinite`] /
+//!   [`num::NumError::NonFinite`], deliberately distinct from
+//!   [`num::NumError::Singular`]: a zero pivot may be rescued by gmin
+//!   regularization, garbage operands need the model repaired.
+//! - **Retry escalation** — [`engine::RetryPolicy`] re-attempts retryable
+//!   failures ([`engine::is_retryable`]) up a bounded ladder: denser gmin
+//!   schedule, more source steps, halved timestep, the other
+//!   [`engine::SolverKind`]. Every attempt (and every homotopy stage) is
+//!   recorded in [`engine::SolveDiagnostics`], so callers see exactly
+//!   which path rescued a solve. The default policy is
+//!   [`engine::RetryPolicy::none`] — results stay bit-identical unless
+//!   you opt in (e.g. [`core::Campaign::with_retry`]).
+//! - **Panic isolation** — [`core::Campaign`] catches worker panics,
+//!   reports them as typed [`core::CoreError::Panic`] outcomes for the
+//!   affected scenarios, retires the poisoned session, and keeps the
+//!   rest of the campaign running; aggregates over zero successes are
+//!   well-defined rather than NaN.
+//!
+//! All of it is testable deterministically: the `fault-inject` cargo
+//! feature enables `engine::fault`, which forces singular/non-finite
+//! factorizations at call *k*, poisons residuals, fails chosen homotopy
+//! stages or retry rungs, panics at scenario *i*, and mocks the deadline
+//! clock. With the feature off (the default) the hooks compile to inlined
+//! no-ops.
 
 #![warn(missing_docs)]
 

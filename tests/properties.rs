@@ -374,7 +374,15 @@ fn lptv_param_responses_are_bit_identical_for_any_thread_count() {
             .all_param_responses_seq()
             .unwrap();
         for threads in [1usize, 2, 8] {
-            let solver = PeriodicSolver::with_options(&ckt, &sol, LptvOptions { threads }).unwrap();
+            let solver = PeriodicSolver::with_options(
+                &ckt,
+                &sol,
+                LptvOptions {
+                    threads,
+                    ..LptvOptions::default()
+                },
+            )
+            .unwrap();
             let batched = solver.all_param_responses().unwrap();
             assert_eq!(batched.len(), seq.len());
             for (k, (b, s)) in batched.iter().zip(seq.iter()).enumerate() {
