@@ -1,0 +1,171 @@
+//! Adaptive-vs-fixed transient bench: LTE step control against the
+//! fixed-grid reference on a stiff pulse-driven RC ladder, at equal
+//! accuracy.
+//!
+//! The ladder mixes a ~2 ns and a ~50 ns time constant under a 1 ns pulse
+//! edge, so a fixed grid fine enough to resolve the edges wastes thousands
+//! of steps on the quiet plateaus; the adaptive controller lands on the
+//! waveform corners and coasts at `h_max` in between. The gated `speedup`
+//! figure is the **accepted-step ratio** (fixed steps / adaptive steps) —
+//! a deterministic count, stable across CI machines — with the wall-clock
+//! ratio recorded alongside (`wall_clock_ratio`, ungated). Equal accuracy
+//! means the two final states agree within `10 × reltol` (scaled by the
+//! state magnitude, plus the absolute floor): `max_abs_diff` reports the
+//! band *excess* `max(0, error − band)`, which the gate requires to be
+//! exactly zero.
+//!
+//! Emits `BENCH_tran_adaptive.json` at the workspace root, wired into the
+//! `compare_bench` CI regression gate like the other bench JSONs.
+
+use std::io::Write;
+use tranvar_bench::{bench_times, fmt_time, median};
+use tranvar_circuit::{Circuit, NodeId, Pulse, Waveform};
+use tranvar_engine::tran::{transient, AdaptiveOptions, Integrator, TranOptions};
+
+/// A pulse-driven RC ladder with widely separated stage time constants:
+/// stiff enough that edge resolution, not plateau accuracy, sets the fixed
+/// grid.
+fn stiff_ladder() -> Circuit {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("in");
+    ckt.add_vsource(
+        "V1",
+        top,
+        NodeId::GROUND,
+        Waveform::Pulse(Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1e-7,
+            rise: 1e-9,
+            fall: 1e-9,
+            width: 4e-7,
+            period: 1e-6,
+        }),
+    );
+    let mut prev = top;
+    // Stage time constants: 2 ns, 5 ns, 20 ns, 50 ns.
+    for (i, c) in [2e-12, 5e-12, 2e-11, 5e-11].into_iter().enumerate() {
+        let next = ckt.node(&format!("n{i}"));
+        ckt.add_resistor(&format!("R{i}"), prev, next, 1e3);
+        ckt.add_capacitor(&format!("C{i}"), next, NodeId::GROUND, c);
+        prev = next;
+    }
+    ckt
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (min_iters, min_time) = if quick { (3, 0.5) } else { (5, 2.0) };
+
+    let ckt = stiff_ladder();
+    let t_stop = 1e-6;
+    // The fixed grid is sized by the 1 ns pulse edges (4 samples per edge),
+    // not by the plateaus — that is exactly the cost adaptivity removes.
+    let dt = 0.25e-9;
+    let reltol = 1e-5;
+    let abstol = 1e-8;
+
+    let mut fixed = TranOptions::new(t_stop, dt);
+    fixed.method = Integrator::Trapezoidal;
+    let fres = transient(&ckt, &fixed).unwrap();
+
+    let a = AdaptiveOptions {
+        reltol,
+        abstol,
+        ..AdaptiveOptions::default()
+    };
+    let mut adap = TranOptions::adaptive(t_stop, dt, a);
+    adap.method = Integrator::Trapezoidal;
+    let ares = transient(&ckt, &adap).unwrap();
+
+    // Correctness gate: final states agree within the 10×reltol band; the
+    // emitted figure is the band excess, required to be exactly 0. The band
+    // is scaled by the trajectory's inf-norm (the signal swing the
+    // controller weighted its per-step errors against), not the final
+    // sample — the run ends on a settled-to-zero plateau.
+    let xf = fres.last();
+    let xa = ares.last();
+    let scale = fres
+        .states
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, v| m.max(v.abs()));
+    let band = 10.0 * (reltol * scale + abstol);
+    let err = xf
+        .iter()
+        .zip(xa.iter())
+        .fold(0.0f64, |m, (u, v)| m.max((u - v).abs()));
+    let max_abs_diff = (err - band).max(0.0);
+    assert!(
+        max_abs_diff == 0.0,
+        "adaptive final state off by {err:.3e}, outside the {band:.3e} band"
+    );
+
+    let fixed_steps = fres.times.len() - 1;
+    let adaptive_steps = ares.times.len() - 1;
+    let step_ratio = fixed_steps as f64 / adaptive_steps as f64;
+    assert!(
+        step_ratio >= 5.0,
+        "adaptive used {adaptive_steps} steps vs fixed {fixed_steps}: ratio \
+         {step_ratio:.2}x below the 5x floor"
+    );
+
+    let fixed_times = bench_times(min_iters, min_time, || {
+        transient(&ckt, &fixed).unwrap();
+    });
+    let adaptive_times = bench_times(min_iters, min_time, || {
+        transient(&ckt, &adap).unwrap();
+    });
+    let fixed_median = median(&fixed_times);
+    let adaptive_median = median(&adaptive_times);
+    let wall_ratio = fixed_median / adaptive_median;
+
+    println!(
+        "tran/fixed     {:>12}   ({} iters, {} steps)",
+        fmt_time(fixed_median),
+        fixed_times.len(),
+        fixed_steps
+    );
+    println!(
+        "tran/adaptive  {:>12}   ({} iters, {} steps)",
+        fmt_time(adaptive_median),
+        adaptive_times.len(),
+        adaptive_steps
+    );
+    println!("tran/steps     {step_ratio:>11.2}x   (wall {wall_ratio:.2}x, err {err:.2e} in band {band:.2e})");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"tran_adaptive\",\n",
+            "  \"circuit\": \"stiff_rc_ladder_4stage\",\n",
+            "  \"reltol\": {:.1e},\n",
+            "  \"abstol\": {:.1e},\n",
+            "  \"fixed_steps\": {},\n",
+            "  \"adaptive_steps\": {},\n",
+            "  \"fixed_median_s\": {:.6e},\n",
+            "  \"adaptive_median_s\": {:.6e},\n",
+            "  \"wall_clock_ratio\": {:.3},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"max_abs_diff\": {:.3e}\n",
+            "}}\n"
+        ),
+        reltol,
+        abstol,
+        fixed_steps,
+        adaptive_steps,
+        fixed_median,
+        adaptive_median,
+        wall_ratio,
+        step_ratio,
+        max_abs_diff
+    );
+    let out_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_tran_adaptive.json"
+    );
+    std::fs::File::create(out_path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .expect("write BENCH_tran_adaptive.json");
+    println!("wrote {out_path}");
+}

@@ -429,6 +429,25 @@ impl Circuit {
         &self.devices
     }
 
+    /// Sorted, deduplicated derivative discontinuities of every independent
+    /// source waveform inside the open interval `(t0, t1)` — the times an
+    /// adaptive transient integrator must land a step on exactly (see
+    /// [`Waveform::breakpoints_in`]).
+    pub fn source_breakpoints(&self, t0: f64, t1: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for d in &self.devices {
+            match d {
+                Device::Vsource { wave, .. } | Device::Isource { wave, .. } => {
+                    wave.breakpoints_in(t0, t1, &mut out);
+                }
+                _ => {}
+            }
+        }
+        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.dedup();
+        out
+    }
+
     /// Device by id.
     pub fn device(&self, id: DeviceId) -> &Device {
         &self.devices[id.0]

@@ -120,6 +120,56 @@ impl Waveform {
         self.value(0.0)
     }
 
+    /// Appends every derivative discontinuity ("breakpoint") of the
+    /// waveform inside the open interval `(t0, t1)` to `out`.
+    ///
+    /// Adaptive transient integration lands steps exactly on these corners:
+    /// a step that *straddles* a corner has an `O(1)` local error no matter
+    /// how small it is, so an LTE controller without breakpoints shrinks
+    /// toward `h_min` before every pulse edge instead of stepping onto it.
+    /// Smooth waveforms (DC, sinusoid) contribute none.
+    pub fn breakpoints_in(&self, t0: f64, t1: f64, out: &mut Vec<f64>) {
+        match self {
+            Waveform::Dc(_) | Waveform::Sin { .. } => {}
+            Waveform::Pulse(p) => {
+                let rise = p.rise.max(1e-15);
+                let fall = p.fall.max(1e-15);
+                let corners = [
+                    p.delay,
+                    p.delay + rise,
+                    p.delay + rise + p.width,
+                    p.delay + rise + p.width + fall,
+                ];
+                if p.period > 0.0 {
+                    let k0 = (t0 / p.period).floor() as i64;
+                    let k1 = (t1 / p.period).ceil() as i64;
+                    for k in k0..=k1 {
+                        let base = k as f64 * p.period;
+                        for c in corners {
+                            let t = base + c;
+                            if t > t0 && t < t1 {
+                                out.push(t);
+                            }
+                        }
+                    }
+                } else {
+                    for c in corners {
+                        if c > t0 && c < t1 {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+            Waveform::Pwl(points) => {
+                for &(t, _) in points {
+                    if t > t0 && t < t1 {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+
     /// Intrinsic period, if the waveform is periodic (`None` for DC/PWL;
     /// DC sources are compatible with *any* analysis period).
     pub fn period(&self) -> Option<f64> {

@@ -20,6 +20,41 @@
 //! let mut opts = tranvar_engine::DcOptions::default();
 //! opts.newton.budget = budget;
 //! ```
+//!
+//! # Worked example: a budget tripping mid-transient
+//!
+//! A 1000-step transient of an RC needs at least one Newton iteration per
+//! step, so a 20-iteration budget trips early — with a
+//! [`BudgetProgress`] report saying how far the solve got and which limit
+//! was exhausted:
+//!
+//! ```
+//! use tranvar_circuit::{Circuit, NodeId, Waveform};
+//! use tranvar_engine::budget::{BudgetKind, BudgetLimits, SolveBudget};
+//! use tranvar_engine::tran::{transient, TranOptions};
+//! use tranvar_engine::EngineError;
+//!
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! let b = ckt.node("b");
+//! ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+//! ckt.add_resistor("R1", a, b, 1e3);
+//! ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+//!
+//! let mut opts = TranOptions::new(1e-6, 1e-9); // 1000 steps
+//! opts.newton.budget = SolveBudget::new(BudgetLimits::default().max_newton_iters(20));
+//! match transient(&ckt, &opts) {
+//!     Err(EngineError::BudgetExceeded { progress, .. }) => {
+//!         assert_eq!(progress.exhausted, BudgetKind::NewtonIters);
+//!         assert!(progress.newton_iters > 20);
+//!     }
+//!     other => panic!("expected a tripped budget, got {other:?}"),
+//! }
+//! ```
+//!
+//! The same `SolveBudget` handle can be cloned into every stage of a
+//! pipeline (DC seed, transient warm-up, PSS shooting, LPTV passes); the
+//! counters are shared, so the *pipeline*, not each stage, is bounded.
 
 use crate::error::EngineError;
 use std::fmt;

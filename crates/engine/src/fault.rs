@@ -29,6 +29,37 @@
 //! index (attempt number, scenario ordinal) matches. A plan also carries an
 //! optional mock clock consulted by [`crate::budget::SolveBudget`] deadline
 //! checks, so deadline tests never sleep.
+//!
+//! # Worked example: forcing the retry ladder to climb
+//!
+//! With `fault-inject` enabled, an armed [`sites::RETRY_ATTEMPT`] makes
+//! attempt 0 of a [`crate::retry`] solve fail with a synthetic
+//! `NoConvergence`, so the ladder *must* climb to its first real rung —
+//! deterministically, on a circuit that would otherwise solve first try
+//! (the doctest body compiles away without the feature):
+//!
+//! ```
+//! # #[cfg(feature = "fault-inject")] fn main() {
+//! use tranvar_circuit::{Circuit, NodeId, Waveform};
+//! use tranvar_engine::dc::DcOptions;
+//! use tranvar_engine::fault::{sites, FaultAction, FaultPlan};
+//! use tranvar_engine::retry::{dc_operating_point_resilient, RetryPolicy};
+//!
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+//! ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+//!
+//! let _guard = FaultPlan::new()
+//!     .fail(sites::RETRY_ATTEMPT, 0, FaultAction::NoConverge)
+//!     .install();
+//! let (res, diag) =
+//!     dc_operating_point_resilient(&ckt, &DcOptions::default(), &RetryPolicy::default());
+//! assert!(res.is_ok());
+//! assert_eq!(diag.succeeded_stage(), Some("retry[1]:denser-gmin"));
+//! # }
+//! # #[cfg(not(feature = "fault-inject"))] fn main() {}
+//! ```
 
 /// Site names for the injectable failure points.
 ///
@@ -42,6 +73,10 @@ pub mod sites {
     pub const DC_RESIDUAL: &str = "engine::dc::residual";
     /// Counted: the update-norm check in each transient Newton iteration.
     pub const TRAN_UPDATE: &str = "engine::tran::update";
+    /// Counted: the LTE error-norm evaluation of each adaptive-step verdict
+    /// (poisoning it forces a rejection, so a range of hits simulates a
+    /// rejected-step storm).
+    pub const TRAN_LTE: &str = "engine::tran::lte";
     /// Indexed: one per DC homotopy stage solve (direct, gmin walk entries,
     /// source steps), in attempt order.
     pub const DC_STAGE: &str = "engine::dc::stage";

@@ -4,8 +4,9 @@
 //! the paper assumes as its substrate.
 //!
 //! - [`dc`]: operating point via damped Newton with gmin/source stepping,
-//! - [`tran`]: fixed-step BE/trapezoidal transient, plus the one-period
-//!   integrator with per-step factorization records reused by PSS and LPTV,
+//! - [`tran`]: BE/trapezoidal transient on a fixed or LTE-controlled
+//!   adaptive grid ([`tran::StepControl`]), plus the one-period integrator
+//!   with per-step factorization records reused by PSS and LPTV,
 //! - [`ac`]: small-signal analysis (the LTI limit the LPTV solver must
 //!   reduce to),
 //! - [`sens`]: DC sensitivities (`.SENS`, paper refs. \[20\],\[26\]) and the
@@ -56,7 +57,8 @@ pub use retry::{is_retryable, Attempt, Escalation, RetryPolicy, SolveDiagnostics
 pub use session::{Session, SessionOptions, SessionStats};
 pub use solver::{FactoredJacobian, SolverKind, SolverStats};
 pub use tran::{
-    integrate_cycle, integrate_cycle_with, transient, transient_with, CycleResult, CycleWorkspace,
-    Integrator, StepRecord, TranOptions, TranResult,
+    integrate_cycle, integrate_cycle_adaptive_with, integrate_cycle_with, transient,
+    transient_with, AdaptiveOptions, CycleResult, CycleWorkspace, Integrator, StepControl,
+    StepRecord, TranOptions, TranResult,
 };
 pub use transens::{effective_threads, effective_threads_for_work, MIN_WORK_PER_THREAD};

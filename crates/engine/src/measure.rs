@@ -92,12 +92,25 @@ pub fn average_frequency(
 
 /// Mean value of a node over the trailing `fraction` of the run (settled-DC
 /// readout, e.g. the comparator testbench's offset node).
+///
+/// On a uniform grid the window is the trailing fraction of *samples* and
+/// the mean is arithmetic — bit-identical to the historical fixed-step
+/// behaviour. On an adaptive (non-uniform) grid the window is the trailing
+/// fraction of *time* and the mean is time-weighted, so densely stepped
+/// regions are not over-counted.
 pub fn settled_mean(ckt: &Circuit, res: &TranResult, node: NodeId, fraction: f64) -> f64 {
     let w = res.node_waveform(ckt, node);
     let n = w.len();
-    let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
-    let tail = &w[start.min(n - 1)..];
-    tail.iter().sum::<f64>() / tail.len() as f64
+    if tranvar_num::interp::is_uniform_grid(&res.times, 1e-9) {
+        let start = ((1.0 - fraction.clamp(0.0, 1.0)) * n as f64) as usize;
+        let tail = &w[start.min(n - 1)..];
+        return tail.iter().sum::<f64>() / tail.len() as f64;
+    }
+    let t_end = res.times[n - 1];
+    let span = t_end - res.times[0];
+    let t_from = t_end - fraction.clamp(0.0, 1.0) * span;
+    let start = res.times.partition_point(|&t| t < t_from).min(n - 1);
+    tranvar_num::interp::time_weighted_mean(&res.times[start..], &w[start..])
 }
 
 #[cfg(test)]
@@ -151,6 +164,32 @@ mod tests {
         // Tail of the run: input back at 0, output discharged.
         let m = settled_mean(&ckt, &res, b, 0.1);
         assert!(m.abs() < 1e-2, "tail mean {m}");
+    }
+
+    #[test]
+    fn settled_mean_on_adaptive_grid() {
+        // Same pulsed RC measured on the LTE-controlled grid: the tail mean
+        // must agree with the fixed-grid value even though the tail holds
+        // far fewer (and unevenly spaced) samples.
+        let (ckt, b, res) = pulsed_rc();
+        let fixed = settled_mean(&ckt, &res, b, 0.1);
+        let mut opts = TranOptions::adaptive(
+            20e-6,
+            5e-9,
+            crate::tran::AdaptiveOptions {
+                reltol: 1e-5,
+                abstol: 1e-8,
+                ..Default::default()
+            },
+        );
+        opts.x0 = Some(vec![0.0; ckt.n_unknowns()]);
+        let ares = transient(&ckt, &opts).unwrap();
+        assert!(!tranvar_num::interp::is_uniform_grid(&ares.times, 1e-9));
+        let adaptive = settled_mean(&ckt, &ares, b, 0.1);
+        assert!(
+            (adaptive - fixed).abs() < 1e-3,
+            "adaptive {adaptive} vs fixed {fixed}"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //! 1. **denser gmin schedule** — geometric midpoints inserted between the
 //!    configured gmin steps (DC),
 //! 2. **more source steps** — 4× the source-stepping resolution (DC),
-//! 3. **halved timestep** (transient),
+//! 3. **halved timestep** (transient) — under
+//!    [`StepControl::Adaptive`](crate::tran::StepControl) this rung also
+//!    tightens `reltol`/`abstol` 10×, since the LTE controller, not `dt`,
+//!    owns the accepted step sizes there,
 //! 4. **the other [`SolverKind`] backend** — a pivot order that breaks down
 //!    in one elimination scheme may survive the other.
 //!
@@ -22,6 +25,33 @@
 //! Every attempt — including the homotopy stages inside a DC attempt — is
 //! recorded in a [`SolveDiagnostics`] trail, so a campaign report can say
 //! not just *that* a corner needed rescue but *which* rung rescued it.
+//!
+//! # Worked example
+//!
+//! ```
+//! use tranvar_circuit::{Circuit, NodeId, Waveform};
+//! use tranvar_engine::dc::DcOptions;
+//! use tranvar_engine::retry::{dc_operating_point_resilient, RetryPolicy};
+//!
+//! let mut ckt = Circuit::new();
+//! let a = ckt.node("a");
+//! let b = ckt.node("b");
+//! ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+//! ckt.add_resistor("R1", a, b, 1e3);
+//! ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+//!
+//! let (res, diag) =
+//!     dc_operating_point_resilient(&ckt, &DcOptions::default(), &RetryPolicy::default());
+//! let x = res.unwrap();
+//! assert!((ckt.voltage(&x, b) - 1.0).abs() < 1e-6);
+//! // A healthy solve needs no escalation; the trail still records the
+//! // homotopy stage and the rung that succeeded.
+//! assert_eq!(diag.stages(), vec!["dc:direct", "retry[0]:initial"]);
+//! assert_eq!(diag.succeeded_stage(), Some("retry[0]:initial"));
+//! ```
+//!
+//! Forcing the ladder to actually climb requires a failure on attempt 0 —
+//! see [`crate::fault`] for the deterministic way to inject one.
 
 use crate::dc::{dc_operating_point_traced, DcOptions};
 use crate::error::EngineError;
@@ -81,7 +111,9 @@ pub enum Escalation {
     /// 4× source-stepping resolution.
     MoreSourceSteps,
     /// Halved integration timestep (doubled step count for periodic
-    /// solves).
+    /// solves). On an adaptive-step transient the initial `dt` is halved
+    /// *and* the LTE tolerances are tightened 10×, so the rung still forces
+    /// a genuinely more conservative integration.
     HalveTimestep,
     /// The other linear-solver backend.
     SwitchBackend,
@@ -234,9 +266,18 @@ pub(crate) fn apply_dc(opts: &mut DcOptions, esc: Escalation) {
 
 /// Applies one rung (cumulatively) to transient options.
 pub(crate) fn apply_tran(opts: &mut TranOptions, esc: Escalation) {
+    use crate::tran::StepControl;
     match esc {
         Escalation::Initial | Escalation::DenserGmin | Escalation::MoreSourceSteps => {}
-        Escalation::HalveTimestep => opts.dt /= 2.0,
+        Escalation::HalveTimestep => {
+            opts.dt /= 2.0;
+            // In adaptive mode dt only seeds the first step — the retry
+            // must reach the LTE controller to change the accepted grid.
+            if let StepControl::Adaptive(a) = &mut opts.step_control {
+                a.reltol /= 10.0;
+                a.abstol /= 10.0;
+            }
+        }
         Escalation::SwitchBackend => opts.newton.solver = flip(opts.newton.solver),
     }
 }
@@ -333,6 +374,35 @@ mod tests {
         let none = RetryPolicy::none();
         assert_eq!(dc_ladder(&none), vec![Escalation::Initial]);
         assert_eq!(tran_ladder(&none), vec![Escalation::Initial]);
+    }
+
+    #[test]
+    fn halve_dt_rung_tightens_adaptive_tolerances() {
+        use crate::tran::{AdaptiveOptions, StepControl, TranOptions};
+        // Fixed mode: only dt halves.
+        let mut fixed = TranOptions::new(1e-6, 1e-9);
+        apply_tran(&mut fixed, Escalation::HalveTimestep);
+        assert_eq!(fixed.dt, 0.5e-9);
+        assert_eq!(fixed.step_control, StepControl::Fixed);
+        // Adaptive mode: dt halves and both LTE tolerances tighten 10×.
+        let a = AdaptiveOptions {
+            reltol: 1e-3,
+            abstol: 1e-6,
+            ..AdaptiveOptions::default()
+        };
+        let mut adaptive = TranOptions::adaptive(1e-6, 1e-9, a);
+        apply_tran(&mut adaptive, Escalation::HalveTimestep);
+        assert_eq!(adaptive.dt, 0.5e-9);
+        match adaptive.step_control {
+            StepControl::Adaptive(a) => {
+                assert_eq!(a.reltol, 1e-4);
+                assert_eq!(a.abstol, 1e-7);
+            }
+            StepControl::Fixed => panic!("mode must be preserved"),
+        }
+        // The rung label is unchanged — diagnostics stay comparable across
+        // fixed and adaptive campaigns.
+        assert_eq!(Escalation::HalveTimestep.label(), "halve-dt");
     }
 
     #[test]

@@ -1,5 +1,58 @@
-//! Transient analysis: fixed-step backward-Euler / trapezoidal integration
-//! with per-step Newton solves.
+//! Transient analysis: backward-Euler / trapezoidal integration with
+//! per-step Newton solves, on either a fixed uniform grid or an
+//! LTE-controlled adaptive grid.
+//!
+//! # Step control
+//!
+//! [`TranOptions::step_control`] selects between two modes:
+//!
+//! * [`StepControl::Fixed`] (the default) integrates on the uniform grid
+//!   `t_k = t_start + k·dt`. This is the bit-identical reference path: its
+//!   arithmetic is untouched by the adaptive machinery.
+//! * [`StepControl::Adaptive`] estimates the local truncation error (LTE)
+//!   of every step with a predictor/corrector device (Milne's device on the
+//!   non-uniform history) and accepts, shrinks or grows the step to hold
+//!   the weighted error at 1:
+//!
+//!   - after each converged step, the corrector result `x₁` is compared
+//!     against a polynomial predictor extrapolated through the accepted
+//!     history; the gap `d = x₁ − x_pred` is mapped to the LTE by the
+//!     method's error constant (backward Euler with a linear predictor:
+//!     `|τ| = |d|·h/(2h+h₁)`; trapezoidal with a quadratic predictor:
+//!     `|τ| = |d|·(h³/12)/(h³/12 + h(h+h₁)(h+h₁+h₂)/6)`, where `h₁`, `h₂`
+//!     are the previous accepted step sizes),
+//!   - the error norm is a weighted RMS with per-component weight
+//!     `abstol + reltol·max(|x₁ᵢ|, |x₀ᵢ|)` ([`AdaptiveOptions`]); a step
+//!     is accepted iff the norm is finite and ≤ 1,
+//!   - the next step is `h·clamp(safety·err^(−1/(order+1)), min_shrink,
+//!     max_growth)`, clamped into `[h_min, h_max]`; a rejected step is
+//!     additionally capped at half its size, re-anchors the integrator at
+//!     the last accepted state, and is retried with backward Euler,
+//!   - the run starts with backward Euler at `dt` until two steps of
+//!     history exist (the quadratic predictor needs three points), then
+//!     switches to the configured method; the first two steps cannot be
+//!     error-tested and are always accepted,
+//!   - every rejected step is charged against the step's
+//!     [`crate::budget::SolveBudget`] (one extra iteration tick on top of
+//!     the Newton iterations the attempt consumed), so a rejection storm
+//!     trips [`crate::error::EngineError::BudgetExceeded`] instead of
+//!     spinning; at `h = h_min` a finite over-tolerance step is accepted
+//!     (the controller can do no better) and a non-finite one fails with
+//!     [`crate::error::EngineError::NonFinite`].
+//!
+//!   The accepted grid is monotone with every interior step in
+//!   `[h_min, 1.05·h_max]` (a step that would leave a sliver shorter than
+//!   5 % of itself is stretched to land exactly on `t_stop`; the final
+//!   step may be shorter than `h_min` when only a sliver remains).
+//!
+//!   Steps additionally land *exactly* on every source-waveform corner
+//!   ([`tranvar_circuit::Circuit::source_breakpoints`]): a step straddling
+//!   a pulse edge has an `O(1)` local error however small it is, so
+//!   without breakpoints the controller would Zeno-shrink toward `h_min`
+//!   in front of every edge instead of stepping onto it. Each breakpoint
+//!   behaves like a mini-`t_stop` (same 5 % stretch rule, same possible
+//!   sub-`h_min` sliver just before it); corners closer than `2·h_min` to
+//!   each other or to the run endpoints are merged.
 //!
 //! Besides the ordinary [`transient`] entry point (used by Monte-Carlo
 //! re-simulation), the module exposes [`integrate_cycle`], which integrates
@@ -8,7 +61,11 @@
 //! J_k⁻¹·B_k`. Those records are the raw material of both the shooting-Newton
 //! monodromy matrix and the LPTV periodic solver — their reuse across all
 //! noise sources is where the paper's 100–1000× speedup over Monte-Carlo
-//! comes from.
+//! comes from. Each record carries its own step size and θ
+//! ([`StepRecord::h`], [`StepRecord::theta`]), so downstream consumers
+//! (sensitivity propagation, monodromy accumulation, LPTV) follow the
+//! accepted grid whether it is uniform or adaptive
+//! ([`integrate_cycle_adaptive_with`]).
 
 use crate::dc::{dc_operating_point, DcOptions, NewtonOptions};
 use crate::error::EngineError;
@@ -39,12 +96,109 @@ impl Integrator {
     }
 }
 
+/// Tolerances and step bounds for LTE-controlled adaptive stepping
+/// ([`StepControl::Adaptive`]).
+///
+/// The per-component error weight is `abstol + reltol·max(|x₁ᵢ|, |x₀ᵢ|)`;
+/// a step is accepted when the weighted RMS of the LTE estimate is ≤ 1.
+/// See the [module docs](self) for the full controller contract.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveOptions {
+    /// Relative tolerance on the per-step local truncation error.
+    pub reltol: f64,
+    /// Absolute tolerance floor (same units as the unknowns; keeps the
+    /// weight positive when a component passes through zero).
+    pub abstol: f64,
+    /// Smallest allowed step (s); `0.0` resolves to `span × 1e-12`. At
+    /// `h_min` a finite over-tolerance step is accepted rather than
+    /// retried forever.
+    pub h_min: f64,
+    /// Largest allowed step (s); `0.0` resolves to `span / 8`.
+    pub h_max: f64,
+    /// Upper clamp on the per-step growth factor.
+    pub max_growth: f64,
+    /// Lower clamp on the per-step shrink factor.
+    pub min_shrink: f64,
+    /// Safety factor applied to the optimal-step estimate (< 1 biases the
+    /// controller toward acceptance on the next attempt).
+    pub safety: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            reltol: 1e-3,
+            abstol: 1e-6,
+            h_min: 0.0,
+            h_max: 0.0,
+            max_growth: 2.0,
+            min_shrink: 0.25,
+            safety: 0.9,
+        }
+    }
+}
+
+impl AdaptiveOptions {
+    /// Resolves the `0.0 = auto` step bounds against the run span,
+    /// returning the effective `(h_min, h_max)` the controller will clamp
+    /// to (`span × 1e-12` and `span / 8` by default).
+    pub fn resolve_bounds(&self, span: f64) -> (f64, f64) {
+        let h_min = if self.h_min > 0.0 {
+            self.h_min
+        } else {
+            span * 1e-12
+        };
+        let h_max = if self.h_max > 0.0 {
+            self.h_max
+        } else {
+            span / 8.0
+        };
+        (h_min, h_max.max(h_min))
+    }
+
+    fn validate(&self) -> Result<(), EngineError> {
+        let ok = self.reltol > 0.0
+            && self.reltol.is_finite()
+            && self.abstol > 0.0
+            && self.abstol.is_finite()
+            && self.h_min >= 0.0
+            && self.h_max >= 0.0
+            && (self.h_min == 0.0 || self.h_max == 0.0 || self.h_min <= self.h_max)
+            && self.max_growth >= 1.0
+            && self.min_shrink > 0.0
+            && self.min_shrink < 1.0
+            && self.safety > 0.0
+            && self.safety <= 1.0;
+        if !ok {
+            return Err(EngineError::BadConfig(
+                "adaptive stepping needs reltol > 0, abstol > 0, 0 <= h_min <= h_max, \
+                 max_growth >= 1, 0 < min_shrink < 1 and 0 < safety <= 1"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Time-grid selection for transient-style runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum StepControl {
+    /// Uniform grid `t_k = t_start + k·dt` — the bit-identical reference
+    /// path (results are unchanged from before adaptive stepping existed).
+    #[default]
+    Fixed,
+    /// LTE-controlled accept/shrink/grow stepping starting from `dt`; see
+    /// the [module docs](self).
+    Adaptive(AdaptiveOptions),
+}
+
 /// Transient analysis controls.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TranOptions {
     /// Stop time (s).
     pub t_stop: f64,
-    /// Fixed step size (s).
+    /// Step size (s): the fixed step in [`StepControl::Fixed`] mode, the
+    /// initial step in [`StepControl::Adaptive`] mode.
     pub dt: f64,
     /// Start time (s).
     pub t_start: f64,
@@ -61,6 +215,8 @@ pub struct TranOptions {
     /// runs single-threaded. Results are identical for any thread count —
     /// each parameter's arithmetic is independent of the partitioning.
     pub threads: usize,
+    /// Fixed-grid vs LTE-controlled adaptive stepping.
+    pub step_control: StepControl,
 }
 
 impl TranOptions {
@@ -75,11 +231,24 @@ impl TranOptions {
             gmin: 1e-12,
             x0: None,
             threads: 0,
+            step_control: StepControl::Fixed,
+        }
+    }
+
+    /// [`TranOptions::new`] with LTE-controlled adaptive stepping enabled:
+    /// `dt` becomes the initial step and `adaptive` sets the tolerances.
+    pub fn adaptive(t_stop: f64, dt: f64, adaptive: AdaptiveOptions) -> Self {
+        TranOptions {
+            step_control: StepControl::Adaptive(adaptive),
+            ..TranOptions::new(t_stop, dt)
         }
     }
 }
 
-/// Result of a transient run: uniformly sampled states.
+/// Result of a transient run: states on the sample grid (uniform in
+/// [`StepControl::Fixed`] mode, the accepted non-uniform grid in
+/// [`StepControl::Adaptive`] mode — consult [`TranResult::times`], and see
+/// [`tranvar_num::interp::is_uniform_grid`] for a cheap uniformity check).
 #[derive(Clone, Debug, Default)]
 pub struct TranResult {
     /// Sample times.
@@ -106,11 +275,30 @@ impl TranResult {
 
 /// Shared validation for every transient-style run (plain, sensitivity,
 /// session): one copy of the config check and its error message.
+///
+/// Fixed mode additionally requires the rounded step count
+/// `((t_stop − t_start)/dt).round()` to be at least 1: a `dt` larger than
+/// twice the span used to *silently* produce a zero-step run (initial state
+/// only), which is never what the caller meant.
 pub(crate) fn validate_step_config(opts: &TranOptions) -> Result<(), EngineError> {
     if opts.dt <= 0.0 || opts.t_stop <= opts.t_start {
         return Err(EngineError::BadConfig(
             "transient needs dt > 0 and t_stop > t_start".into(),
         ));
+    }
+    match &opts.step_control {
+        StepControl::Fixed => {
+            if ((opts.t_stop - opts.t_start) / opts.dt).round() < 1.0 {
+                return Err(EngineError::BadConfig(format!(
+                    "fixed-step transient rounds to zero steps: dt = {:.3e} exceeds \
+                     the span t_stop - t_start = {:.3e} (need ((t_stop - t_start)/dt)\
+                     .round() >= 1)",
+                    opts.dt,
+                    opts.t_stop - opts.t_start
+                )));
+            }
+        }
+        StepControl::Adaptive(a) => a.validate()?,
     }
     Ok(())
 }
@@ -377,7 +565,328 @@ pub(crate) fn step(
     Ok(record)
 }
 
-/// Runs a fixed-step transient analysis.
+/// One accepted adaptive step, as reported by [`AdaptiveDriver::advance`].
+pub(crate) struct AdaptiveStep {
+    /// End time of the accepted step.
+    pub(crate) t1: f64,
+    /// Implicitness weight actually used (BE during startup and on
+    /// post-rejection retries, the configured method otherwise).
+    pub(crate) theta: f64,
+    /// Step record, when requested.
+    pub(crate) record: Option<StepRecord>,
+}
+
+/// Does shrinking the step plausibly cure this step failure? Newton
+/// divergence and numerical blow-ups usually mean the step was too big;
+/// budget exhaustion and config errors never get better with a smaller `h`.
+fn shrink_can_help(e: &EngineError) -> bool {
+    matches!(
+        e,
+        EngineError::NoConvergence { .. } | EngineError::NonFinite { .. } | EngineError::Num(_)
+    )
+}
+
+/// The LTE-controlled stepping loop shared by [`transient_with`], the
+/// adaptive sensitivity propagation ([`crate::transens`]) and
+/// [`integrate_cycle_adaptive_with`]: owns the integration state (`x`,
+/// `f_aug`, `q`), the accepted-state snapshots used to roll back rejected
+/// steps, and the predictor history. All users drive the *same* loop, so
+/// the nominal trajectory is bitwise identical across entry points.
+pub(crate) struct AdaptiveDriver {
+    t_stop: f64,
+    method: Integrator,
+    reltol: f64,
+    abstol: f64,
+    h_min: f64,
+    h_max: f64,
+    max_growth: f64,
+    min_shrink: f64,
+    safety: f64,
+    /// Last accepted time.
+    t: f64,
+    /// Working state vector; equals the accepted state between
+    /// [`AdaptiveDriver::advance`] calls.
+    pub(crate) x: Vec<f64>,
+    f_aug: Vec<f64>,
+    q: Vec<f64>,
+    // Accepted-state snapshots: `step()` commits f_aug/q and swaps the
+    // assembly double-buffer before the LTE verdict exists, so a rejection
+    // restores from these and re-anchors the assembly with `StepState::reset`.
+    x_acc: Vec<f64>,
+    f_acc: Vec<f64>,
+    q_acc: Vec<f64>,
+    x_pred: Vec<f64>,
+    /// Previous accepted step sizes (`h1` most recent) and states, the
+    /// predictor history.
+    h1: f64,
+    h2: f64,
+    x_prev1: Vec<f64>,
+    x_prev2: Vec<f64>,
+    n_accepted: usize,
+    /// Proposed size of the next step.
+    h_next: f64,
+    /// Retry a rejected step with backward Euler (L-stable damping beats
+    /// second-order accuracy right after the controller found trouble).
+    retry_be: bool,
+    /// Source-waveform derivative discontinuities inside the run, sorted;
+    /// steps land on these exactly. A step that *straddles* a corner has an
+    /// `O(1)` local error however small it is, so without these the
+    /// controller Zeno-shrinks toward `h_min` before every pulse edge.
+    breakpoints: Vec<f64>,
+    /// First entry of `breakpoints` not yet passed.
+    next_bp: usize,
+}
+
+impl AdaptiveDriver {
+    /// Builds a driver anchored at `(x0, t_start)`; `st` must already be
+    /// anchored there (it supplies the initial `f_aug`/`q`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        ckt: &Circuit,
+        st: &StepState,
+        x0: Vec<f64>,
+        t_start: f64,
+        t_stop: f64,
+        dt: f64,
+        method: Integrator,
+        gmin: f64,
+        a: &AdaptiveOptions,
+        n_node: usize,
+    ) -> Self {
+        let (h_min, h_max) = a.resolve_bounds(t_stop - t_start);
+        // Merge corners closer than 2·h_min to each other (or to the run
+        // endpoints): landing on both would force sub-h_min steps.
+        let mut breakpoints = Vec::new();
+        for bp in ckt.source_breakpoints(t_start, t_stop) {
+            let prev = *breakpoints.last().unwrap_or(&t_start);
+            if bp - prev >= 2.0 * h_min && t_stop - bp >= 2.0 * h_min {
+                breakpoints.push(bp);
+            }
+        }
+        let mut f_aug = st.asm_prev.f.clone();
+        for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
+            *fi += gmin * x0[i];
+        }
+        let q = st.asm_prev.q.clone();
+        let n = x0.len();
+        AdaptiveDriver {
+            t_stop,
+            method,
+            reltol: a.reltol,
+            abstol: a.abstol,
+            h_min,
+            h_max,
+            max_growth: a.max_growth,
+            min_shrink: a.min_shrink,
+            safety: a.safety,
+            t: t_start,
+            x_acc: x0.clone(),
+            f_acc: f_aug.clone(),
+            q_acc: q.clone(),
+            x_pred: vec![0.0; n],
+            x: x0,
+            f_aug,
+            q,
+            h1: 0.0,
+            h2: 0.0,
+            x_prev1: vec![0.0; n],
+            x_prev2: vec![0.0; n],
+            n_accepted: 0,
+            h_next: dt.min(h_max).max(h_min),
+            retry_be: false,
+            breakpoints,
+            next_bp: 0,
+        }
+    }
+
+    /// Weighted-RMS LTE norm of the corrector−predictor gap: `coeff` is the
+    /// method's error constant, the weight is
+    /// `abstol + reltol·max(|x₁ᵢ|, |x₀ᵢ|)`. Accept iff finite and ≤ 1.
+    fn lte_norm(&self, coeff: f64) -> f64 {
+        let n = self.x.len();
+        let mut sum = 0.0;
+        for i in 0..n {
+            let d = self.x[i] - self.x_pred[i];
+            let w = self.abstol + self.reltol * self.x[i].abs().max(self.x_acc[i].abs());
+            let e = d / w;
+            sum += e * e;
+        }
+        let mut err = coeff * (sum / n.max(1) as f64).sqrt();
+        if crate::fault::poison_nan(crate::fault::sites::TRAN_LTE) {
+            err = f64::NAN;
+        }
+        err
+    }
+
+    /// Attempts steps (shrinking on Newton failure or LTE rejection) until
+    /// one is accepted, and returns it; `Ok(None)` once `t_stop` is reached.
+    ///
+    /// Termination: every rejection multiplies the step by at most
+    /// `max(min_shrink, ½)` down to `h_min`, where a finite over-tolerance
+    /// step is accepted and a non-finite one errors out — and each
+    /// rejection charges one budget iteration, so a budgeted run trips
+    /// [`EngineError::BudgetExceeded`] long before `h_min` on a genuine
+    /// rejection storm.
+    pub(crate) fn advance(
+        &mut self,
+        ckt: &Circuit,
+        st: &mut StepState,
+        newton: &NewtonOptions,
+        gmin: f64,
+        want_record: bool,
+    ) -> Result<Option<AdaptiveStep>, EngineError> {
+        if self.t >= self.t_stop {
+            return Ok(None);
+        }
+        while self.next_bp < self.breakpoints.len() && self.breakpoints[self.next_bp] <= self.t {
+            self.next_bp += 1;
+        }
+        loop {
+            let h_prop = self.h_next.clamp(self.h_min, self.h_max);
+            // The local stop is the next source breakpoint (or t_stop):
+            // steps land on waveform corners exactly, never straddle them.
+            let stop = self
+                .breakpoints
+                .get(self.next_bp)
+                .copied()
+                .unwrap_or(self.t_stop);
+            // Stretch to the stop: a step that would leave a sliver shorter
+            // than 5 % of itself lands exactly on it instead.
+            let t1 = if self.t + 1.05 * h_prop >= stop {
+                stop
+            } else {
+                self.t + h_prop
+            };
+            // Derive h from the time difference so the step size and the
+            // sample grid are bitwise consistent (downstream consumers
+            // reconstruct h as times[k] − times[k−1]).
+            let h = t1 - self.t;
+            // "Cannot shrink further" is judged on the *proposal*: the
+            // realized h carries the rounding of (t + h_prop) − t, which
+            // can exceed any fixed relative margin when h_prop ≪ t.
+            let at_h_min = h_prop <= self.h_min * (1.0 + 1e-12);
+            let startup = self.n_accepted < 2;
+            let step_method = if startup || self.retry_be {
+                Integrator::BackwardEuler
+            } else {
+                self.method
+            };
+            let attempt = step(
+                ckt,
+                st,
+                &mut self.x,
+                &mut self.f_aug,
+                &mut self.q,
+                self.t,
+                t1,
+                h,
+                step_method,
+                newton,
+                gmin,
+                want_record,
+            );
+            let record = match attempt {
+                Ok(record) => record,
+                Err(e) if shrink_can_help(&e) && !at_h_min => {
+                    // Newton failed: x may be half-updated, but nothing was
+                    // committed (f_aug/q and the assembly double-buffer are
+                    // only touched on success), so restoring x suffices.
+                    newton.budget.begin_iteration("transient step control")?;
+                    self.x.copy_from_slice(&self.x_acc);
+                    self.h_next = (h * self.min_shrink).max(self.h_min);
+                    self.retry_be = true;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            // LTE verdict. The first accepted step has no predictor history
+            // and is always accepted at the initial dt; the controller
+            // engages from the second step on.
+            let mut growth = self.max_growth;
+            let accept = if self.n_accepted == 0 {
+                true
+            } else {
+                let n = self.x.len();
+                let second_order = step_method == Integrator::Trapezoidal && self.n_accepted >= 2;
+                if second_order {
+                    // Quadratic predictor through (t−h1−h2, t−h1, t) by
+                    // Newton divided differences, extrapolated to t+h.
+                    let d2 = 1.0 / self.h1;
+                    let d1 = 1.0 / self.h2;
+                    let dd = 1.0 / (self.h1 + self.h2);
+                    for i in 0..n {
+                        let s2 = (self.x_acc[i] - self.x_prev1[i]) * d2;
+                        let s1 = (self.x_prev1[i] - self.x_prev2[i]) * d1;
+                        let curv = (s2 - s1) * dd;
+                        self.x_pred[i] = self.x_acc[i] + h * (s2 + curv * (h + self.h1));
+                    }
+                } else {
+                    // Linear predictor through (t−h1, t).
+                    let slope = h / self.h1;
+                    for i in 0..n {
+                        self.x_pred[i] = self.x_acc[i] + slope * (self.x_acc[i] - self.x_prev1[i]);
+                    }
+                }
+                let coeff = if second_order {
+                    let b = h * h * h / 12.0;
+                    let a = h * (h + self.h1) * (h + self.h1 + self.h2) / 6.0;
+                    b / (a + b)
+                } else {
+                    h / (2.0 * h + self.h1)
+                };
+                let err = self.lte_norm(coeff);
+                if err.is_finite() {
+                    let order = if second_order { 2.0 } else { 1.0 };
+                    growth = (self.safety * err.powf(-1.0 / (order + 1.0)))
+                        .clamp(self.min_shrink, self.max_growth);
+                    err <= 1.0 || at_h_min
+                } else if at_h_min {
+                    return Err(EngineError::NonFinite {
+                        analysis: "transient step control".into(),
+                        detail: format!(
+                            "LTE estimate non-finite at t={t1:.3e} with h={h:.3e} = h_min"
+                        ),
+                    });
+                } else {
+                    growth = self.min_shrink;
+                    false
+                }
+            };
+            if accept {
+                self.h2 = self.h1;
+                self.h1 = h;
+                std::mem::swap(&mut self.x_prev2, &mut self.x_prev1);
+                self.x_prev1.copy_from_slice(&self.x_acc);
+                self.x_acc.copy_from_slice(&self.x);
+                self.f_acc.copy_from_slice(&self.f_aug);
+                self.q_acc.copy_from_slice(&self.q);
+                self.t = t1;
+                self.n_accepted += 1;
+                self.retry_be = false;
+                self.h_next = (h * growth).clamp(self.h_min, self.h_max);
+                return Ok(Some(AdaptiveStep {
+                    t1,
+                    theta: step_method.theta(),
+                    record,
+                }));
+            }
+            // Rejected on LTE: the step already committed (f_aug/q were
+            // overwritten and the assembly double-buffer swapped), so roll
+            // everything back to the accepted state, charge the budget, and
+            // retry smaller with backward Euler.
+            newton.budget.begin_iteration("transient step control")?;
+            self.x.copy_from_slice(&self.x_acc);
+            self.f_aug.copy_from_slice(&self.f_acc);
+            self.q.copy_from_slice(&self.q_acc);
+            st.reset(ckt, &self.x_acc, self.t);
+            self.h_next = (h * growth.min(0.5)).max(self.h_min);
+            self.retry_be = true;
+        }
+    }
+}
+
+/// Runs a transient analysis (fixed-grid by default; see
+/// [`TranOptions::step_control`]).
 ///
 /// # Errors
 ///
@@ -436,6 +945,9 @@ pub fn transient_with(
             },
         )?,
     };
+    if let StepControl::Adaptive(a) = opts.step_control {
+        return transient_adaptive_detailed(ckt, ws, opts, &a, x0).map(|(res, _)| res);
+    }
     let n_steps = ((opts.t_stop - opts.t_start) / opts.dt).round() as usize;
     let mut times = Vec::with_capacity(n_steps + 1);
     let mut states = Vec::with_capacity(n_steps + 1);
@@ -470,6 +982,45 @@ pub fn transient_with(
         states.push(x.clone());
     }
     Ok(TranResult { times, states })
+}
+
+/// The adaptive transient loop, also reporting the per-step θ actually used
+/// (BE startup and post-rejection retries mix methods, so θ cannot be
+/// reconstructed from [`TranOptions::method`] alone). The sequential
+/// sensitivity reference needs those θ values to re-derive each step's
+/// propagation operators independently.
+///
+/// Expects `opts` to be validated and `x0` resolved by the caller.
+pub(crate) fn transient_adaptive_detailed(
+    ckt: &Circuit,
+    ws: &mut CycleWorkspace,
+    opts: &TranOptions,
+    a: &AdaptiveOptions,
+    x0: Vec<f64>,
+) -> Result<(TranResult, Vec<f64>), EngineError> {
+    let n_node = ckt.n_nodes() - 1;
+    let st = ws.state_for(ckt, opts.newton.solver, &x0, opts.t_start);
+    let mut drv = AdaptiveDriver::new(
+        ckt,
+        st,
+        x0.clone(),
+        opts.t_start,
+        opts.t_stop,
+        opts.dt,
+        opts.method,
+        opts.gmin,
+        a,
+        n_node,
+    );
+    let mut times = vec![opts.t_start];
+    let mut states = vec![x0];
+    let mut thetas = Vec::new();
+    while let Some(stp) = drv.advance(ckt, st, &opts.newton, opts.gmin, false)? {
+        times.push(stp.t1);
+        states.push(drv.x.clone());
+        thetas.push(stp.theta);
+    }
+    Ok((TranResult { times, states }, thetas))
 }
 
 /// Integrates exactly one period of length `period` from `x0` at `t0`,
@@ -582,6 +1133,72 @@ pub fn integrate_cycle_with(
         }
         times.push(t1);
         states.push(x.clone());
+    }
+    Ok(CycleResult {
+        times,
+        states,
+        records,
+    })
+}
+
+/// [`integrate_cycle_with`] on an LTE-controlled adaptive grid: integrates
+/// exactly one period starting from step size `initial_dt`, accepting,
+/// shrinking and growing steps per `adaptive`, and lands exactly on
+/// `t0 + period` (the final step is stretched or shortened to the endpoint).
+///
+/// The first accepted steps are backward Euler (the adaptive startup — at
+/// least the first step, which the fixed-grid cycle also forces to BE so
+/// the monodromy stays free of unit algebraic eigenvalues; see
+/// [`integrate_cycle_with`]). Each [`StepRecord`] carries its own `h` and
+/// `θ`, so monodromy accumulation and the LPTV solver consume the
+/// non-uniform record grid unchanged.
+///
+/// # Errors
+///
+/// Propagates per-step Newton failures and budget exhaustion.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_cycle_adaptive_with(
+    ckt: &Circuit,
+    ws: &mut CycleWorkspace,
+    x0: &[f64],
+    t0: f64,
+    period: f64,
+    initial_dt: f64,
+    adaptive: &AdaptiveOptions,
+    method: Integrator,
+    newton: &NewtonOptions,
+    gmin: f64,
+    record: bool,
+) -> Result<CycleResult, EngineError> {
+    if period <= 0.0 || initial_dt <= 0.0 {
+        return Err(EngineError::BadConfig(
+            "adaptive cycle integration needs period > 0 and initial_dt > 0".into(),
+        ));
+    }
+    adaptive.validate()?;
+    let n_node = ckt.n_nodes() - 1;
+    let st = ws.state_for(ckt, newton.solver, x0, t0);
+    let mut drv = AdaptiveDriver::new(
+        ckt,
+        st,
+        x0.to_vec(),
+        t0,
+        t0 + period,
+        initial_dt,
+        method,
+        gmin,
+        adaptive,
+        n_node,
+    );
+    let mut times = vec![t0];
+    let mut states = vec![x0.to_vec()];
+    let mut records = Vec::new();
+    while let Some(stp) = drv.advance(ckt, st, newton, gmin, record)? {
+        if let Some(r) = stp.record {
+            records.push(r);
+        }
+        times.push(stp.t1);
+        states.push(drv.x.clone());
     }
     Ok(CycleResult {
         times,
@@ -877,6 +1494,264 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// The controller's accepted grid covers `[t_start, t_stop]` monotonically
+    /// with every interior step inside `[h_min, 1.05·h_max]` (the final step
+    /// may be a shorter sliver) — property (b) of the adaptive contract.
+    fn assert_grid_contract(times: &[f64], t_start: f64, t_stop: f64, a: &AdaptiveOptions) {
+        let (h_min, h_max) = a.resolve_bounds(t_stop - t_start);
+        assert_eq!(times[0], t_start);
+        assert_eq!(*times.last().unwrap(), t_stop);
+        for (k, w) in times.windows(2).enumerate() {
+            let h = w[1] - w[0];
+            assert!(
+                h > 0.0,
+                "step {k}: non-monotone grid ({} -> {})",
+                w[0],
+                w[1]
+            );
+            assert!(
+                h <= 1.05 * h_max * (1.0 + 1e-9),
+                "step {k}: h={h:.3e} exceeds 1.05*h_max={:.3e}",
+                1.05 * h_max
+            );
+            if k + 2 < times.len() {
+                assert!(
+                    h >= h_min * (1.0 - 1e-9),
+                    "interior step {k}: h={h:.3e} below h_min={h_min:.3e}"
+                );
+            }
+        }
+    }
+
+    /// Adaptive stepping on a smooth RC charging curve needs far fewer steps
+    /// than the fine fixed grid while staying inside the 10×reltol band.
+    #[test]
+    fn adaptive_rc_matches_fixed_with_fewer_steps() {
+        let (ckt, b) = rc_circuit(1e3, 1e-6); // tau = 1 ms
+        let x0 = Some(vec![1.0, 0.0, -1e-3]);
+        let mut fixed = TranOptions::new(5e-3, 1e-6);
+        fixed.x0 = x0.clone();
+        fixed.method = Integrator::Trapezoidal;
+        let rf = transient(&ckt, &fixed).unwrap();
+
+        let a = AdaptiveOptions::default();
+        let mut adpt = TranOptions::adaptive(5e-3, 1e-6, a);
+        adpt.x0 = x0;
+        adpt.method = Integrator::Trapezoidal;
+        let ra = transient(&ckt, &adpt).unwrap();
+
+        let fixed_steps = rf.states.len() - 1;
+        let adaptive_steps = ra.states.len() - 1;
+        assert!(
+            adaptive_steps * 5 <= fixed_steps,
+            "adaptive took {adaptive_steps} steps vs {fixed_steps} fixed"
+        );
+        assert_grid_contract(&ra.times, 0.0, 5e-3, &a);
+        let vf = ckt.voltage(rf.last(), b);
+        let va = ckt.voltage(ra.last(), b);
+        assert!(
+            (va - vf).abs() <= 10.0 * (a.abstol + a.reltol * vf.abs()),
+            "adaptive end {va} vs fixed end {vf}"
+        );
+        // And against the analytic solution everywhere on the accepted grid.
+        for (t, x) in ra.times.iter().zip(ra.states.iter()) {
+            let expect = 1.0 - (-t / 1e-3).exp();
+            let got = ckt.voltage(x, b);
+            assert!(
+                (got - expect).abs() <= 10.0 * (a.abstol + a.reltol * expect.abs().max(0.1)),
+                "t={t:.3e}: {got} vs {expect}"
+            );
+        }
+    }
+
+    /// The adaptive controller reacts to a mid-run transient: steps shrink
+    /// at the pulse edges of a driven RC and grow back on the flats.
+    #[test]
+    fn adaptive_shrinks_at_pulse_edges() {
+        let mut ckt = Circuit::new();
+        let a_node = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a_node,
+            NodeId::GROUND,
+            Waveform::Pulse(Pulse {
+                v0: 0.0,
+                v1: 1.0,
+                delay: 1e-6,
+                rise: 1e-8,
+                fall: 1e-8,
+                width: 4e-6,
+                period: 10e-6,
+            }),
+        );
+        ckt.add_resistor("R1", a_node, b, 100.0);
+        ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9); // tau = 100 ns
+        let a = AdaptiveOptions::default();
+        let opts = TranOptions::adaptive(10e-6, 1e-8, a);
+        let res = transient(&ckt, &opts).unwrap();
+        assert_grid_contract(&res.times, 0.0, 10e-6, &a);
+        // Accuracy at the sampled plateaus, like the fixed-grid test.
+        let w = res.node_waveform(&ckt, b);
+        let t = &res.times;
+        let i3 = tranvar_num::interp::nearest_index(t, 3e-6);
+        assert!((w[i3] - 1.0).abs() < 2e-2, "plateau: {}", w[i3]);
+        let i8 = tranvar_num::interp::nearest_index(t, 8e-6);
+        assert!(w[i8].abs() < 3e-2, "tail: {}", w[i8]);
+        // The grid is genuinely non-uniform: the largest accepted step is
+        // much bigger than the smallest.
+        let mut hs: Vec<f64> = t.windows(2).map(|w| w[1] - w[0]).collect();
+        hs.pop(); // final sliver is exempt from the bounds
+        let h_lo = hs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let h_hi = hs.iter().cloned().fold(0.0f64, f64::max);
+        assert!(
+            h_hi > 4.0 * h_lo,
+            "grid stayed uniform: {h_lo:.3e}..{h_hi:.3e}"
+        );
+    }
+
+    /// Adaptive cycle integration lands exactly on `t0 + period`, starts
+    /// with a backward-Euler step, and records every accepted step.
+    #[test]
+    fn adaptive_cycle_lands_on_period() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        let x0 = vec![1.0, 0.2, -0.8e-3];
+        let period = 1e-4;
+        let a = AdaptiveOptions::default();
+        let mut ws = CycleWorkspace::new();
+        let cyc = integrate_cycle_adaptive_with(
+            &ckt,
+            &mut ws,
+            &x0,
+            0.0,
+            period,
+            period / 32.0,
+            &a,
+            Integrator::Trapezoidal,
+            &NewtonOptions::default(),
+            1e-12,
+            true,
+        )
+        .unwrap();
+        assert_eq!(*cyc.times.last().unwrap(), period);
+        assert_eq!(cyc.records.len(), cyc.states.len() - 1);
+        assert_eq!(cyc.records[0].theta, 1.0, "first cycle step must be BE");
+        for (rec, w) in cyc.records.iter().zip(cyc.times.windows(2)) {
+            assert_eq!(rec.t1, w[1]);
+            assert_eq!(rec.h, w[1] - w[0], "record h must match the grid");
+        }
+    }
+
+    /// Enabling adaptive mode must not perturb the fixed path: the fixed
+    /// result is byte-for-byte the same whether or not the adaptive code is
+    /// compiled in, so here we only pin the invariant that `StepControl::Fixed`
+    /// (the default) reproduces the documented uniform grid exactly.
+    #[test]
+    fn fixed_mode_grid_is_uniform() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        let mut opts = TranOptions::new(1e-3, 1e-5);
+        opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        assert_eq!(opts.step_control, StepControl::Fixed);
+        let res = transient(&ckt, &opts).unwrap();
+        assert_eq!(res.times.len(), 101);
+        for (k, t) in res.times.iter().enumerate() {
+            assert_eq!(*t, k as f64 * 1e-5);
+        }
+    }
+
+    /// Regression for the silent zero-step run: `dt` rounding the step count
+    /// to zero is now a configuration error, while spans that round up to
+    /// one step keep working.
+    #[test]
+    fn fixed_rejects_dt_larger_than_span() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        // round(1e-3 / 3e-3) == 0: used to return just the initial state.
+        assert!(matches!(
+            transient(&ckt, &TranOptions::new(1e-3, 3e-3)),
+            Err(EngineError::BadConfig(_))
+        ));
+        // round(1e-3 / 1.5e-3) == 1: one step covering the span.
+        let mut opts = TranOptions::new(1e-3, 1.5e-3);
+        opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        let res = transient(&ckt, &opts).unwrap();
+        assert_eq!(res.states.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_adaptive_config() {
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        for bad in [
+            AdaptiveOptions {
+                reltol: 0.0,
+                ..AdaptiveOptions::default()
+            },
+            AdaptiveOptions {
+                abstol: -1.0,
+                ..AdaptiveOptions::default()
+            },
+            AdaptiveOptions {
+                h_min: 1e-3,
+                h_max: 1e-6,
+                ..AdaptiveOptions::default()
+            },
+            AdaptiveOptions {
+                min_shrink: 1.5,
+                ..AdaptiveOptions::default()
+            },
+            AdaptiveOptions {
+                safety: 0.0,
+                ..AdaptiveOptions::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    transient(&ckt, &TranOptions::adaptive(1e-3, 1e-6, bad)),
+                    Err(EngineError::BadConfig(_))
+                ),
+                "accepted bad adaptive config {bad:?}"
+            );
+        }
+    }
+
+    /// Property (d): a fault-injected rejection storm (every LTE estimate
+    /// poisoned to NaN) must trip the solve budget instead of spinning, and
+    /// without a budget must fail fast with `NonFinite` once the controller
+    /// bottoms out at `h_min`.
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn lte_rejection_storm_trips_budget() {
+        use crate::budget::{BudgetLimits, SolveBudget};
+        use crate::fault::{sites, FaultAction, FaultPlan};
+
+        let (ckt, _) = rc_circuit(1e3, 1e-6);
+        let mut opts = TranOptions::adaptive(1e-3, 1e-6, AdaptiveOptions::default());
+        opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        // Tight enough to trip inside the storm: the controller only gets
+        // ~15 rejections (h: 1e-6 → h_min at ×0.25 each) before bottoming
+        // out, and each rejection costs a couple of Newton iterations plus
+        // the rejection charge itself.
+        opts.newton.budget = SolveBudget::new(BudgetLimits::default().max_newton_iters(20));
+        {
+            let _guard = FaultPlan::new()
+                .fail_range(sites::TRAN_LTE, 0, 1_000_000, FaultAction::PoisonNan)
+                .install();
+            match transient(&ckt, &opts) {
+                Err(EngineError::BudgetExceeded { .. }) => {}
+                other => panic!("expected BudgetExceeded, got {other:?}"),
+            }
+        }
+        // Without a budget the storm still terminates: the step bottoms out
+        // at h_min and the non-finite LTE becomes a hard error.
+        opts.newton.budget = SolveBudget::unlimited();
+        let _guard = FaultPlan::new()
+            .fail_range(sites::TRAN_LTE, 0, 1_000_000, FaultAction::PoisonNan)
+            .install();
+        match transient(&ckt, &opts) {
+            Err(EngineError::NonFinite { .. }) => {}
+            other => panic!("expected NonFinite at h_min, got {other:?}"),
         }
     }
 

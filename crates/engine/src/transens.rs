@@ -36,12 +36,19 @@
 //! the sequential reference implementation
 //! ([`transient_with_sensitivities_seq`]) to machine precision (the two
 //! paths may pick different pivot orders, nothing more).
+//!
+//! Both paths follow whatever grid the integrator accepts: each
+//! [`crate::tran::StepRecord`] carries its own step size and θ, so
+//! [`crate::tran::StepControl::Adaptive`] runs propagate on the non-uniform
+//! accepted grid with the same windowed pipeline (the only difference is
+//! that the window is filled by the LTE controller instead of a uniform
+//! step count).
 
 use crate::dc::{dc_operating_point, DcOptions};
 use crate::error::EngineError;
 use crate::sens::{dc_sensitivities, param_step_rhs};
 use crate::solver::{combine, FactoredJacobian};
-use crate::tran::{StepRecord, TranOptions, TranResult};
+use crate::tran::{StepControl, StepRecord, TranOptions, TranResult};
 use tranvar_circuit::{Circuit, ParamDeriv};
 use tranvar_num::dense::vecops;
 
@@ -115,6 +122,64 @@ struct ChunkState {
     pd_cur: Vec<ParamDeriv>,
 }
 
+/// Advances one parameter chunk through one window of recorded steps —
+/// the propagate phase of the pipeline, shared verbatim by the fixed-grid
+/// and adaptive paths (each record carries its own `h` and `θ`, so the
+/// arithmetic is grid-agnostic). `window_start` is the global step index of
+/// `records[0]`; `sens_chunk[kk]` must already have storage through
+/// `window_start + records.len() - 1`.
+fn propagate_window(
+    ckt: &Circuit,
+    cs: &mut ChunkState,
+    sens_chunk: &mut [Vec<Vec<f64>>],
+    records: &[StepRecord],
+    states: &[Vec<f64>],
+    window_start: usize,
+    n: usize,
+) -> Result<(), EngineError> {
+    let p = sens_chunk.len();
+    for (si, rec) in records.iter().enumerate() {
+        let step = window_start + si;
+        // No device evaluation at all: the MOSFET operating points
+        // were captured by the accepted assembly of this step, so
+        // the derivatives come straight from the record.
+        ckt.d_residual_dparams_with_ops(cs.k0, &states[step], &rec.mos_ops, &mut cs.pd_cur)?;
+        // Zero-allocation inner loop over an interleaved block:
+        // every factor entry becomes a p-wide contiguous axpy.
+        rec.b.mat_vec_interleaved(&cs.s_cur, &mut cs.block, p);
+        for kk in 0..p {
+            // w in the θ-method order of `param_step_rhs`.
+            cs.w.iter_mut().for_each(|v| *v = 0.0);
+            for &(i, v) in &cs.pd_cur[kk].df {
+                cs.w[i] += rec.theta * v;
+            }
+            for &(i, v) in &cs.pd_prev[kk].df {
+                cs.w[i] += (1.0 - rec.theta) * v;
+            }
+            for &(i, v) in &cs.pd_cur[kk].dq {
+                cs.w[i] += v / rec.h;
+            }
+            for &(i, v) in &cs.pd_prev[kk].dq {
+                cs.w[i] -= v / rec.h;
+            }
+            for (i, wi) in cs.w.iter().enumerate() {
+                cs.block[i * p + kk] -= *wi;
+            }
+        }
+        rec.lu
+            .solve_multi_interleaved(&mut cs.block, p, &mut cs.scratch);
+        std::mem::swap(&mut cs.s_cur, &mut cs.block);
+        for (kk, hist) in sens_chunk.iter_mut().enumerate() {
+            let out = &mut hist[step];
+            for i in 0..n {
+                out[i] = cs.s_cur[i * p + kk];
+            }
+        }
+        std::mem::swap(&mut cs.pd_prev, &mut cs.pd_cur);
+    }
+    Ok(())
+}
+
 /// Runs a transient with forward parameter sensitivities for every mismatch
 /// parameter of the circuit.
 ///
@@ -154,13 +219,19 @@ pub fn transient_with_sensitivities_with(
     let n_node = ckt.n_nodes() - 1;
     let n_params = ckt.mismatch_params().len();
     let h = opts.dt;
+    // Fixed mode: the exact step count. Adaptive mode: the accepted count is
+    // unknown ahead of time, so this initial-dt estimate only sizes the
+    // thread pool and the preallocation; adaptive storage grows per window.
     let n_steps = ((opts.t_stop - opts.t_start) / opts.dt).round() as usize;
     let want_records = n_params > 0;
+    let fixed = matches!(opts.step_control, StepControl::Fixed);
 
-    // Preallocate the entire output so the propagation loops never allocate.
+    // Preallocate the entire output so the propagation loops never allocate
+    // (fixed mode; adaptive extends it window by window).
+    let prealloc_steps = if fixed { n_steps } else { 0 };
     let mut sens: Vec<Vec<Vec<f64>>> = (0..n_params)
         .map(|k| {
-            let mut per_step = vec![vec![0.0; n]; n_steps + 1];
+            let mut per_step = vec![vec![0.0; n]; prealloc_steps + 1];
             per_step[0].copy_from_slice(&s0[k]);
             per_step
         })
@@ -210,13 +281,82 @@ pub fn transient_with_sensitivities_with(
     times.push(opts.t_start);
     states.push(x0.clone());
     let st = ws.state_for(ckt, opts.newton.solver, &x0, opts.t_start);
+    let mut records: Vec<StepRecord> = Vec::with_capacity(WINDOW.min(n_steps.max(1)));
+
+    if let StepControl::Adaptive(a) = opts.step_control {
+        // ── Adaptive: the shared LTE controller (the same driver behind
+        // `tran::transient`, so the nominal trajectory is bitwise identical)
+        // fills each window with accepted steps; the sensitivity storage
+        // grows with the accepted grid, window by window.
+        let mut drv = crate::tran::AdaptiveDriver::new(
+            ckt,
+            st,
+            x0,
+            opts.t_start,
+            opts.t_stop,
+            opts.dt,
+            opts.method,
+            opts.gmin,
+            &a,
+            n_node,
+        );
+        loop {
+            records.clear();
+            let window_start = states.len();
+            let mut new_steps = 0usize;
+            while new_steps < WINDOW {
+                match drv.advance(ckt, st, &opts.newton, opts.gmin, want_records)? {
+                    Some(stp) => {
+                        if let Some(r) = stp.record {
+                            records.push(r);
+                        }
+                        times.push(stp.t1);
+                        states.push(drv.x.clone());
+                        new_steps += 1;
+                    }
+                    None => break,
+                }
+            }
+            if new_steps == 0 {
+                break;
+            }
+            if want_records {
+                for hist in sens.iter_mut() {
+                    hist.resize_with(hist.len() + new_steps, || vec![0.0; n]);
+                }
+                let records_ref = &records;
+                let states_ref = &states;
+                let jobs: Vec<(&mut ChunkState, &mut [Vec<Vec<f64>>])> = chunk_states
+                    .iter_mut()
+                    .zip(sens.chunks_mut(chunk))
+                    .collect();
+                for r in crate::par::map_scoped(jobs, |(cs, sens_chunk)| {
+                    propagate_window(
+                        ckt,
+                        cs,
+                        sens_chunk,
+                        records_ref,
+                        states_ref,
+                        window_start,
+                        n,
+                    )
+                }) {
+                    r?;
+                }
+            }
+        }
+        return Ok(TranSensResult {
+            tran: TranResult { times, states },
+            sens,
+        });
+    }
+
     let mut f_aug = st.asm_prev.f.clone();
     for (i, fi) in f_aug.iter_mut().enumerate().take(n_node) {
         *fi += opts.gmin * x0[i];
     }
     let mut q = st.asm_prev.q.clone();
     let mut x = x0;
-    let mut records: Vec<StepRecord> = Vec::with_capacity(WINDOW.min(n_steps));
 
     let mut window_start = 1usize;
     while window_start <= n_steps {
@@ -252,65 +392,26 @@ pub fn transient_with_sensitivities_with(
             window_start = window_end + 1;
             continue;
         }
-        // ── Propagate phase: parameter chunks in parallel. ──
+        // ── Propagate phase: parameter chunks in parallel. One scoped
+        // worker per (state, sensitivity) chunk pair via the shared helper;
+        // a single chunk runs inline.
         let records_ref = &records;
         let states_ref = &states;
-        let run_chunk =
-            |cs: &mut ChunkState, sens_chunk: &mut [Vec<Vec<f64>>]| -> Result<(), EngineError> {
-                let p = sens_chunk.len();
-                for (si, rec) in records_ref.iter().enumerate() {
-                    let step = window_start + si;
-                    // No device evaluation at all: the MOSFET operating points
-                    // were captured by the accepted assembly of this step, so
-                    // the derivatives come straight from the record.
-                    ckt.d_residual_dparams_with_ops(
-                        cs.k0,
-                        &states_ref[step],
-                        &rec.mos_ops,
-                        &mut cs.pd_cur,
-                    )?;
-                    // Zero-allocation inner loop over an interleaved block:
-                    // every factor entry becomes a p-wide contiguous axpy.
-                    rec.b.mat_vec_interleaved(&cs.s_cur, &mut cs.block, p);
-                    for kk in 0..p {
-                        // w in the θ-method order of `param_step_rhs`.
-                        cs.w.iter_mut().for_each(|v| *v = 0.0);
-                        for &(i, v) in &cs.pd_cur[kk].df {
-                            cs.w[i] += rec.theta * v;
-                        }
-                        for &(i, v) in &cs.pd_prev[kk].df {
-                            cs.w[i] += (1.0 - rec.theta) * v;
-                        }
-                        for &(i, v) in &cs.pd_cur[kk].dq {
-                            cs.w[i] += v / rec.h;
-                        }
-                        for &(i, v) in &cs.pd_prev[kk].dq {
-                            cs.w[i] -= v / rec.h;
-                        }
-                        for (i, wi) in cs.w.iter().enumerate() {
-                            cs.block[i * p + kk] -= *wi;
-                        }
-                    }
-                    rec.lu
-                        .solve_multi_interleaved(&mut cs.block, p, &mut cs.scratch);
-                    std::mem::swap(&mut cs.s_cur, &mut cs.block);
-                    for (kk, hist) in sens_chunk.iter_mut().enumerate() {
-                        let out = &mut hist[step];
-                        for i in 0..n {
-                            out[i] = cs.s_cur[i * p + kk];
-                        }
-                    }
-                    std::mem::swap(&mut cs.pd_prev, &mut cs.pd_cur);
-                }
-                Ok(())
-            };
-        // One scoped worker per (state, sensitivity) chunk pair via the
-        // shared helper; a single chunk runs inline.
         let jobs: Vec<(&mut ChunkState, &mut [Vec<Vec<f64>>])> = chunk_states
             .iter_mut()
             .zip(sens.chunks_mut(chunk))
             .collect();
-        for r in crate::par::map_scoped(jobs, |(cs, sens_chunk)| run_chunk(cs, sens_chunk)) {
+        for r in crate::par::map_scoped(jobs, |(cs, sens_chunk)| {
+            propagate_window(
+                ckt,
+                cs,
+                sens_chunk,
+                records_ref,
+                states_ref,
+                window_start,
+                n,
+            )
+        }) {
             r?;
         }
         window_start = window_end + 1;
@@ -334,17 +435,32 @@ pub fn transient_with_sensitivities_seq(
     init: SensInit,
 ) -> Result<TranSensResult, EngineError> {
     let (x0, s0) = initial_state_and_sens(ckt, opts, init)?;
-    let res = crate::tran::transient(
-        ckt,
-        &TranOptions {
-            x0: Some(x0),
-            ..opts.clone()
-        },
-    )?;
+    // Fixed mode re-runs the plain transient; adaptive mode drives the same
+    // LTE controller as the batched path (so the grids match bitwise) and
+    // keeps the per-step θ, which BE startup and post-rejection BE retries
+    // make state-dependent.
+    let (res, step_thetas) = match opts.step_control {
+        StepControl::Fixed => {
+            let res = crate::tran::transient(
+                ckt,
+                &TranOptions {
+                    x0: Some(x0),
+                    ..opts.clone()
+                },
+            )?;
+            (res, Vec::new())
+        }
+        StepControl::Adaptive(a) => crate::tran::transient_adaptive_detailed(
+            ckt,
+            &mut crate::tran::CycleWorkspace::new(),
+            opts,
+            &a,
+            x0,
+        )?,
+    };
+    let fixed = matches!(opts.step_control, StepControl::Fixed);
     let n_node = ckt.n_nodes() - 1;
     let n_params = ckt.mismatch_params().len();
-    let theta = opts.method.theta();
-    let h = opts.dt;
 
     let mut sens: Vec<Vec<Vec<f64>>> = vec![Vec::with_capacity(res.states.len()); n_params];
     for (k, s) in s0.iter().enumerate() {
@@ -352,6 +468,13 @@ pub fn transient_with_sensitivities_seq(
     }
     // Propagate: J·S₁ = B·S₀ − w.
     for step in 1..res.states.len() {
+        let (h, theta) = if fixed {
+            (opts.dt, opts.method.theta())
+        } else {
+            // The driver derives each h from the time difference, so this
+            // reconstruction is bitwise exact.
+            (res.times[step] - res.times[step - 1], step_thetas[step - 1])
+        };
         let x_prev = &res.states[step - 1];
         let x_cur = &res.states[step];
         let asm0 = ckt.assemble(x_prev, res.times[step - 1]);
@@ -530,6 +653,102 @@ mod tests {
             assert!(
                 max_diff < 1e-12,
                 "threads {threads}: max |batched - seq| = {max_diff:e}"
+            );
+        }
+    }
+
+    /// Property (c): on the adaptive non-uniform grid, the batched path
+    /// matches the sequential reference for every thread count — and the
+    /// dense backend makes the thread-count comparison exactly bitwise
+    /// (chunk partitioning never touches any parameter's arithmetic).
+    #[test]
+    fn adaptive_batched_matches_sequential_all_thread_counts() {
+        use crate::tran::AdaptiveOptions;
+        let ckt = rc_with_mismatch();
+        let mut base = TranOptions::adaptive(4e-4, 2e-6, AdaptiveOptions::default());
+        base.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        base.method = crate::tran::Integrator::Trapezoidal;
+        let seq = transient_with_sensitivities_seq(&ckt, &base, SensInit::FromDc).unwrap();
+        let mut reference: Option<TranSensResult> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut opts = base.clone();
+            opts.threads = threads;
+            let par = transient_with_sensitivities(&ckt, &opts, SensInit::FromDc).unwrap();
+            // The nominal grids must agree bitwise: all paths drive the
+            // same LTE controller.
+            assert_eq!(par.tran.times.len(), seq.tran.times.len());
+            for (a, b) in par.tran.times.iter().zip(seq.tran.times.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "grid mismatch");
+            }
+            // Batched vs sequential: machine precision (different pivot
+            // handling), same contract as the fixed-grid test.
+            let mut max_diff = 0.0f64;
+            for (pk, sk) in par.sens.iter().zip(seq.sens.iter()) {
+                assert_eq!(pk.len(), sk.len());
+                for (ps, ss) in pk.iter().zip(sk.iter()) {
+                    for (a, b) in ps.iter().zip(ss.iter()) {
+                        max_diff = max_diff.max((a - b).abs());
+                    }
+                }
+            }
+            assert!(
+                max_diff < 1e-12,
+                "threads {threads}: max |batched - seq| = {max_diff:e}"
+            );
+            // Across thread counts: exactly bitwise.
+            match &reference {
+                None => reference = Some(par),
+                Some(r) => {
+                    for (pk, rk) in par.sens.iter().zip(r.sens.iter()) {
+                        for (ps, rs) in pk.iter().zip(rk.iter()) {
+                            for (a, b) in ps.iter().zip(rs.iter()) {
+                                assert_eq!(
+                                    a.to_bits(),
+                                    b.to_bits(),
+                                    "threads {threads} not bitwise vs 1"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adaptive-grid sensitivities are still *correct*, not just
+    /// self-consistent: compare against finite-difference re-simulation on
+    /// the same accepted grid.
+    #[test]
+    fn adaptive_sensitivity_matches_finite_difference() {
+        use crate::tran::AdaptiveOptions;
+        let ckt = rc_with_mismatch();
+        let b = ckt.find_node("b").unwrap();
+        let mut a = AdaptiveOptions::default();
+        a.reltol = 1e-4; // tight grid so FD of the perturbed runs stays fair
+        let mut opts = TranOptions::adaptive(1.5e-3, 5e-6, a);
+        opts.x0 = Some(vec![1.0, 0.0, -1e-3]);
+        let res = transient_with_sensitivities(&ckt, &opts, SensInit::Zero).unwrap();
+        let ib = ckt.unknown_of_node(b).unwrap();
+        let last = res.sens[0].len() - 1;
+        for (k, h) in [(0usize, 1e-2), (1usize, 1e-10)] {
+            let mut deltas = vec![0.0, 0.0];
+            deltas[k] = h;
+            let mut cp = ckt.clone();
+            cp.apply_mismatch(&deltas);
+            let rp = crate::tran::transient(&cp, &opts).unwrap();
+            deltas[k] = -h;
+            let mut cm = ckt.clone();
+            cm.apply_mismatch(&deltas);
+            let rm = crate::tran::transient(&cm, &opts).unwrap();
+            // Compare at the end point via interpolation (the perturbed
+            // runs accept their own grids).
+            let wp = rp.node_waveform(&cp, b);
+            let wm = rm.node_waveform(&cm, b);
+            let fd = (wp.last().unwrap() - wm.last().unwrap()) / (2.0 * h);
+            let got = res.sens[k][last][ib];
+            assert!(
+                (got - fd).abs() < 2e-2 * fd.abs().max(1e-8),
+                "param {k}: {got} vs {fd}"
             );
         }
     }

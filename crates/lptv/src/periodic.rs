@@ -20,6 +20,16 @@
 //! mode; the system is bordered with the stored phase condition and period
 //! derivative, and the extra unknown `δT` *is* the period sensitivity that
 //! Section V-C turns into frequency variance.
+//!
+//! The solver is *grid-agnostic*: every recurrence coefficient comes from
+//! the per-step [`StepRecord`]s (`h`, `θ`, the factored `J_k`), so a PSS
+//! orbit integrated under [`StepControl::Adaptive`] — whose records sit on a
+//! non-uniform LTE-controlled grid — propagates exactly like a fixed-grid
+//! one. Metric extraction downstream (`tranvar-core`) detects the grid kind
+//! and time-weights its averages accordingly.
+//!
+//! [`StepRecord`]: tranvar_engine::StepRecord
+//! [`StepControl::Adaptive`]: tranvar_engine::tran::StepControl::Adaptive
 
 use crate::error::LptvError;
 use tranvar_circuit::{Circuit, ParamDeriv};

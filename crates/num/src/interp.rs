@@ -91,6 +91,53 @@ pub fn slope_at(times: &[f64], values: &[f64], i: usize) -> f64 {
     }
 }
 
+/// Is a sample grid uniform to relative tolerance `rel_tol` (each spacing
+/// within `rel_tol` of the mean spacing)?
+///
+/// Grids shorter than three samples are trivially uniform. Consumers that
+/// special-case uniform grids (arithmetic means, index-fraction windows)
+/// use this to keep their historical fixed-grid arithmetic bit-identical
+/// while switching to time-weighted forms on adaptive grids; `1e-9`
+/// comfortably absorbs the ULP-level spacing jitter of a grid built as
+/// `t0 + k·dt` or `t0 + span·k/n`.
+pub fn is_uniform_grid(times: &[f64], rel_tol: f64) -> bool {
+    if times.len() < 3 {
+        return true;
+    }
+    let span = times[times.len() - 1] - times[0];
+    let mean = span / (times.len() - 1) as f64;
+    if mean.is_nan() || mean <= 0.0 {
+        return false;
+    }
+    times
+        .windows(2)
+        .all(|w| ((w[1] - w[0]) - mean).abs() <= rel_tol * mean)
+}
+
+/// Trapezoidal time-weighted mean of `y(t)` over the sampled span — the
+/// correct "average value" on a non-uniform grid, where the arithmetic
+/// sample mean would over-weight densely sampled regions.
+///
+/// Falls back to the plain arithmetic mean when the span is degenerate
+/// (fewer than two samples or zero length).
+///
+/// # Panics
+///
+/// Panics if `times` and `values` lengths differ or are empty.
+pub fn time_weighted_mean(times: &[f64], values: &[f64]) -> f64 {
+    assert_eq!(times.len(), values.len());
+    assert!(!times.is_empty());
+    let span = times[times.len() - 1] - times[0];
+    if times.len() < 2 || span <= 0.0 {
+        return values.iter().sum::<f64>() / values.len() as f64;
+    }
+    let mut acc = 0.0;
+    for i in 1..times.len() {
+        acc += 0.5 * (values[i] + values[i - 1]) * (times[i] - times[i - 1]);
+    }
+    acc / span
+}
+
 /// Index of the sample nearest to time `t` on a sorted grid.
 pub fn nearest_index(times: &[f64], t: f64) -> usize {
     match times.binary_search_by(|v| v.partial_cmp(&t).unwrap()) {
@@ -159,6 +206,37 @@ mod tests {
         for i in 0..4 {
             assert!((slope_at(&t, &v, i) - 2.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn uniform_grid_detection() {
+        let u: Vec<f64> = (0..100).map(|k| 1e-3 + k as f64 * 1e-6).collect();
+        assert!(is_uniform_grid(&u, 1e-9));
+        // Built by fraction (period·k/n) — ULP jitter must still read uniform.
+        let f: Vec<f64> = (0..=256).map(|k| 1e-5 * k as f64 / 256.0).collect();
+        assert!(is_uniform_grid(&f, 1e-9));
+        let mut nu = u.clone();
+        nu[50] += 0.5e-6;
+        assert!(!is_uniform_grid(&nu, 1e-9));
+        assert!(is_uniform_grid(&[0.0, 1.0], 1e-9));
+        assert!(!is_uniform_grid(&[0.0, 0.0, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_spacing() {
+        // y = 1 on [0, 1), y = 0 on [1, 4): mean = 1/4 regardless of how
+        // densely each region is sampled.
+        let t = [0.0, 0.5, 1.0, 4.0];
+        let v = [1.0, 1.0, 1.0, 0.0];
+        let m = time_weighted_mean(&t, &v);
+        assert!((m - (1.0 + 1.5) / 4.0).abs() < 1e-12, "{m}");
+        // On a uniform grid of a linear ramp it equals the midpoint value.
+        let t: Vec<f64> = (0..=10).map(|k| k as f64).collect();
+        let v: Vec<f64> = t.iter().map(|t| 2.0 * t).collect();
+        assert!((time_weighted_mean(&t, &v) - 10.0).abs() < 1e-12);
+        // Degenerate spans fall back to the sample mean.
+        assert_eq!(time_weighted_mean(&[3.0], &[7.0]), 7.0);
+        assert_eq!(time_weighted_mean(&[1.0, 1.0], &[2.0, 4.0]), 3.0);
     }
 
     #[test]

@@ -16,11 +16,13 @@
 
 use crate::error::PssError;
 use crate::shooting::last_state;
-use crate::shooting::{check_periodicity, finish, monodromy_threaded, PssOptions, PssSolution};
+use crate::shooting::{
+    check_periodicity, finish, integrate_pss_cycle, monodromy_threaded, PssOptions, PssSolution,
+};
 use tranvar_circuit::{Circuit, NodeId};
 use tranvar_engine::dc::DcOptions;
 use tranvar_engine::measure::average_period;
-use tranvar_engine::tran::{integrate_cycle_with, TranOptions};
+use tranvar_engine::tran::TranOptions;
 use tranvar_engine::{NewtonOptions, Session, SessionOptions};
 use tranvar_num::dense::vecops;
 use tranvar_num::interp::{crossings, Edge};
@@ -88,6 +90,7 @@ fn warm_up(
     let t_stop = opts.settle_periods * period_hint;
     let dt = period_hint / opts.pss.n_steps as f64;
     let mut tran_opts = TranOptions::new(t_stop, dt);
+    tran_opts.step_control = opts.pss.step_control;
     tran_opts.method = opts.pss.method;
     tran_opts.newton = newton;
     tran_opts.gmin = opts.pss.gmin;
@@ -185,18 +188,7 @@ pub fn autonomous_pss_in(
         // One bordered-Newton round per iteration, charged to the shared
         // budget alongside its two inner cycle integrations.
         newton.budget.begin_iteration("autonomous shooting")?;
-        let cyc = integrate_cycle_with(
-            ckt,
-            ws,
-            &x0,
-            0.0,
-            period,
-            opts.pss.n_steps,
-            opts.pss.method,
-            &newton,
-            opts.pss.gmin,
-            true,
-        )?;
+        let cyc = integrate_pss_cycle(ckt, ws, &x0, 0.0, period, &opts.pss, &newton, true)?;
         let x_end = last_state(&cyc)?.clone();
         let r = vecops::sub(&x_end, &x0);
         let phase_res = x0[pi] - v_pin;
@@ -205,16 +197,14 @@ pub fn autonomous_pss_in(
 
         // ∂Φ/∂T by forward difference on the period.
         let dt_rel = 1e-6;
-        let cyc2 = integrate_cycle_with(
+        let cyc2 = integrate_pss_cycle(
             ckt,
             ws,
             &x0,
             0.0,
             period * (1.0 + dt_rel),
-            opts.pss.n_steps,
-            opts.pss.method,
+            &opts.pss,
             &newton,
-            opts.pss.gmin,
             false,
         )?;
         let x_end2 = last_state(&cyc2)?;

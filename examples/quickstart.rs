@@ -1,11 +1,14 @@
 //! Quickstart: mismatch analysis of a resistor divider, cross-checked three
-//! ways — pseudo-noise/LPTV, DC-match, and Monte-Carlo.
+//! ways — pseudo-noise/LPTV, DC-match, and Monte-Carlo — plus the two
+//! transient step-control modes (`StepControl::Fixed` vs
+//! `StepControl::Adaptive`).
 //!
 //! Run with: `cargo run --example quickstart`
 
 use tranvar::circuit::{Circuit, NodeId, Waveform};
 use tranvar::engine::dc::{dc_operating_point, DcOptions};
 use tranvar::engine::mc::{monte_carlo, McOptions};
+use tranvar::engine::tran::{transient, AdaptiveOptions, TranOptions};
 use tranvar::prelude::*;
 use tranvar::pss::PssOptions;
 
@@ -57,6 +60,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "monte-carlo:   sigma = {:.3} mV (n=2000, CI +/-{:.1}%)",
         mc.stats.std_dev() * 1e3,
         tranvar::num::stats::sigma_rel_ci95(2000) * 100.0
+    );
+
+    // 4. Transient step control: `TranOptions::new` integrates on a fixed
+    //    uniform grid (`StepControl::Fixed`, bit-reproducible reference),
+    //    while `TranOptions::adaptive` lets the LTE controller pick each
+    //    step within [h_min, h_max] to meet reltol/abstol — far fewer
+    //    steps on stiff or mostly-quiet circuits, same answer.
+    let t_stop = 20e-9;
+    let mut fix = TranOptions::new(t_stop, t_stop / 2000.0);
+    fix.x0 = Some(vec![0.0; ckt.n_unknowns()]);
+    let fres = transient(&ckt, &fix)?;
+    let mut adap = TranOptions::adaptive(t_stop, t_stop / 2000.0, AdaptiveOptions::default());
+    adap.x0 = Some(vec![0.0; ckt.n_unknowns()]);
+    let ares = transient(&ckt, &adap)?;
+    println!(
+        "transient:     vout(t_stop) = {:.4} V fixed ({} steps) vs {:.4} V adaptive ({} steps)",
+        ckt.voltage(fres.last(), b),
+        fres.times.len() - 1,
+        ckt.voltage(ares.last(), b),
+        ares.times.len() - 1
     );
     Ok(())
 }

@@ -400,3 +400,160 @@ fn lptv_param_responses_are_bit_identical_for_any_thread_count() {
         }
     }
 }
+
+/// Adaptive step control reproduces the fixed-grid trajectory on every demo
+/// circuit: final states agree to within `10 × reltol` (scaled by the state
+/// magnitude, plus the matching absolute floor) while the accepted grid
+/// stays monotone inside the configured step bounds.
+#[test]
+fn adaptive_matches_fixed_on_all_demo_circuits() {
+    use tranvar::circuits::{ArrivalOrder, LogicPath, RStringDac, RingOsc, StrongArm, Tech};
+    use tranvar::engine::dc::{dc_operating_point, DcOptions};
+    use tranvar::engine::tran::{transient, AdaptiveOptions, Integrator, TranOptions};
+
+    let tech = Tech::t013();
+    let reltol = 1e-5;
+    let abstol = 1e-8;
+
+    // (name, circuit, t_stop, dt, method, explicit x0, adaptive reltol)
+    #[allow(clippy::type_complexity)]
+    let mut cases: Vec<(
+        &str,
+        tranvar::circuit::Circuit,
+        f64,
+        f64,
+        Integrator,
+        Option<Vec<f64>>,
+        f64,
+    )> = Vec::new();
+
+    let sa = StrongArm::paper(&tech);
+    cases.push((
+        "strongarm",
+        sa.circuit.clone(),
+        sa.t_read,
+        sa.period / 2048.0,
+        Integrator::BackwardEuler,
+        None,
+        reltol,
+    ));
+
+    // The logic path integrates under backward Euler: trapezoidal leaves a
+    // slowly-decaying grid-phase-dependent ringing on its stiff internal
+    // nodes that puts the *fixed* reference itself outside the accuracy
+    // band (refining the grid flips the residual's sign instead of
+    // shrinking it).
+    let lp = LogicPath::new(&tech, ArrivalOrder::XFirst);
+    cases.push((
+        "logic-path",
+        lp.circuit.clone(),
+        lp.period,
+        lp.period / 32768.0,
+        Integrator::BackwardEuler,
+        None,
+        reltol,
+    ));
+
+    // The ring oscillator starts from its *unstable* DC equilibrium (plus a
+    // kick), so any numerical difference between two trajectories grows
+    // exponentially until the orbit saturates. A quarter-period horizon
+    // keeps that amplification small enough for a meaningful comparison;
+    // over a full period no per-step tolerance makes the final states
+    // agree, because the growth factor dominates.
+    let ring = RingOsc::paper(&tech);
+    let mut kick = dc_operating_point(&ring.circuit, &DcOptions::default()).unwrap();
+    kick[ring.circuit.unknown_of_node(ring.stages[0]).unwrap()] += 0.1;
+    cases.push((
+        "ring-osc",
+        ring.circuit.clone(),
+        ring.period_hint / 4.0,
+        ring.period_hint / 16384.0,
+        Integrator::Trapezoidal,
+        Some(kick),
+        reltol / 10.0,
+    ));
+
+    // The R-string DAC is purely resistive; loading the mid tap makes the
+    // transient a genuine RC settling problem. Backward Euler, because the
+    // all-zeros start is inconsistent with the VREF constraint row and
+    // trapezoidal would ring that algebraic inconsistency undamped forever
+    // (v_vref alternating between 0 and 2·vref on the fixed grid). The
+    // controller runs 10× tighter than the band's `reltol`: BE truncation
+    // error lags the settling ramp with one sign, so per-step errors add up
+    // over the transient instead of cancelling.
+    let dac = RStringDac::new(4, 1e3, 0.01, 1.2);
+    let mut dac_ckt = dac.circuit.clone();
+    let mid = dac.taps[dac.taps.len() / 2];
+    dac_ckt.add_capacitor("CT", mid, tranvar::circuit::NodeId::GROUND, 1e-12);
+    let n = dac_ckt.n_unknowns();
+    cases.push((
+        "r-string-dac",
+        dac_ckt,
+        20e-9,
+        20e-9 / 16384.0,
+        Integrator::BackwardEuler,
+        Some(vec![0.0; n]),
+        reltol / 10.0,
+    ));
+
+    for (name, ckt, t_stop, dt, method, x0, rtol) in cases {
+        let mut fixed = TranOptions::new(t_stop, dt);
+        fixed.method = method;
+        fixed.x0 = x0.clone();
+        let fref = transient(&ckt, &fixed).unwrap();
+
+        let a = AdaptiveOptions {
+            reltol: rtol,
+            abstol: abstol * rtol / reltol,
+            ..AdaptiveOptions::default()
+        };
+        let mut adap = TranOptions::adaptive(t_stop, dt, a);
+        adap.method = method;
+        adap.x0 = x0;
+        let ares = transient(&ckt, &adap).unwrap();
+
+        // Grid contract: strictly monotone, endpoints exact, interior steps
+        // within the resolved bounds. A sliver shorter than h_min is only
+        // permitted just before `t_stop` or a source breakpoint, where the
+        // driver lands exactly regardless of the proposed step.
+        let (h_min, h_max) = a.resolve_bounds(t_stop);
+        let bps = ckt.source_breakpoints(0.0, t_stop);
+        assert_eq!(ares.times[0], 0.0, "{name}");
+        assert_eq!(*ares.times.last().unwrap(), t_stop, "{name}");
+        for (k, w) in ares.times.windows(2).enumerate() {
+            let h = w[1] - w[0];
+            assert!(h > 0.0, "{name}: step {k} not monotone");
+            assert!(
+                h <= 1.05 * h_max * (1.0 + 1e-9),
+                "{name}: step {k} h={h:.3e} > h_max"
+            );
+            let lands_on_stop = k + 2 >= ares.times.len();
+            let lands_on_bp = bps.iter().any(|&b| (w[1] - b).abs() <= 1e-12 * t_stop);
+            if !lands_on_stop && !lands_on_bp {
+                assert!(
+                    h >= h_min * (1.0 - 1e-9),
+                    "{name}: step {k} h={h:.3e} < h_min"
+                );
+            }
+        }
+
+        // Final states agree within the 10×reltol accuracy band.
+        let xf = fref.last();
+        let xa = ares.last();
+        let scale = xf.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let band = 10.0 * (reltol * scale + abstol);
+        for (i, (u, v)) in xf.iter().zip(xa.iter()).enumerate() {
+            assert!(
+                (u - v).abs() <= band,
+                "{name}: unknown {i} fixed {u:.6e} vs adaptive {v:.6e} (band {band:.3e})"
+            );
+        }
+        // And the adaptive run must actually have been adaptive.
+        assert!(
+            ares.times.len() < fref.times.len(),
+            "{name}: adaptive used {} samples vs fixed {}",
+            ares.times.len(),
+            fref.times.len()
+        );
+    }
+}
