@@ -325,7 +325,9 @@ fn campaign_ladder(policy: &RetryPolicy) -> Vec<Escalation> {
 fn flip(kind: SolverKind) -> SolverKind {
     match kind {
         SolverKind::Dense => SolverKind::Sparse,
-        SolverKind::Sparse => SolverKind::Dense,
+        // Both sparse variants fall back to the dense kernel, whose fresh
+        // full pivot search is the most robust escape from a bad pivot order.
+        SolverKind::Sparse | SolverKind::SparseOrdered => SolverKind::Dense,
     }
 }
 

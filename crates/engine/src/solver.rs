@@ -15,27 +15,76 @@
 //! across factorizations, so per-timestep factors cost only the numeric
 //! work. Heuristics for [`SolverKind`]:
 //!
-//! - **Dense** (default): best below roughly 300 unknowns — the dense kernel
-//!   has no indexing overhead, vectorizes, and the blocked
+//! - **Dense** (default): best below [`SPARSE_CROSSOVER_N`] unknowns — the
+//!   dense kernel has no indexing overhead, vectorizes, and the blocked
 //!   [`FactoredJacobian::solve_multi`] amortizes each factor row over a
 //!   whole block of right-hand sides. All paper benchmark circuits are in
 //!   this regime.
-//! - **Sparse**: wins when the Jacobian is large *and* sparse (long RC
-//!   ladders, wide rings, post-layout parasitics) — factor cost scales with
-//!   fill-in rather than n³, and the symbolic split means the pivot search
-//!   is paid once per circuit rather than once per timestep.
+//! - **Sparse**: the natural-column-order sparse backend; keeps bit-compat
+//!   replay semantics and wins when the Jacobian is large *and* sparse —
+//!   factor cost scales with fill-in rather than n³, and the symbolic split
+//!   means the pivot search is paid once per circuit rather than once per
+//!   timestep.
+//! - **SparseOrdered**: sparse with a Markowitz fill-reducing pivot order;
+//!   the least fill-in and the fastest replayed factorizations on ladder/
+//!   mesh-like substrates. [`SolverKind::auto_for`] encodes the measured
+//!   crossover.
+//!
+//! Wide multi-RHS solves (sensitivity and LPTV batches) should go through
+//! [`FactoredJacobian::solve_multi_lanes`], which dispatches to
+//! compile-time-width lane kernels and returns bit-for-bit the same results
+//! as the runtime-width interleaved path.
 
 use tranvar_circuit::Assembly;
-use tranvar_num::{Csc, DMat, Lu, NumError, SparseLu, SparseSymbolic, Triplets};
+use tranvar_num::{lanes_scratch_len, Csc, DMat, Lu, NumError, SparseLu, SparseSymbolic, Triplets};
+
+/// Dense/sparse crossover for [`SolverKind::auto_for`]: measured with the
+/// `lu_kernels` bench (steady-state refactor + multi-RHS lane solve on
+/// MNA-like ladder patterns), the flattened sparse backend with a replayed
+/// Markowitz ordering overtakes the dense kernel from this many unknowns —
+/// ~1.7× ahead at n = 32 and two orders of magnitude at n = 192. The
+/// one-off O(n³) ordering analysis is excluded: it is paid once per
+/// sparsity pattern and amortized by [`JacobianWorkspace`] replays.
+pub const SPARSE_CROSSOVER_N: usize = 32;
+
+/// Density above which a matrix at the crossover size is treated as dense
+/// regardless of dimension (fill-in would make the sparse factors no
+/// cheaper than the dense ones).
+const DENSE_FILL_FRACTION: f64 = 0.25;
 
 /// Which linear-algebra backend factors the MNA Jacobians.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SolverKind {
-    /// Dense LU with partial pivoting (default; ideal below ~300 unknowns).
+    /// Dense LU with partial pivoting (default; ideal for the paper-scale
+    /// benchmark circuits, below [`SPARSE_CROSSOVER_N`] unknowns).
     #[default]
     Dense,
-    /// Sparse left-looking LU (for larger circuits).
+    /// Sparse left-looking LU in natural column order (bit-compat replay
+    /// path for larger circuits).
     Sparse,
+    /// Sparse LU with a Markowitz fill-reducing pivot ordering (threshold
+    /// pivoting). Lowest fill-in and fastest replays on large sparse
+    /// substrates; solutions agree with [`SolverKind::Sparse`] to machine
+    /// precision but not bit-for-bit.
+    SparseOrdered,
+}
+
+impl SolverKind {
+    /// Picks a backend from the system dimension and stamp count:
+    /// [`SolverKind::Dense`] below [`SPARSE_CROSSOVER_N`] unknowns or when
+    /// the matrix is too full to profit from sparsity, otherwise
+    /// [`SolverKind::SparseOrdered`].
+    pub fn auto_for(n: usize, nnz: usize) -> SolverKind {
+        if n < SPARSE_CROSSOVER_N {
+            return SolverKind::Dense;
+        }
+        let density = nnz as f64 / (n as f64 * n as f64);
+        if density > DENSE_FILL_FRACTION {
+            SolverKind::Dense
+        } else {
+            SolverKind::SparseOrdered
+        }
+    }
 }
 
 /// A factored Jacobian, solvable for many right-hand sides.
@@ -72,6 +121,7 @@ impl FactoredJacobian {
         match kind {
             SolverKind::Dense => Ok(FactoredJacobian::Dense(csc.to_dense().lu()?)),
             SolverKind::Sparse => Ok(FactoredJacobian::Sparse(csc.lu()?)),
+            SolverKind::SparseOrdered => Ok(FactoredJacobian::Sparse(csc.lu_markowitz()?)),
         }
     }
 
@@ -121,10 +171,50 @@ impl FactoredJacobian {
     /// `n_rhs`-wide axpy — the fastest shape when the system is small and
     /// the batch is wide (tens of unknowns × tens of parameters). Per-RHS
     /// results are bit-for-bit identical to [`FactoredJacobian::solve`].
+    /// Prefer [`FactoredJacobian::solve_multi_lanes`], whose compile-time
+    /// lane kernels produce the same bits faster.
+    ///
+    /// Scratch contract: `scratch` must be a full `self.n() * n_rhs` shadow
+    /// of the block (both backends stage through it); a shorter slice would
+    /// read stale or out-of-range rows.
     pub fn solve_multi_interleaved(&self, block: &mut [f64], n_rhs: usize, scratch: &mut [f64]) {
+        debug_assert!(
+            scratch.len() >= self.n() * n_rhs,
+            "interleaved scratch must cover the whole block"
+        );
         match self {
             FactoredJacobian::Dense(lu) => lu.solve_multi_interleaved(block, n_rhs, scratch),
             FactoredJacobian::Sparse(lu) => lu.solve_multi_interleaved(block, n_rhs, scratch),
+        }
+    }
+
+    /// Solves an RHS-interleaved block through the compile-time lane kernels
+    /// (`solve_arr`), decomposing `n_rhs` into supported lane widths.
+    ///
+    /// `scratch` must hold at least
+    /// [`tranvar_num::lanes_scratch_len`]`(self.n(), n_rhs)` elements — size
+    /// caller buffers with that helper. Per-RHS results are bit-for-bit
+    /// identical to [`FactoredJacobian::solve_multi_interleaved`] and
+    /// [`FactoredJacobian::solve`].
+    pub fn solve_multi_lanes(&self, block: &mut [f64], n_rhs: usize, scratch: &mut [f64]) {
+        debug_assert!(
+            scratch.len() >= lanes_scratch_len(self.n(), n_rhs),
+            "lane scratch shorter than lanes_scratch_len"
+        );
+        match self {
+            FactoredJacobian::Dense(lu) => lu.solve_multi_lanes(block, n_rhs, scratch),
+            FactoredJacobian::Sparse(lu) => lu.solve_multi_lanes(block, n_rhs, scratch),
+        }
+    }
+
+    /// Solves `J·X = B` for an `N`-lane RHS block in place (`block[i]` is
+    /// row `i` of all `N` right-hand sides); `scratch` must hold `self.n()`
+    /// lane blocks. Per-RHS results are bit-for-bit identical to
+    /// [`FactoredJacobian::solve`].
+    pub fn solve_arr<const N: usize>(&self, block: &mut [[f64; N]], scratch: &mut [[f64; N]]) {
+        match self {
+            FactoredJacobian::Dense(lu) => lu.solve_arr(block, scratch),
+            FactoredJacobian::Sparse(lu) => lu.solve_arr(block, scratch),
         }
     }
 
@@ -347,7 +437,7 @@ impl JacobianWorkspace {
                     }
                 }
             }
-            SolverKind::Sparse => {
+            SolverKind::Sparse | SolverKind::SparseOrdered => {
                 let rebuilt = self.stage_csc(asm, alpha_g, alpha_c, gmin, n_node_unknowns);
                 if rebuilt {
                     self.stats.pattern_builds += 1;
@@ -369,9 +459,15 @@ impl JacobianWorkspace {
                     if !refactored {
                         // First factorization, pattern change, or stale
                         // pivots: run the analyzing factorization and
-                        // refresh the symbolic record.
+                        // refresh the symbolic record. The ordered backend
+                        // analyzes with the Markowitz fill-reducing order;
+                        // subsequent refactorizations replay it.
                         self.stats.symbolic_analyses += 1;
-                        let lu = csc.lu()?;
+                        let lu = if self.kind == SolverKind::SparseOrdered {
+                            csc.lu_markowitz()?
+                        } else {
+                            csc.lu()?
+                        };
                         self.symbolic = Some(lu.symbolic());
                         self.cached = Some(FactoredJacobian::Sparse(lu));
                     }

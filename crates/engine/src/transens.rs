@@ -166,8 +166,7 @@ fn propagate_window(
                 cs.block[i * p + kk] -= *wi;
             }
         }
-        rec.lu
-            .solve_multi_interleaved(&mut cs.block, p, &mut cs.scratch);
+        rec.lu.solve_multi_lanes(&mut cs.block, p, &mut cs.scratch);
         std::mem::swap(&mut cs.s_cur, &mut cs.block);
         for (kk, hist) in sens_chunk.iter_mut().enumerate() {
             let out = &mut hist[step];
@@ -263,7 +262,7 @@ pub fn transient_with_sensitivities_with(
                 k0,
                 s_cur,
                 block: vec![0.0; n * p],
-                scratch: vec![0.0; n * p],
+                scratch: vec![0.0; tranvar_num::lanes_scratch_len(n, p)],
                 w: vec![0.0; n],
                 pd_prev: vec![ParamDeriv::default(); p],
                 pd_cur: vec![ParamDeriv::default(); p],

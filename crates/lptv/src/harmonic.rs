@@ -121,13 +121,15 @@ pub fn solve_quasi_periodic(
     // Complex propagation with real factors: the state is kept as one
     // RHS-interleaved re/im block (`d[2i]`/`d[2i+1]` are the real and
     // imaginary parts of row i), so the coupling product and the per-step
-    // solve are single 2-wide interleaved batched sweeps
-    // ([`tranvar_engine::FactoredJacobian::solve_multi_interleaved`]) and
-    // every buffer is hoisted outside the record loops — the loop body
-    // performs no allocation at all.
+    // solve are single 2-wide interleaved batched sweeps through the
+    // compile-time lane kernels
+    // ([`tranvar_engine::FactoredJacobian::solve_multi_lanes`], width 2 is
+    // an exact lane width so the block is solved in place) and every buffer
+    // is hoisted outside the record loops — the loop body performs no
+    // allocation at all.
     let mut d = vec![0.0; 2 * n];
     let mut rhs = vec![0.0; 2 * n];
-    let mut scratch = vec![0.0; 2 * n];
+    let mut scratch = vec![0.0; tranvar_num::lanes_scratch_len(n, 2)];
     let mut prop =
         |rec: &tranvar_engine::StepRecord, wk: &[Complex], d: &mut Vec<f64>, rhs: &mut Vec<f64>| {
             rec.b.mat_vec_interleaved(d, rhs, 2);
@@ -135,7 +137,7 @@ pub fn solve_quasi_periodic(
                 rhs[2 * i] -= wv.re;
                 rhs[2 * i + 1] -= wv.im;
             }
-            rec.lu.solve_multi_interleaved(rhs, 2, &mut scratch);
+            rec.lu.solve_multi_lanes(rhs, 2, &mut scratch);
             std::mem::swap(d, rhs);
         };
     // Particular pass from the zero state.

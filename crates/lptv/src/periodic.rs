@@ -276,7 +276,7 @@ impl<'a> PeriodicSolver<'a> {
     /// chunk's per-step source terms as RHS-interleaved blocks and runs the
     /// particular pass, the boundary solve and the periodic re-propagation
     /// as single
-    /// [`tranvar_engine::FactoredJacobian::solve_multi_interleaved`] sweeps
+    /// [`tranvar_engine::FactoredJacobian::solve_multi_lanes`] sweeps
     /// per step — every factor entry becomes a chunk-wide contiguous axpy,
     /// with zero allocation inside the per-step loops. Each state's
     /// parameter derivatives are evaluated exactly once per chunk, and the
@@ -382,13 +382,13 @@ impl<'a> PeriodicSolver<'a> {
         // one interleaved block per step.
         let mut d = vec![0.0; n * p];
         let mut rhs = vec![0.0; n * p];
-        let mut scratch = vec![0.0; n * p];
+        let mut scratch = vec![0.0; tranvar_num::lanes_scratch_len(n, p)];
         for (s, rec) in recs.iter().enumerate() {
             rec.b.mat_vec_interleaved(&d, &mut rhs, p);
             for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
                 *ri -= *wi;
             }
-            rec.lu.solve_multi_interleaved(&mut rhs, p, &mut scratch);
+            rec.lu.solve_multi_lanes(&mut rhs, p, &mut scratch);
             std::mem::swap(&mut d, &mut rhs);
         }
         // Batched boundary solve; for autonomous orbits the bordered row
@@ -399,15 +399,14 @@ impl<'a> PeriodicSolver<'a> {
             let nb = n + 1;
             let mut bblock = vec![0.0; nb * p];
             bblock[..n * p].copy_from_slice(&d);
-            let mut bscratch = vec![0.0; nb * p];
+            let mut bscratch = vec![0.0; tranvar_num::lanes_scratch_len(nb, p)];
             self.boundary
-                .solve_multi_interleaved(&mut bblock, p, &mut bscratch);
+                .solve_multi_lanes(&mut bblock, p, &mut bscratch);
             dperiods.copy_from_slice(&bblock[n * p..]);
             bblock.truncate(n * p);
             bblock
         } else {
-            self.boundary
-                .solve_multi_interleaved(&mut d, p, &mut scratch);
+            self.boundary.solve_multi_lanes(&mut d, p, &mut scratch);
             d
         };
         // Re-propagate from the periodic initial conditions.
@@ -421,7 +420,7 @@ impl<'a> PeriodicSolver<'a> {
             for (ri, wi) in rhs.iter_mut().zip(w[s].iter()) {
                 *ri -= *wi;
             }
-            rec.lu.solve_multi_interleaved(&mut rhs, p, &mut scratch);
+            rec.lu.solve_multi_lanes(&mut rhs, p, &mut scratch);
             std::mem::swap(&mut d0, &mut rhs);
             for (kk, resp) in out.iter_mut().enumerate() {
                 resp.dx.push((0..n).map(|i| d0[i * p + kk]).collect());

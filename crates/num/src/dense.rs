@@ -466,7 +466,14 @@ impl<T: Scalar> Lu<T> {
     /// vectorizes far better than the column-major [`Lu::solve_multi`] when
     /// the system is small and the batch is wide (the transient-sensitivity
     /// shape: tens of unknowns, tens of parameters). Per-RHS results are
-    /// bit-for-bit identical to [`Lu::solve`].
+    /// bit-for-bit identical to [`Lu::solve`]. Prefer
+    /// [`Lu::solve_multi_lanes`] when the width is fixed across calls: its
+    /// compile-time lane kernels solve the same block faster with the same
+    /// bits.
+    ///
+    /// Scratch contract: `scratch` is a full shadow of the block — exactly
+    /// `self.n() * n_rhs` elements — used to stage the row permutation. A
+    /// shorter slice would permute from stale or out-of-range rows.
     ///
     /// # Panics
     ///
@@ -476,6 +483,10 @@ impl<T: Scalar> Lu<T> {
         let n = self.n();
         assert_eq!(block.len(), n * n_rhs, "block length mismatch");
         assert_eq!(scratch.len(), n * n_rhs, "scratch length mismatch");
+        debug_assert!(
+            scratch.len() >= block.len(),
+            "interleaved scratch must cover the whole block"
+        );
         if n_rhs == 0 {
             return;
         }
@@ -519,6 +530,78 @@ impl<T: Scalar> Lu<T> {
                 *a = *a / diag;
             }
         }
+    }
+
+    /// Solves `A·X = B` for an `N`-lane RHS block in place: `block[i]` holds
+    /// row `i` of all `N` right-hand sides. `scratch` must also hold
+    /// `self.n()` lane blocks.
+    ///
+    /// This is the compile-time-width variant of
+    /// [`Lu::solve_multi_interleaved`]: every inner axpy is a fixed-`N` loop
+    /// the compiler unrolls into straight-line SIMD. Per-RHS results are
+    /// bit-for-bit identical to [`Lu::solve_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` or `scratch.len()` differ from `self.n()`.
+    pub fn solve_arr<const N: usize>(&self, block: &mut [[T; N]], scratch: &mut [[T; N]]) {
+        let n = self.n();
+        assert_eq!(block.len(), n, "lane block length mismatch");
+        assert_eq!(scratch.len(), n, "lane scratch length mismatch");
+        // Ping-pong between the two buffers instead of staging the row
+        // permutation with a full-block copy: the forward sweep gathers input
+        // row `perm[i]` straight from `block` and writes `y` into `scratch`;
+        // the back sweep reads `y` from `scratch` and writes solutions into
+        // `block` (every input row has been consumed by then). Per-RHS
+        // operation order matches `solve_permuted_in_place` exactly
+        // (ascending j, zero-skip is a bitwise no-op for finite values), and
+        // the accumulator row lives in a local `[T; N]` so all `N` lanes stay
+        // in registers across the whole dot-product sweep.
+        for i in 0..n {
+            let row = self.lu.row(i);
+            let mut acc = block[self.perm[i]];
+            for (j, &lij) in row.iter().enumerate().take(i) {
+                if lij == T::zero() {
+                    continue;
+                }
+                let yj = &scratch[j];
+                for (a, b) in acc.iter_mut().zip(yj.iter()) {
+                    *a -= lij * *b;
+                }
+            }
+            scratch[i] = acc;
+        }
+        // Back substitution with upper factor, same register-resident
+        // accumulator shape; solutions land back in `block`.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let mut acc = scratch[i];
+            for (j, &uij) in row.iter().enumerate().skip(i + 1) {
+                if uij == T::zero() {
+                    continue;
+                }
+                let xj = &block[j];
+                for (a, b) in acc.iter_mut().zip(xj.iter()) {
+                    *a -= uij * *b;
+                }
+            }
+            let diag = row[i];
+            for a in acc.iter_mut() {
+                *a = *a / diag;
+            }
+            block[i] = acc;
+        }
+    }
+
+    /// Solves an RHS-interleaved block through the compile-time lane kernels
+    /// ([`Lu::solve_arr`]), decomposing `n_rhs` into supported lane widths.
+    ///
+    /// `scratch` must hold at least
+    /// [`crate::lanes::lanes_scratch_len`]`(self.n(), n_rhs)` elements.
+    /// Per-RHS results are bit-for-bit identical to
+    /// [`Lu::solve_multi_interleaved`] and [`Lu::solve_into`].
+    pub fn solve_multi_lanes(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        crate::lanes::solve_lanes_dispatch(self, self.n(), block, n_rhs, scratch);
     }
 
     /// Solves `Aᵀ·x = b` (useful for adjoint sensitivity analysis).
@@ -581,6 +664,12 @@ impl<T: Scalar> Lu<T> {
             }
         }
         out
+    }
+}
+
+impl<T: Scalar> crate::lanes::LaneSolver<T> for Lu<T> {
+    fn solve_lane<const N: usize>(&self, block: &mut [[T; N]], scratch: &mut [[T; N]]) {
+        self.solve_arr(block, scratch);
     }
 }
 

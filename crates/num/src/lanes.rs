@@ -1,0 +1,206 @@
+//! Compile-time lane blocks for the multi-RHS triangular-solve hot path.
+//!
+//! The runtime-width interleaved kernels
+//! ([`crate::dense::Lu::solve_multi_interleaved`],
+//! [`crate::sparse::SparseLu::solve_multi_interleaved`]) turn every factor
+//! entry into an `n_rhs`-wide axpy whose trip count is only known at run
+//! time, so the compiler emits a vector loop with prologue/remainder
+//! handling around every single factor entry. The lane kernels in this
+//! module fix the width at *compile time* instead: a block of `N` right-hand
+//! sides is a `[[T; N]]` slice, the inner axpy is a fixed-`N` loop the
+//! compiler fully unrolls into straight-line SIMD, and
+//! [`solve_lanes_dispatch`] decomposes an arbitrary `n_rhs` into lane groups
+//! of the supported widths ([`LANE_WIDTHS`]) plus a scalar remainder.
+//!
+//! Per-RHS arithmetic is identical to the runtime-width kernels (same
+//! operations, same order, independent of which lanes share a group), so
+//! lane-dispatched solves are **bit-for-bit identical per RHS** to
+//! [`crate::dense::Lu::solve_into`] / [`crate::sparse::SparseLu::solve_into`]
+//! — the property every `max_abs_diff == 0` bench gate relies on.
+
+use crate::complex::Scalar;
+
+/// Lane widths with a dedicated monomorphized kernel, widest first. The
+/// powers of two map onto whole SIMD registers and let the dispatcher
+/// greedily decompose any width; 40 additionally gets an exact kernel
+/// because it is the logic-path sweep width — the repo's canonical
+/// wide-batch workload — and an exact-width match solves the block in a
+/// single pass with no staging copies.
+pub const LANE_WIDTHS: [usize; 7] = [40, 32, 16, 8, 4, 2, 1];
+
+/// Reinterprets a flat scalar slice as a slice of `N`-wide lane blocks.
+///
+/// `[T; N]` has the same alignment as `T` and size `N · size_of::<T>()`, so
+/// a slice of `len / N` arrays covers exactly the same memory as the flat
+/// slice — the cast is purely a type-level regrouping.
+///
+/// # Panics
+///
+/// Panics if `s.len()` is not a multiple of `N`, or if `N == 0`.
+#[inline]
+pub fn as_lane_blocks_mut<T: Scalar, const N: usize>(s: &mut [T]) -> &mut [[T; N]] {
+    assert!(N > 0, "lane width must be nonzero");
+    assert_eq!(s.len() % N, 0, "slice length not a multiple of lane width");
+    let blocks = s.len() / N;
+    // SAFETY: `[T; N]` is layout-identical to `N` consecutive `T`s with the
+    // alignment of `T`, the element count is exact (checked above), and the
+    // returned borrow has the same lifetime and mutability as the input, so
+    // no aliasing or out-of-bounds access is possible.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<[T; N]>(), blocks) }
+}
+
+/// A factorization that can solve an `N`-lane RHS block in place.
+///
+/// Implemented by [`crate::dense::Lu`] and [`crate::sparse::SparseLu`]; the
+/// shared dispatcher [`solve_lanes_dispatch`] drives it so the lane-group
+/// decomposition logic exists once.
+pub trait LaneSolver<T: Scalar> {
+    /// Solves `A·X = B` for an `N`-lane block in place: `block[i]` holds row
+    /// `i` of all `N` right-hand sides and is overwritten with the
+    /// solutions; `scratch` is an equally sized workspace.
+    fn solve_lane<const N: usize>(&self, block: &mut [[T; N]], scratch: &mut [[T; N]]);
+}
+
+/// Scratch length required by [`solve_lanes_dispatch`] for an `n × n_rhs`
+/// interleaved block.
+///
+/// When `n_rhs` is itself a supported lane width the block is solved in
+/// place and one `n·n_rhs` workspace suffices (the same contract as
+/// `solve_multi_interleaved`); otherwise the dispatcher additionally stages
+/// each lane group contiguously, which needs a second `n·n_rhs` region.
+#[inline]
+pub fn lanes_scratch_len(n: usize, n_rhs: usize) -> usize {
+    if LANE_WIDTHS.contains(&n_rhs) {
+        n * n_rhs
+    } else {
+        2 * n * n_rhs
+    }
+}
+
+/// Solves an RHS-interleaved block (`block[i·n_rhs + k]` is row `i` of RHS
+/// `k`) by decomposing it into compile-time lane groups and calling the
+/// solver's [`LaneSolver::solve_lane`] kernels, widest group first.
+///
+/// Per-RHS results are bit-for-bit identical to solving each RHS alone: a
+/// lane group is solved with exactly the per-RHS operation sequence of
+/// `solve_into`, and the gather/scatter staging only moves values.
+///
+/// # Panics
+///
+/// Panics if `block.len() != n * n_rhs` or
+/// `scratch.len() < lanes_scratch_len(n, n_rhs)`.
+pub fn solve_lanes_dispatch<T: Scalar, S: LaneSolver<T>>(
+    solver: &S,
+    n: usize,
+    block: &mut [T],
+    n_rhs: usize,
+    scratch: &mut [T],
+) {
+    assert_eq!(block.len(), n * n_rhs, "block length mismatch");
+    assert!(
+        scratch.len() >= lanes_scratch_len(n, n_rhs),
+        "lane scratch too short: {} < {}",
+        scratch.len(),
+        lanes_scratch_len(n, n_rhs)
+    );
+    if n_rhs == 0 {
+        return;
+    }
+    // Exact-width fast path: reinterpret the interleaved block in place, no
+    // staging copies at all.
+    match n_rhs {
+        1 => return solve_exact::<T, S, 1>(solver, block, scratch),
+        2 => return solve_exact::<T, S, 2>(solver, block, scratch),
+        4 => return solve_exact::<T, S, 4>(solver, block, scratch),
+        8 => return solve_exact::<T, S, 8>(solver, block, scratch),
+        16 => return solve_exact::<T, S, 16>(solver, block, scratch),
+        32 => return solve_exact::<T, S, 32>(solver, block, scratch),
+        40 => return solve_exact::<T, S, 40>(solver, block, scratch),
+        _ => {}
+    }
+    // General path: greedy lane groups, each gathered into contiguous
+    // storage, solved, and scattered back. The gather/scatter is O(n·N) next
+    // to the O(factor-nnz·N) solve.
+    let (gather, work) = scratch.split_at_mut(n * n_rhs);
+    let mut k0 = 0;
+    while k0 < n_rhs {
+        let rem = n_rhs - k0;
+        let width = LANE_WIDTHS.iter().copied().find(|&w| w <= rem).unwrap_or(1);
+        match width {
+            40 => solve_group::<T, S, 40>(solver, n, block, n_rhs, k0, gather, work),
+            32 => solve_group::<T, S, 32>(solver, n, block, n_rhs, k0, gather, work),
+            16 => solve_group::<T, S, 16>(solver, n, block, n_rhs, k0, gather, work),
+            8 => solve_group::<T, S, 8>(solver, n, block, n_rhs, k0, gather, work),
+            4 => solve_group::<T, S, 4>(solver, n, block, n_rhs, k0, gather, work),
+            2 => solve_group::<T, S, 2>(solver, n, block, n_rhs, k0, gather, work),
+            _ => solve_group::<T, S, 1>(solver, n, block, n_rhs, k0, gather, work),
+        }
+        k0 += width;
+    }
+}
+
+#[inline]
+fn solve_exact<T: Scalar, S: LaneSolver<T>, const N: usize>(
+    solver: &S,
+    block: &mut [T],
+    scratch: &mut [T],
+) {
+    let blocks = block.len();
+    solver.solve_lane::<N>(
+        as_lane_blocks_mut(block),
+        as_lane_blocks_mut(&mut scratch[..blocks]),
+    );
+}
+
+#[inline]
+fn solve_group<T: Scalar, S: LaneSolver<T>, const N: usize>(
+    solver: &S,
+    n: usize,
+    block: &mut [T],
+    n_rhs: usize,
+    k0: usize,
+    gather: &mut [T],
+    work: &mut [T],
+) {
+    let g = as_lane_blocks_mut::<T, N>(&mut gather[..n * N]);
+    let w = as_lane_blocks_mut::<T, N>(&mut work[..n * N]);
+    for (i, gi) in g.iter_mut().enumerate() {
+        gi.copy_from_slice(&block[i * n_rhs + k0..i * n_rhs + k0 + N]);
+    }
+    solver.solve_lane::<N>(g, w);
+    for (i, gi) in g.iter().enumerate() {
+        block[i * n_rhs + k0..i * n_rhs + k0 + N].copy_from_slice(gi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_blocks_roundtrip() {
+        let mut v: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let blocks = as_lane_blocks_mut::<f64, 4>(&mut v);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(blocks[1], [4.0, 5.0, 6.0, 7.0]);
+        blocks[2][3] = -1.0;
+        assert_eq!(v[11], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn lane_blocks_reject_ragged() {
+        let mut v = vec![0.0f64; 10];
+        let _ = as_lane_blocks_mut::<f64, 4>(&mut v);
+    }
+
+    #[test]
+    fn scratch_len_contract() {
+        assert_eq!(lanes_scratch_len(10, 8), 80);
+        assert_eq!(lanes_scratch_len(10, 2), 20);
+        assert_eq!(lanes_scratch_len(10, 5), 100);
+        // 40 is an exact lane width, so it takes the in-place path.
+        assert_eq!(lanes_scratch_len(10, 40), 400);
+        assert_eq!(lanes_scratch_len(10, 17), 340);
+    }
+}

@@ -13,6 +13,7 @@
 //! - [`Complex`] arithmetic and the [`Scalar`] field abstraction,
 //! - dense LU ([`DMat`], [`Lu`]) for monodromy/shooting systems,
 //! - sparse CSC LU ([`sparse`]) for per-timestep MNA Jacobians,
+//! - const-generic lane kernels ([`lanes`]) for wide multi-RHS solves,
 //! - [`cholesky`] for correlated-mismatch construction (paper eq. 6),
 //! - [`fft`] and Fourier-series coefficients (paper Section V),
 //! - [`rng`] normal / correlated-normal sampling for Monte-Carlo,
@@ -40,6 +41,7 @@ pub mod dense;
 pub mod error;
 pub mod fft;
 pub mod interp;
+pub mod lanes;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
@@ -47,4 +49,5 @@ pub mod stats;
 pub use complex::{Complex, Scalar};
 pub use dense::{DMat, Lu};
 pub use error::NumError;
+pub use lanes::{lanes_scratch_len, LaneSolver};
 pub use sparse::{Csc, SparseLu, SparseSymbolic, Triplets};

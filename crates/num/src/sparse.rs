@@ -35,6 +35,13 @@ use crate::error::NumError;
 /// rejected (the caller should re-run the pivot search).
 const REFACTOR_PIVOT_RTOL: f64 = 1e-10;
 
+/// Default Markowitz threshold-pivoting parameter: a candidate pivot must be
+/// at least this fraction of its column's largest active magnitude. Large
+/// enough to keep replayed orders well clear of the
+/// `REFACTOR_PIVOT_RTOL` stale-pivot guard, small enough to let the
+/// fill-minimizing choice win.
+pub const DEFAULT_MARKOWITZ_TAU: f64 = 0.1;
+
 /// A sparse-matrix builder accumulating `(row, col, value)` triplets.
 ///
 /// Duplicate coordinates are summed when compressed, matching the way MNA
@@ -355,9 +362,134 @@ impl<T: Scalar> Csc<T> {
             });
         }
         let mut f = SparseLu::empty(self.rows);
-        let perm = symbolic.perm.clone();
-        f.factor_core(self, Some(&perm))?;
+        // Borrow the recorded orders directly — no per-call clone on the
+        // per-timestep refactorization path.
+        f.factor_core(self, Some((&symbolic.perm, &symbolic.col_order)))?;
         Ok(f)
+    }
+
+    /// Computes a Markowitz fill-reducing pivot ordering with threshold
+    /// pivoting (`tau` per [`DEFAULT_MARKOWITZ_TAU`]): each elimination step
+    /// picks the candidate `(row, col)` minimizing
+    /// `(row_nnz − 1)·(col_nnz − 1)` among entries with magnitude at least
+    /// `tau` times the column's largest active magnitude. Runs a
+    /// right-looking elimination on a dense working copy — O(n³) worst case,
+    /// paid once per sparsity pattern, amortized over every replayed
+    /// refactorization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumError::NotSquare`], [`NumError::Singular`] when no
+    /// admissible pivot exists at some step, or [`NumError::NonFinite`].
+    pub fn analyze_markowitz(&self, tau: f64) -> Result<SparseSymbolic, NumError> {
+        if self.rows != self.cols {
+            return Err(NumError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut w = vec![T::zero(); n * n];
+        for c in 0..n {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                w[self.row_idx[k] * n + c] = self.values[k];
+            }
+        }
+        let mut row_active = vec![true; n];
+        let mut col_active = vec![true; n];
+        let mut row_cnt = vec![0usize; n];
+        let mut col_cnt = vec![0usize; n];
+        let mut perm = Vec::with_capacity(n);
+        let mut col_order = Vec::with_capacity(n);
+        for _step in 0..n {
+            // Active nonzero counts per row and column.
+            row_cnt.iter_mut().for_each(|v| *v = 0);
+            col_cnt.iter_mut().for_each(|v| *v = 0);
+            for r in 0..n {
+                if !row_active[r] {
+                    continue;
+                }
+                for c in 0..n {
+                    if col_active[c] && w[r * n + c] != T::zero() {
+                        row_cnt[r] += 1;
+                        col_cnt[c] += 1;
+                    }
+                }
+            }
+            // Best admissible pivot: minimal Markowitz score, ties broken by
+            // larger magnitude, then lower (row, col) for determinism.
+            let mut best: Option<(usize, usize, usize, f64)> = None;
+            for c in 0..n {
+                if !col_active[c] {
+                    continue;
+                }
+                let mut colmax = 0.0f64;
+                for r in 0..n {
+                    if !row_active[r] {
+                        continue;
+                    }
+                    let m = w[r * n + c].magnitude();
+                    if !m.is_finite() {
+                        return Err(NumError::NonFinite { col: c });
+                    }
+                    colmax = colmax.max(m);
+                }
+                if colmax == 0.0 {
+                    continue;
+                }
+                let thresh = tau * colmax;
+                for r in 0..n {
+                    if !row_active[r] {
+                        continue;
+                    }
+                    let m = w[r * n + c].magnitude();
+                    if m == 0.0 || m < thresh {
+                        continue;
+                    }
+                    let score = (row_cnt[r] - 1) * (col_cnt[c] - 1);
+                    let better = match best {
+                        None => true,
+                        Some((bs, _, _, bm)) => score < bs || (score == bs && m > bm),
+                    };
+                    if better {
+                        best = Some((score, r, c, m));
+                    }
+                }
+            }
+            let (_, pr, pc, _) = best.ok_or(NumError::Singular { col: perm.len() })?;
+            perm.push(pr);
+            col_order.push(pc);
+            row_active[pr] = false;
+            col_active[pc] = false;
+            // Right-looking update of the active submatrix.
+            let pivot = w[pr * n + pc];
+            for r in 0..n {
+                if !row_active[r] || w[r * n + pc] == T::zero() {
+                    continue;
+                }
+                let f = w[r * n + pc] / pivot;
+                for c in 0..n {
+                    if col_active[c] {
+                        let u = w[pr * n + c];
+                        if u != T::zero() {
+                            w[r * n + c] -= f * u;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SparseSymbolic { perm, col_order })
+    }
+
+    /// Analyzes with [`Csc::analyze_markowitz`] at the default threshold and
+    /// factors with the resulting fill-reducing order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis and factorization errors.
+    pub fn lu_markowitz(&self) -> Result<SparseLu<T>, NumError> {
+        let sym = self.analyze_markowitz(DEFAULT_MARKOWITZ_TAU)?;
+        self.lu_with(&sym)
     }
 }
 
@@ -367,6 +499,10 @@ impl<T: Scalar> Csc<T> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SparseSymbolic {
     perm: Vec<usize>,
+    /// Column elimination order: `col_order[step]` is the original column
+    /// eliminated at `step`. Empty means natural order (step == column),
+    /// the bit-compat replay path.
+    col_order: Vec<usize>,
 }
 
 impl SparseSymbolic {
@@ -380,19 +516,50 @@ impl SparseSymbolic {
     pub fn order(&self) -> &[usize] {
         &self.perm
     }
+
+    /// The recorded column elimination order; empty for natural order.
+    pub fn col_order(&self) -> &[usize] {
+        &self.col_order
+    }
+
+    /// `true` when this analysis carries a fill-reducing column order (from
+    /// [`Csc::analyze_markowitz`]) rather than the natural one.
+    pub fn is_ordered(&self) -> bool {
+        !self.col_order.is_empty()
+    }
 }
 
 /// A sparse LU factorization produced by [`Csc::lu`].
+///
+/// Factor storage is flattened CSC/CSR-style: each factor is one contiguous
+/// index array plus one contiguous value array addressed through an offset
+/// table, so numeric refactorizations and triangular solves stream through
+/// two flat arrays instead of chasing one heap allocation per column.
 #[derive(Clone, Debug)]
 pub struct SparseLu<T> {
     n: usize,
-    /// perm[j] = original row chosen as pivot for elimination step j.
+    /// perm[step] = original row chosen as pivot for elimination step `step`.
     perm: Vec<usize>,
-    /// L columns: (original row, multiplier), strictly below-diagonal.
-    l_cols: Vec<Vec<(usize, T)>>,
-    /// For pivot-row j: list of (column, value) entries of U in that row,
-    /// stored as (col, value) with col >= j, sorted ascending by col.
-    u_rows_by_col: Vec<Vec<(usize, T)>>,
+    /// col_order[step] = original column eliminated at `step`; empty means
+    /// natural order (step == column).
+    col_order: Vec<usize>,
+    /// Flattened L (strictly below-diagonal, unit diagonal implicit): step
+    /// `j`'s column occupies `l_idx/l_val[l_ptr[j]..l_ptr[j+1]]` as
+    /// (original row, multiplier) pairs sorted by row.
+    l_ptr: Vec<usize>,
+    l_idx: Vec<usize>,
+    l_val: Vec<T>,
+    /// Flattened U in pivot-step coordinates: row `j` occupies
+    /// `u_idx/u_val[u_ptr[j]..u_ptr[j+1]]` as (step, value) pairs sorted
+    /// ascending, diagonal at step == j.
+    u_ptr: Vec<usize>,
+    u_idx: Vec<usize>,
+    u_val: Vec<T>,
+    /// Per-step build staging, retained across refactorizations. U rows
+    /// receive entries out of row order during the left-looking sweep, so
+    /// they are staged here and flattened once per factorization.
+    l_build: Vec<Vec<(usize, T)>>,
+    u_build: Vec<Vec<(usize, T)>>,
 }
 
 impl<T: Scalar> SparseLu<T> {
@@ -400,8 +567,15 @@ impl<T: Scalar> SparseLu<T> {
         SparseLu {
             n,
             perm: Vec::new(),
-            l_cols: Vec::new(),
-            u_rows_by_col: Vec::new(),
+            col_order: Vec::new(),
+            l_ptr: Vec::new(),
+            l_idx: Vec::new(),
+            l_val: Vec::new(),
+            u_ptr: Vec::new(),
+            u_idx: Vec::new(),
+            u_val: Vec::new(),
+            l_build: Vec::new(),
+            u_build: Vec::new(),
         }
     }
 
@@ -410,11 +584,18 @@ impl<T: Scalar> SparseLu<T> {
         self.n
     }
 
-    /// Extracts the reusable symbolic analysis (pivot order) so future
-    /// same-pattern factorizations can skip the pivot search.
+    /// Number of stored factor entries (L strictly-lower + U including the
+    /// diagonal) — the fill-in metric the ordering benchmarks report.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_val.len() + self.u_val.len()
+    }
+
+    /// Extracts the reusable symbolic analysis (pivot and column order) so
+    /// future same-pattern factorizations can skip the pivot search.
     pub fn symbolic(&self) -> SparseSymbolic {
         SparseSymbolic {
             perm: self.perm.clone(),
+            col_order: self.col_order.clone(),
         }
     }
 
@@ -437,19 +618,27 @@ impl<T: Scalar> SparseLu<T> {
             });
         }
         let perm = std::mem::take(&mut self.perm);
-        let result = self.factor_core(a, Some(&perm));
+        let cord = std::mem::take(&mut self.col_order);
+        let result = self.factor_core(a, Some((&perm, &cord)));
         if result.is_err() {
-            // Leave a well-formed (if useless) perm behind.
+            // Leave well-formed (if useless) orders behind.
             self.perm = perm;
+            self.col_order = cord;
         }
         result
     }
 
     /// The shared factorization kernel. With `fixed: None` it searches for
-    /// pivots (analyzing factorization); with `fixed: Some(order)` it replays
-    /// the given pivot order (numeric refactorization). Existing factor
-    /// storage is cleared and reused.
-    fn factor_core(&mut self, a: &Csc<T>, fixed: Option<&[usize]>) -> Result<(), NumError> {
+    /// pivots in natural column order (analyzing factorization); with
+    /// `fixed: Some((perm, col_order))` it replays the given pivot order —
+    /// and, when `col_order` is non-empty, the given column elimination
+    /// order (numeric refactorization). Existing factor storage is cleared
+    /// and reused.
+    fn factor_core(
+        &mut self,
+        a: &Csc<T>,
+        fixed: Option<(&[usize], &[usize])>,
+    ) -> Result<(), NumError> {
         if a.rows != a.cols {
             return Err(NumError::NotSquare {
                 rows: a.rows,
@@ -458,29 +647,48 @@ impl<T: Scalar> SparseLu<T> {
         }
         let n = a.rows;
         self.n = n;
-        // row_perm[i] = original row currently in pivot position i; inv maps
-        // original row -> pivot position (usize::MAX while unassigned).
+        // pinv maps original row -> pivot step (usize::MAX while unassigned).
         let mut pinv = vec![usize::MAX; n];
         self.perm.clear();
         self.perm.resize(n, usize::MAX);
+        self.col_order.clear();
+        let fixed_cols: &[usize] = match fixed {
+            Some((_, cord)) if !cord.is_empty() => {
+                if cord.len() != n {
+                    return Err(NumError::DimensionMismatch {
+                        expected: n,
+                        actual: cord.len(),
+                    });
+                }
+                self.col_order.extend_from_slice(cord);
+                cord
+            }
+            _ => &[],
+        };
 
-        // Clear factor columns, retaining inner allocations where possible.
-        for c in self.l_cols.iter_mut() {
+        // Clear the build staging, retaining inner allocations.
+        for c in self.l_build.iter_mut() {
             c.clear();
         }
-        for c in self.u_rows_by_col.iter_mut() {
+        for c in self.u_build.iter_mut() {
             c.clear();
         }
-        self.l_cols.resize_with(n, Vec::new);
-        self.u_rows_by_col.resize_with(n, Vec::new);
-        self.l_cols.truncate(n);
-        self.u_rows_by_col.truncate(n);
+        self.l_build.resize_with(n, Vec::new);
+        self.u_build.resize_with(n, Vec::new);
+        self.l_build.truncate(n);
+        self.u_build.truncate(n);
 
         // Dense scatter workspace indexed by *original* row.
         let mut work = vec![T::zero(); n];
         let mut touched: Vec<usize> = Vec::with_capacity(n);
 
-        for col in 0..n {
+        for step in 0..n {
+            // Original column eliminated at this step.
+            let col = if fixed_cols.is_empty() {
+                step
+            } else {
+                fixed_cols[step]
+            };
             // Scatter column `col` of A into the workspace.
             touched.clear();
             for k in a.col_ptr[col]..a.col_ptr[col + 1] {
@@ -488,20 +696,20 @@ impl<T: Scalar> SparseLu<T> {
                 work[r] = a.values[k];
                 touched.push(r);
             }
-            // Left-looking update: for each prior pivot j (in order), if the
+            // Left-looking update: for each prior step j (in order), if the
             // workspace has a value at the pivot row of j, eliminate with
             // column j of L. Processing j in increasing order is a correct
             // topological order for the dense-workspace variant.
-            for j in 0..col {
+            for j in 0..step {
                 let pr = self.perm[j]; // original row holding pivot j
                 let ujc = work[pr];
                 if ujc == T::zero() {
                     continue;
                 }
-                // Record U entry (pivot position j, column col).
-                self.u_rows_by_col[j].push((col, ujc));
+                // Record U entry (pivot row j, pivot-step coordinate `step`).
+                self.u_build[j].push((step, ujc));
                 // work -= ujc * L[:, j]
-                for &(orig_row, lv) in &self.l_cols[j] {
+                for &(orig_row, lv) in &self.l_build[j] {
                     if work[orig_row] == T::zero() {
                         touched.push(orig_row);
                     }
@@ -512,8 +720,8 @@ impl<T: Scalar> SparseLu<T> {
             // Pivot selection: replay a fixed order, or search for the
             // largest magnitude among unassigned original rows.
             let prow = match fixed {
-                Some(order) => {
-                    let prow = order[col];
+                Some((order, _)) => {
+                    let prow = order[step];
                     let pmag = work[prow].magnitude();
                     if !pmag.is_finite() {
                         return Err(NumError::NonFinite { col });
@@ -580,11 +788,11 @@ impl<T: Scalar> SparseLu<T> {
                 }
             };
             let pivot = work[prow];
-            self.perm[col] = prow;
-            pinv[prow] = col;
+            self.perm[step] = prow;
+            pinv[prow] = step;
 
-            // Store L column (unit diagonal implicit) and clear workspace.
-            let lcol = &mut self.l_cols[col];
+            // Stage L column (unit diagonal implicit) and clear workspace.
+            let lcol = &mut self.l_build[step];
             for &r in touched.iter() {
                 let v = work[r];
                 if v == T::zero() {
@@ -598,7 +806,7 @@ impl<T: Scalar> SparseLu<T> {
                     lcol.push((r, v / pivot));
                 } else {
                     // This row was already pivotal: belongs to U.
-                    self.u_rows_by_col[pinv[r]].push((col, v));
+                    self.u_build[pinv[r]].push((step, v));
                 }
                 work[r] = T::zero();
             }
@@ -614,12 +822,13 @@ impl<T: Scalar> SparseLu<T> {
                     false
                 }
             });
-            self.u_rows_by_col[col].push((col, pivot));
+            self.u_build[step].push((step, pivot));
         }
-        // Sort U columns by row position for deterministic solves.
-        for ucol in self.u_rows_by_col.iter_mut() {
-            ucol.sort_by_key(|&(r, _)| r);
-            ucol.dedup_by(|a, b| {
+        // Sort U rows by pivot-step position for deterministic solves, then
+        // flatten both factors into the contiguous offset-table storage.
+        for urow in self.u_build.iter_mut() {
+            urow.sort_by_key(|&(s, _)| s);
+            urow.dedup_by(|a, b| {
                 if a.0 == b.0 {
                     b.1 += a.1;
                     true
@@ -627,6 +836,28 @@ impl<T: Scalar> SparseLu<T> {
                     false
                 }
             });
+        }
+        self.l_ptr.clear();
+        self.l_idx.clear();
+        self.l_val.clear();
+        self.l_ptr.push(0);
+        for lcol in self.l_build.iter() {
+            for &(r, v) in lcol.iter() {
+                self.l_idx.push(r);
+                self.l_val.push(v);
+            }
+            self.l_ptr.push(self.l_idx.len());
+        }
+        self.u_ptr.clear();
+        self.u_idx.clear();
+        self.u_val.clear();
+        self.u_ptr.push(0);
+        for urow in self.u_build.iter() {
+            for &(s, v) in urow.iter() {
+                self.u_idx.push(s);
+                self.u_val.push(v);
+            }
+            self.u_ptr.push(self.u_idx.len());
         }
         Ok(())
     }
@@ -655,7 +886,7 @@ impl<T: Scalar> SparseLu<T> {
         assert_eq!(out.len(), n, "out length mismatch");
         assert_eq!(scratch.len(), n, "scratch length mismatch");
         // Forward: scratch holds the working RHS indexed by original row,
-        // out accumulates y indexed by pivot position.
+        // out accumulates y indexed by pivot step.
         scratch.copy_from_slice(b);
         for j in 0..n {
             let pr = self.perm[j];
@@ -664,18 +895,17 @@ impl<T: Scalar> SparseLu<T> {
             if yj == T::zero() {
                 continue;
             }
-            for &(orig_row, lv) in &self.l_cols[j] {
-                scratch[orig_row] -= lv * yj;
+            for (idx, lv) in self.l_entries(j) {
+                scratch[idx] -= lv * yj;
             }
         }
-        // Back substitution on U: U is upper triangular in pivot coordinates.
-        // u_rows_by_col[j] holds row j of U as (col, value) pairs sorted by
-        // col; the entry with col == j is the diagonal.
+        // Back substitution on U: U is upper triangular in pivot-step
+        // coordinates; row j's entries are sorted by step, diagonal at
+        // step == j.
         for j in (0..n).rev() {
-            let row = &self.u_rows_by_col[j];
             let mut acc = out[j];
             let mut diag = T::zero();
-            for &(c, v) in row.iter() {
+            for (c, v) in self.u_entries(j) {
                 if c == j {
                     diag = v;
                 } else {
@@ -684,6 +914,34 @@ impl<T: Scalar> SparseLu<T> {
             }
             out[j] = acc / diag;
         }
+        // Under a fill-reducing column order, step j solved the unknown of
+        // original column col_order[j]: scatter back to original coordinates.
+        if !self.col_order.is_empty() {
+            scratch.copy_from_slice(out);
+            for (step, &c) in self.col_order.iter().enumerate() {
+                out[c] = scratch[step];
+            }
+        }
+    }
+
+    /// Iterates step `j`'s L column as (original row, multiplier) pairs.
+    #[inline]
+    fn l_entries(&self, j: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let (lo, hi) = (self.l_ptr[j], self.l_ptr[j + 1]);
+        self.l_idx[lo..hi]
+            .iter()
+            .zip(self.l_val[lo..hi].iter())
+            .map(|(&r, &v)| (r, v))
+    }
+
+    /// Iterates pivot row `j` of U as (step, value) pairs sorted by step.
+    #[inline]
+    fn u_entries(&self, j: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        let (lo, hi) = (self.u_ptr[j], self.u_ptr[j + 1]);
+        self.u_idx[lo..hi]
+            .iter()
+            .zip(self.u_val[lo..hi].iter())
+            .map(|(&c, &v)| (c, v))
     }
 
     /// Solves `A·X = B` for a column-major block of `n_rhs` right-hand sides
@@ -713,11 +971,13 @@ impl<T: Scalar> SparseLu<T> {
             return;
         }
         // Forward sweep, factor-column outer loop: scratch is the working RHS
-        // (original-row indexed), block accumulates y (pivot indexed).
+        // (original-row indexed), block accumulates y (pivot-step indexed).
         scratch.copy_from_slice(block);
         for j in 0..n {
             let pr = self.perm[j];
-            let lcol = &self.l_cols[j];
+            let (llo, lhi) = (self.l_ptr[j], self.l_ptr[j + 1]);
+            let lidx = &self.l_idx[llo..lhi];
+            let lval = &self.l_val[llo..lhi];
             for k in 0..n_rhs {
                 let off = k * n;
                 let yj = scratch[off + pr];
@@ -725,19 +985,21 @@ impl<T: Scalar> SparseLu<T> {
                 if yj == T::zero() {
                     continue;
                 }
-                for &(orig_row, lv) in lcol {
+                for (&orig_row, &lv) in lidx.iter().zip(lval.iter()) {
                     scratch[off + orig_row] -= lv * yj;
                 }
             }
         }
         // Back substitution, factor-row outer loop.
         for j in (0..n).rev() {
-            let row = &self.u_rows_by_col[j];
+            let (ulo, uhi) = (self.u_ptr[j], self.u_ptr[j + 1]);
+            let uidx = &self.u_idx[ulo..uhi];
+            let uval = &self.u_val[ulo..uhi];
             for k in 0..n_rhs {
                 let x = &mut block[k * n..(k + 1) * n];
                 let mut acc = x[j];
                 let mut diag = T::zero();
-                for &(c, v) in row.iter() {
+                for (&c, &v) in uidx.iter().zip(uval.iter()) {
                     if c == j {
                         diag = v;
                     } else {
@@ -745,6 +1007,16 @@ impl<T: Scalar> SparseLu<T> {
                     }
                 }
                 x[j] = acc / diag;
+            }
+        }
+        // Scatter each column from pivot-step to original-column coordinates.
+        if !self.col_order.is_empty() {
+            scratch.copy_from_slice(block);
+            for k in 0..n_rhs {
+                let off = k * n;
+                for (step, &c) in self.col_order.iter().enumerate() {
+                    block[off + c] = scratch[off + step];
+                }
             }
         }
     }
@@ -757,7 +1029,14 @@ impl<T: Scalar> SparseLu<T> {
     ///
     /// Like [`crate::dense::Lu::solve_multi_interleaved`], every factor
     /// entry turns into a contiguous `n_rhs`-wide axpy. Per-RHS results are
-    /// bit-for-bit identical to [`SparseLu::solve`].
+    /// bit-for-bit identical to [`SparseLu::solve`]. Prefer
+    /// [`SparseLu::solve_multi_lanes`] when the width is fixed across calls:
+    /// its compile-time lane kernels solve the same block faster with the
+    /// same bits.
+    ///
+    /// Scratch contract: `scratch` is a full shadow of the block — exactly
+    /// `self.n() * n_rhs` elements — holding the working RHS rows during the
+    /// forward sweep. A shorter slice would read stale or out-of-range rows.
     ///
     /// # Panics
     ///
@@ -767,11 +1046,15 @@ impl<T: Scalar> SparseLu<T> {
         let n = self.n;
         assert_eq!(block.len(), n * n_rhs, "block length mismatch");
         assert_eq!(scratch.len(), n * n_rhs, "scratch length mismatch");
+        debug_assert!(
+            scratch.len() >= block.len(),
+            "interleaved scratch must cover the whole block"
+        );
         if n_rhs == 0 {
             return;
         }
         // Forward: scratch is the working RHS (original-row indexed), block
-        // accumulates y (pivot indexed).
+        // accumulates y (pivot-step indexed).
         scratch.copy_from_slice(block);
         for j in 0..n {
             let pr = self.perm[j];
@@ -783,18 +1066,17 @@ impl<T: Scalar> SparseLu<T> {
                 b.copy_from_slice(s);
             }
             let yrow = &block[j * n_rhs..(j + 1) * n_rhs];
-            for &(orig_row, lv) in &self.l_cols[j] {
+            for (orig_row, lv) in self.l_entries(j) {
                 let wrow = &mut scratch[orig_row * n_rhs..(orig_row + 1) * n_rhs];
                 for (w, y) in wrow.iter_mut().zip(yrow.iter()) {
                     *w -= lv * *y;
                 }
             }
         }
-        // Back substitution on U (pivot coordinates).
+        // Back substitution on U (pivot-step coordinates).
         for j in (0..n).rev() {
-            let row = &self.u_rows_by_col[j];
             let mut diag = T::zero();
-            for &(c, v) in row.iter() {
+            for (c, v) in self.u_entries(j) {
                 if c == j {
                     diag = v;
                     continue;
@@ -811,6 +1093,89 @@ impl<T: Scalar> SparseLu<T> {
                 *a = *a / diag;
             }
         }
+        // Scatter rows from pivot-step to original-column coordinates.
+        if !self.col_order.is_empty() {
+            scratch.copy_from_slice(block);
+            for (step, &c) in self.col_order.iter().enumerate() {
+                block[c * n_rhs..(c + 1) * n_rhs]
+                    .copy_from_slice(&scratch[step * n_rhs..(step + 1) * n_rhs]);
+            }
+        }
+    }
+
+    /// Solves `A·X = B` for an `N`-lane RHS block in place: `block[i]` holds
+    /// row `i` of all `N` right-hand sides. `scratch` must also hold
+    /// `self.n()` lane blocks.
+    ///
+    /// The compile-time-width variant of
+    /// [`SparseLu::solve_multi_interleaved`]: every factor entry becomes a
+    /// fixed-`N` axpy the compiler unrolls into straight-line SIMD. Per-RHS
+    /// results are bit-for-bit identical to [`SparseLu::solve_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` or `scratch.len()` differ from `self.n()`.
+    pub fn solve_arr<const N: usize>(&self, block: &mut [[T; N]], scratch: &mut [[T; N]]) {
+        let n = self.n;
+        assert_eq!(block.len(), n, "lane block length mismatch");
+        assert_eq!(scratch.len(), n, "lane scratch length mismatch");
+        // Forward: `block` itself is the working RHS (original-row indexed)
+        // — no staging copy — and `scratch` receives y (pivot-step indexed).
+        // Row `perm[j]` is final by the time column j reads it: L entries
+        // only ever update rows that are not yet pivotal.
+        for j in 0..n {
+            let yrow = block[self.perm[j]];
+            scratch[j] = yrow;
+            for (orig_row, lv) in self.l_entries(j) {
+                let wrow = &mut block[orig_row];
+                for (w, y) in wrow.iter_mut().zip(yrow.iter()) {
+                    *w -= lv * *y;
+                }
+            }
+        }
+        // Back substitution on U (pivot-step coordinates): y is read from
+        // `scratch` and each solution row is written straight to its final
+        // original-column position in `block` (every input row has been
+        // consumed by the forward pass), so no post-scatter pass is needed.
+        // The accumulator row lives in a local `[T; N]` so all `N` lanes
+        // stay in registers across the row's update sweep.
+        let ordered = !self.col_order.is_empty();
+        for j in (0..n).rev() {
+            let mut diag = T::zero();
+            let mut acc = scratch[j];
+            for (c, v) in self.u_entries(j) {
+                if c == j {
+                    diag = v;
+                    continue;
+                }
+                let xc = &block[if ordered { self.col_order[c] } else { c }];
+                for (a, b) in acc.iter_mut().zip(xc.iter()) {
+                    *a -= v * *b;
+                }
+            }
+            for a in acc.iter_mut() {
+                *a = *a / diag;
+            }
+            block[if ordered { self.col_order[j] } else { j }] = acc;
+        }
+    }
+
+    /// Solves an RHS-interleaved block through the compile-time lane kernels
+    /// ([`SparseLu::solve_arr`]), decomposing `n_rhs` into supported lane
+    /// widths.
+    ///
+    /// `scratch` must hold at least
+    /// [`crate::lanes::lanes_scratch_len`]`(self.n(), n_rhs)` elements.
+    /// Per-RHS results are bit-for-bit identical to
+    /// [`SparseLu::solve_multi_interleaved`] and [`SparseLu::solve_into`].
+    pub fn solve_multi_lanes(&self, block: &mut [T], n_rhs: usize, scratch: &mut [T]) {
+        crate::lanes::solve_lanes_dispatch(self, self.n, block, n_rhs, scratch);
+    }
+}
+
+impl<T: Scalar> crate::lanes::LaneSolver<T> for SparseLu<T> {
+    fn solve_lane<const N: usize>(&self, block: &mut [[T; N]], scratch: &mut [[T; N]]) {
+        self.solve_arr(block, scratch);
     }
 }
 
@@ -1135,6 +1500,179 @@ mod tests {
             let yk = s.mat_vec(&xk);
             for r in 0..10 {
                 assert!((y[r * width + k] - yk[r]).abs() < 1e-15, "rhs {k} row {r}");
+            }
+        }
+    }
+
+    /// Reference solve replicating the pre-flatten `Vec<Vec<(usize, T)>>`
+    /// factor walk (same arithmetic order): the flattened storage must be a
+    /// pure layout change, bit-for-bit.
+    fn reference_solve_preflatten(lu: &SparseLu<f64>, b: &[f64]) -> Vec<f64> {
+        let n = lu.n();
+        // Rebuild nested factor storage from the flat arrays.
+        let l_cols: Vec<Vec<(usize, f64)>> = (0..n).map(|j| lu.l_entries(j).collect()).collect();
+        let u_rows: Vec<Vec<(usize, f64)>> = (0..n).map(|j| lu.u_entries(j).collect()).collect();
+        let mut scratch = b.to_vec();
+        let mut out = vec![0.0; n];
+        for j in 0..n {
+            let pr = lu.perm[j];
+            let yj = scratch[pr];
+            out[j] = yj;
+            if yj == 0.0 {
+                continue;
+            }
+            for &(orig_row, lv) in &l_cols[j] {
+                scratch[orig_row] -= lv * yj;
+            }
+        }
+        for j in (0..n).rev() {
+            let mut acc = out[j];
+            let mut diag = 0.0;
+            for &(c, v) in u_rows[j].iter() {
+                if c == j {
+                    diag = v;
+                } else {
+                    acc -= v * out[c];
+                }
+            }
+            out[j] = acc / diag;
+        }
+        if !lu.col_order.is_empty() {
+            let z = out.clone();
+            for (step, &c) in lu.col_order.iter().enumerate() {
+                out[c] = z[step];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn flattened_solve_bit_identical_to_nested_reference() {
+        for trial in 0..4 {
+            let mut seed = 900 + trial;
+            let n = 22;
+            let (s, _) = dense_random(n, &mut seed, 0.25);
+            let lu = s.lu().unwrap();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 1.3).sin()).collect();
+            let x = lu.solve(&b);
+            let xref = reference_solve_preflatten(&lu, &b);
+            for i in 0..n {
+                assert!(x[i].to_bits() == xref[i].to_bits(), "trial {trial} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn markowitz_solves_accurately() {
+        for trial in 0..5 {
+            let mut seed = 500 + trial;
+            let n = 30;
+            let (s, _) = dense_random(n, &mut seed, 0.2);
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.9).cos()).collect();
+            let lu = s.lu_markowitz().unwrap();
+            let x = lu.solve(&b);
+            let r = vecops::sub(&s.mat_vec(&x), &b);
+            assert!(
+                vecops::norm_inf(&r) < 1e-9,
+                "trial {trial} residual {}",
+                vecops::norm_inf(&r)
+            );
+            // Within machine precision of the natural-order solution.
+            let xn = s.lu().unwrap().solve(&b);
+            let scale = vecops::norm_inf(&xn).max(1.0);
+            for i in 0..n {
+                assert!(
+                    (x[i] - xn[i]).abs() < 1e-9 * scale,
+                    "trial {trial} row {i}: {} vs {}",
+                    x[i],
+                    xn[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn markowitz_replay_is_bit_identical() {
+        let mut seed = 606u64;
+        let n = 28;
+        let (s, _) = dense_random(n, &mut seed, 0.25);
+        let fresh = s.lu_markowitz().unwrap();
+        assert!(fresh.symbolic().is_ordered());
+        let replayed = s.lu_with(&fresh.symbolic()).unwrap();
+        let mut inplace = fresh.clone();
+        inplace.refactor(&s).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let x0 = fresh.solve(&b);
+        let x1 = replayed.solve(&b);
+        let x2 = inplace.solve(&b);
+        for i in 0..n {
+            assert!(x0[i].to_bits() == x1[i].to_bits(), "lu_with row {i}");
+            assert!(x0[i].to_bits() == x2[i].to_bits(), "refactor row {i}");
+        }
+    }
+
+    #[test]
+    fn markowitz_reduces_fill_on_reverse_arrow() {
+        // Reverse arrow: dense FIRST row and column. Natural order must
+        // eliminate the dense column first, filling in the whole matrix;
+        // Markowitz defers it and keeps the factors O(n).
+        let n = 40;
+        let mut t = Triplets::<f64>::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 4.0);
+            if i > 0 {
+                t.push(0, i, 1.0);
+                t.push(i, 0, 1.0);
+            }
+        }
+        let m = t.to_csc();
+        let natural = m.lu().unwrap();
+        let ordered = m.lu_markowitz().unwrap();
+        assert!(
+            ordered.factor_nnz() < natural.factor_nnz() / 4,
+            "ordered fill {} vs natural {}",
+            ordered.factor_nnz(),
+            natural.factor_nnz()
+        );
+        // And it still solves the system.
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let x = ordered.solve(&b);
+        let r = vecops::sub(&m.mat_vec(&x), &b);
+        assert!(vecops::norm_inf(&r) < 1e-10);
+    }
+
+    #[test]
+    fn sparse_solve_arr_matches_solve_into() {
+        let mut seed = 808u64;
+        let n = 20;
+        let (s, _) = dense_random(n, &mut seed, 0.3);
+        for lu in [s.lu().unwrap(), s.lu_markowitz().unwrap()] {
+            const W: usize = 4;
+            let mut block = [[0.0f64; W]; 20];
+            for (i, row) in block.iter_mut().enumerate() {
+                for (k, v) in row.iter_mut().enumerate() {
+                    *v = ((i * 7 + k * 3) % 11) as f64 * 0.4 - 2.0;
+                }
+            }
+            let mut reference = vec![[0.0f64; W]; n];
+            for k in 0..W {
+                let b: Vec<f64> = (0..n).map(|r| block[r][k]).collect();
+                let mut out = vec![0.0; n];
+                let mut scr = vec![0.0; n];
+                lu.solve_into(&b, &mut out, &mut scr);
+                for r in 0..n {
+                    reference[r][k] = out[r];
+                }
+            }
+            let mut scratch = [[0.0f64; W]; 20];
+            lu.solve_arr(&mut block, &mut scratch);
+            for r in 0..n {
+                for k in 0..W {
+                    assert!(
+                        block[r][k].to_bits() == reference[r][k].to_bits(),
+                        "row {r} rhs {k}"
+                    );
+                }
             }
         }
     }

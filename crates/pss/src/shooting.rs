@@ -226,8 +226,9 @@ pub fn monodromy(records: &[StepRecord], n: usize) -> DMat<f64> {
 /// worker per chunk (`threads` in the [`tranvar_engine::TranOptions::threads`]
 /// convention: `0` = all cores). Each worker stages its chunk as an
 /// RHS-interleaved block and advances it with one
-/// [`tranvar_engine::FactoredJacobian::solve_multi_interleaved`] sweep per
-/// record: every factor entry becomes a chunk-wide contiguous axpy, every
+/// [`tranvar_engine::FactoredJacobian::solve_multi_lanes`] sweep per
+/// record: every factor entry becomes a chunk-wide contiguous axpy through
+/// the compile-time lane kernels, every
 /// factor row is read once per record instead of once per column, and all
 /// buffers are preallocated outside the record loop.
 ///
@@ -253,10 +254,10 @@ pub fn monodromy_threaded(records: &[StepRecord], n: usize, threads: usize) -> D
             cur[(c0 + j) * p + j] = 1.0;
         }
         let mut nxt = vec![0.0; n * p];
-        let mut scratch = vec![0.0; n * p];
+        let mut scratch = vec![0.0; tranvar_num::lanes_scratch_len(n, p)];
         for rec in records {
             rec.b.mat_vec_interleaved(&cur, &mut nxt, p);
-            rec.lu.solve_multi_interleaved(&mut nxt, p, &mut scratch);
+            rec.lu.solve_multi_lanes(&mut nxt, p, &mut scratch);
             std::mem::swap(&mut cur, &mut nxt);
         }
         cur
