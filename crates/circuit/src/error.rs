@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use tranvar_num::{FailureClass, WireFault};
 
 /// Errors produced while building or evaluating a circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +42,28 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::UnknownMismatchParam { index } => {
                 write!(f, "unknown mismatch parameter index {index}")
+            }
+        }
+    }
+}
+
+impl CircuitError {
+    /// The stable wire identity of this failure (see
+    /// [`tranvar_num::WireFault`]); exhaustive so new variants must be
+    /// classified. Every construction/lookup failure is the caller's deck,
+    /// so the whole enum classifies as bad input.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::BadInput;
+        match self {
+            CircuitError::UnknownNode { .. } => WireFault::new("circuit.unknown-node", BadInput),
+            CircuitError::UnknownDevice { .. } => {
+                WireFault::new("circuit.unknown-device", BadInput)
+            }
+            CircuitError::InvalidParameter { .. } => {
+                WireFault::new("circuit.invalid-parameter", BadInput)
+            }
+            CircuitError::UnknownMismatchParam { .. } => {
+                WireFault::new("circuit.unknown-mismatch-param", BadInput)
             }
         }
     }

@@ -39,7 +39,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use tranvar_circuit::{Circuit, CircuitOverride};
 use tranvar_engine::{
     chunk_ranges, effective_threads, fault, is_retryable, map_scoped, Escalation, RetryPolicy,
-    Session, SessionOptions, SessionStats, SolveDiagnostics, SolverKind,
+    Session, SessionOptions, SessionStats, SolveBudget, SolveDiagnostics, SolverKind,
 };
 use tranvar_lptv::{LptvError, PeriodicResponse, PeriodicSolver};
 use tranvar_num::NumError;
@@ -67,13 +67,39 @@ impl Scenario {
     /// that is not [statistical-only](CircuitOverride::is_statistical_only),
     /// in application order. Two scenarios with equal solve overrides share
     /// one PSS+LPTV solve.
-    fn solve_overrides(&self) -> Vec<CircuitOverride> {
+    pub fn solve_overrides(&self) -> Vec<CircuitOverride> {
         self.overrides
             .iter()
             .filter(|ov| !ov.is_statistical_only())
             .cloned()
             .collect()
     }
+}
+
+/// Groups scenarios by their solve-affecting overrides: the deduplication
+/// step behind the campaign's "one PSS+LPTV solve per unique key" sharing.
+///
+/// Returns `(keys, key_of_scenario)`: `keys` holds each unique
+/// solve-override list in first-appearance order, and `key_of_scenario[i]`
+/// indexes the key scenario `i` shares. σ-only variants of one operating
+/// point therefore map to the same key — both [`Campaign::run`] and a
+/// response cache keyed on solves (e.g. a serving layer deduplicating
+/// concurrent requests) rely on exactly this grouping.
+pub fn solve_groups(scenarios: &[Scenario]) -> (Vec<Vec<CircuitOverride>>, Vec<usize>) {
+    let mut keys: Vec<Vec<CircuitOverride>> = Vec::new();
+    let mut key_of_scenario = Vec::with_capacity(scenarios.len());
+    for sc in scenarios {
+        let key = sc.solve_overrides();
+        let idx = match keys.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                keys.push(key);
+                keys.len() - 1
+            }
+        };
+        key_of_scenario.push(idx);
+    }
+    (keys, key_of_scenario)
 }
 
 /// A scenario grid bound to one analysis configuration and metric set.
@@ -152,19 +178,7 @@ impl Campaign {
     /// validation.
     pub fn run(&self, base: &Circuit, scenarios: &[Scenario]) -> Result<CampaignResult, CoreError> {
         // ── Group scenarios by their solve-affecting overrides. ──
-        let mut solve_keys: Vec<Vec<CircuitOverride>> = Vec::new();
-        let mut key_of_scenario = Vec::with_capacity(scenarios.len());
-        for sc in scenarios {
-            let key = sc.solve_overrides();
-            let idx = match solve_keys.iter().position(|k| *k == key) {
-                Some(i) => i,
-                None => {
-                    solve_keys.push(key);
-                    solve_keys.len() - 1
-                }
-            };
-            key_of_scenario.push(idx);
-        }
+        let (solve_keys, key_of_scenario) = solve_groups(scenarios);
         let n_unique = solve_keys.len();
 
         // ── Solve each unique variant on worker sessions. ──
@@ -298,6 +312,55 @@ fn solve_variant(
     Ok((pss, responses))
 }
 
+/// The result of one unique solve run through [`solve_unique`]: the
+/// campaign's panic-isolated, retry-escalated solve path, exposed for
+/// callers that manage their own dedup/caching (e.g. a serving layer).
+pub struct UniqueSolve {
+    /// The PSS orbit plus unit-parameter responses, or the typed failure.
+    pub outcome: Result<(PssSolution, Vec<PeriodicResponse>), CoreError>,
+    /// The recorded attempt trail.
+    pub diagnostics: SolveDiagnostics,
+    /// A panic was caught; the session may hold half-updated caches and
+    /// must be retired (e.g. [`tranvar_engine::SessionPool::retire`]), not
+    /// reused.
+    pub poisoned: bool,
+}
+
+/// Runs one unique solve (PSS orbit + every unit-parameter response) with
+/// the campaign's panic isolation and retry ladder.
+///
+/// This is exactly the per-key solve [`Campaign::run`] performs after
+/// [`solve_groups`] deduplication — same code path, same escalation, same
+/// fault-injection sites — so results are interchangeable with an
+/// in-process campaign (bit-identical on the dense backend). Structural
+/// work from throwaway backend-switch sessions is merged into `stats`.
+pub fn solve_unique(
+    session: &mut Session,
+    base: &Circuit,
+    solve_overrides: &[CircuitOverride],
+    config: &PssConfig,
+    policy: &RetryPolicy,
+    solve_index: usize,
+    stats: &mut SessionStats,
+) -> UniqueSolve {
+    let inner_threads = session.threads();
+    let vs = solve_variant_resilient(
+        session,
+        base,
+        solve_overrides,
+        config,
+        policy,
+        solve_index,
+        inner_threads,
+        stats,
+    );
+    UniqueSolve {
+        outcome: vs.outcome,
+        diagnostics: vs.diagnostics,
+        poisoned: vs.poisoned,
+    }
+}
+
 /// The result of one unique solve after panic isolation and (optional)
 /// retry escalation.
 struct VariantSolve {
@@ -320,6 +383,15 @@ fn campaign_ladder(policy: &RetryPolicy) -> Vec<Escalation> {
         l.push(Escalation::SwitchBackend);
     }
     l
+}
+
+/// The solve budget the configuration's Newton options carry (shared by
+/// every stage of the periodic solve).
+fn budget_of(config: &PssConfig) -> SolveBudget {
+    match config {
+        PssConfig::Driven { opts, .. } => opts.newton.budget.clone(),
+        PssConfig::Autonomous { opts, .. } => opts.pss.newton.budget.clone(),
+    }
 }
 
 fn flip(kind: SolverKind) -> SolverKind {
@@ -412,9 +484,25 @@ fn solve_variant_resilient(
     let mut diag = SolveDiagnostics::new();
     let ladder = campaign_ladder(policy);
     let n = ladder.len().min(policy.max_attempts.max(1));
+    let budget = budget_of(config);
     let mut cur = config.clone();
     let mut last_err: Option<CoreError> = None;
     for (i, &esc) in ladder.iter().take(n).enumerate() {
+        // Mirror the engine ladder's deadline awareness: an expired shared
+        // deadline means every further rung would only delay the typed
+        // BudgetExceeded the caller is owed.
+        if budget.deadline_expired() {
+            let e = budget.deadline_exceeded("campaign retry ladder");
+            diag.record(
+                format!("retry[{i}]:{}", tranvar_engine::DEADLINE_SHORT_CIRCUIT),
+                Some(e.clone()),
+            );
+            return VariantSolve {
+                outcome: Err(CoreError::Engine(e)),
+                diagnostics: diag,
+                poisoned: false,
+            };
+        }
         escalate_config(&mut cur, esc);
         let mut poisoned = false;
         let res = match fault::attempt_fault(fault::sites::RETRY_ATTEMPT, i) {
@@ -480,7 +568,10 @@ fn solve_variant_resilient(
     }
 }
 
-fn scenario_reports(
+/// Assembles one scenario's variation reports from a shared solve: the
+/// σ-only assembly step [`Campaign::run`] performs per scenario, exposed
+/// for callers that cache solves across requests (see [`solve_unique`]).
+pub fn scenario_reports(
     base: &Circuit,
     sc: &Scenario,
     pss: &PssSolution,
@@ -659,6 +750,37 @@ mod tests {
         ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
         ckt.annotate_resistor_mismatch(r1, 10.0);
         ckt
+    }
+
+    #[test]
+    fn solve_groups_shares_sigma_only_variants() {
+        let ckt = divider();
+        let v1 = ckt.find_device("V1").unwrap();
+        let scenarios = vec![
+            Scenario::new("nominal", vec![]),
+            Scenario::new("sigma2", vec![CircuitOverride::SigmaScale { factor: 2.0 }]),
+            Scenario::new(
+                "hot",
+                vec![CircuitOverride::SourceDc {
+                    device: v1,
+                    value: 2.2,
+                }],
+            ),
+            Scenario::new(
+                "hot-sigma2",
+                vec![
+                    CircuitOverride::SourceDc {
+                        device: v1,
+                        value: 2.2,
+                    },
+                    CircuitOverride::SigmaScale { factor: 2.0 },
+                ],
+            ),
+        ];
+        let (keys, key_of) = solve_groups(&scenarios);
+        assert_eq!(keys.len(), 2, "σ-only variants must share a solve");
+        assert_eq!(key_of, vec![0, 0, 1, 1]);
+        assert!(keys[0].is_empty());
     }
 
     fn campaign(ckt: &Circuit) -> Campaign {

@@ -5,7 +5,7 @@ use std::fmt;
 use tranvar_circuit::CircuitError;
 use tranvar_engine::EngineError;
 use tranvar_lptv::LptvError;
-use tranvar_num::NumError;
+use tranvar_num::{FailureClass, NumError, WireFault};
 use tranvar_pss::PssError;
 
 /// Errors produced by the pseudo-noise mismatch analysis.
@@ -52,6 +52,25 @@ impl fmt::Display for CoreError {
             CoreError::Panic { context, message } => {
                 write!(f, "worker panicked in {context}: {message}")
             }
+        }
+    }
+}
+
+impl CoreError {
+    /// The stable wire identity of this failure (see
+    /// [`tranvar_num::WireFault`]); exhaustive so new variants must be
+    /// classified. Wrapped layers delegate to their own classification.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::*;
+        match self {
+            CoreError::Metric(_) => WireFault::new("core.metric", Unstable),
+            CoreError::BadConfig(_) => WireFault::new("core.bad-config", BadInput),
+            CoreError::Panic { .. } => WireFault::new("core.panic", Internal),
+            CoreError::Pss(e) => e.wire_fault(),
+            CoreError::Lptv(e) => e.wire_fault(),
+            CoreError::Engine(e) => e.wire_fault(),
+            CoreError::Circuit(e) => e.wire_fault(),
+            CoreError::Num(e) => e.wire_fault(),
         }
     }
 }

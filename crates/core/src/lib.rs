@@ -67,7 +67,8 @@ pub use analysis::{
     AnalysisResult, MetricSpec, PssConfig,
 };
 pub use campaign::{
-    run_scenarios_per_call, Campaign, CampaignResult, MetricSummary, Scenario, ScenarioOutcome,
+    run_scenarios_per_call, scenario_reports, solve_groups, solve_unique, Campaign, CampaignResult,
+    MetricSummary, Scenario, ScenarioOutcome, UniqueSolve,
 };
 pub use error::CoreError;
 pub use metric::Metric;

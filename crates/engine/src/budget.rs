@@ -250,6 +250,51 @@ impl SolveBudget {
         }
     }
 
+    /// True when a configured wall-clock deadline has already passed.
+    ///
+    /// Cheap enough to poll at coarse boundaries (retry-ladder rungs, queue
+    /// admission): one `Option` test plus an `Instant::elapsed` when a
+    /// deadline is configured. Always `false` without a deadline.
+    pub fn deadline_expired(&self) -> bool {
+        let Some(core) = self.core.as_deref() else {
+            return false;
+        };
+        match core.limits.deadline {
+            Some(d) => Self::elapsed(core) >= d,
+            None => false,
+        }
+    }
+
+    /// Time left until the deadline (`None` when no deadline is configured;
+    /// `Some(ZERO)` once expired). Serving layers use this to derive
+    /// `Retry-After` style hints and to refuse queueing doomed work.
+    pub fn deadline_remaining(&self) -> Option<Duration> {
+        let core = self.core.as_deref()?;
+        let d = core.limits.deadline?;
+        Some(d.saturating_sub(Self::elapsed(core)))
+    }
+
+    /// The [`EngineError::BudgetExceeded`] an expired deadline surfaces as,
+    /// with live counter values attached. Used by callers that detect expiry
+    /// at a coarse boundary (retry ladder, admission queue) rather than
+    /// inside a Newton loop.
+    pub fn deadline_exceeded(&self, analysis: &str) -> EngineError {
+        match self.core.as_deref() {
+            Some(core) => Self::exceeded(core, analysis, BudgetKind::Deadline),
+            // An unlimited budget has no deadline to expire; synthesize an
+            // empty progress report rather than panic if called anyway.
+            None => EngineError::BudgetExceeded {
+                analysis: analysis.to_string(),
+                progress: BudgetProgress {
+                    newton_iters: 0,
+                    factorizations: 0,
+                    elapsed: Duration::ZERO,
+                    exhausted: BudgetKind::Deadline,
+                },
+            },
+        }
+    }
+
     fn elapsed(core: &BudgetCore) -> Duration {
         #[cfg(feature = "fault-inject")]
         if let Some(mocked) = crate::fault::mock_elapsed() {

@@ -4,7 +4,7 @@ use crate::budget::BudgetProgress;
 use std::error::Error;
 use std::fmt;
 use tranvar_circuit::CircuitError;
-use tranvar_num::NumError;
+use tranvar_num::{FailureClass, NumError, WireFault};
 
 /// Errors produced by the analysis engines.
 #[derive(Clone, Debug, PartialEq)]
@@ -63,6 +63,26 @@ impl fmt::Display for EngineError {
             EngineError::Circuit(e) => write!(f, "circuit error: {e}"),
             EngineError::Measurement(msg) => write!(f, "measurement failed: {msg}"),
             EngineError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl EngineError {
+    /// The stable wire identity of this failure (see
+    /// [`tranvar_num::WireFault`]); exhaustive so new variants must be
+    /// classified. Wrapped layers delegate to their own classification.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::*;
+        match self {
+            EngineError::NoConvergence { .. } => WireFault::new("engine.no-convergence", Unstable),
+            EngineError::NonFinite { .. } => WireFault::new("engine.non-finite", Unstable),
+            EngineError::BudgetExceeded { .. } => {
+                WireFault::new("engine.budget-exceeded", Exhausted)
+            }
+            EngineError::Measurement(_) => WireFault::new("engine.measurement", Unstable),
+            EngineError::BadConfig(_) => WireFault::new("engine.bad-config", BadInput),
+            EngineError::Num(e) => e.wire_fault(),
+            EngineError::Circuit(e) => e.wire_fault(),
         }
     }
 }

@@ -84,6 +84,14 @@ pub mod sites {
     pub const RETRY_ATTEMPT: &str = "engine::retry::attempt";
     /// Indexed: one per unique campaign solve, in scenario order.
     pub const SCENARIO: &str = "core::campaign::scenario";
+    /// Indexed: one per accepted server request, in admission order.
+    pub const SERVE_REQUEST: &str = "serve::request";
+    /// Indexed: one per unique server-side solve, in solve order.
+    pub const SERVE_SOLVE: &str = "serve::solve";
+    /// Indexed: one per server worker, by worker ordinal. Armed with
+    /// [`FaultAction::Stall`](super::FaultAction::Stall) it parks that
+    /// worker until `FaultGuard::release_stalls` (or guard drop).
+    pub const SERVE_WORKER: &str = "serve::worker";
 }
 
 /// What an armed site does when it fires.
@@ -100,6 +108,16 @@ pub enum FaultAction {
     NoConverge,
     /// Panic with an "injected panic" message.
     Panic,
+    /// Expire the plan's mock clock: the first firing pins the mocked
+    /// elapsed time far past any configured deadline, so every
+    /// `SolveBudget` deadline check sharing the plan trips from then on.
+    /// The real budget machinery surfaces the resulting `BudgetExceeded`,
+    /// not the hook.
+    Expire,
+    /// Park the calling thread until `FaultGuard::release_stalls` runs
+    /// (or the installing guard drops). Used to simulate a stuck worker;
+    /// a 30 s safety cap prevents a forgotten release from hanging CI.
+    Stall,
 }
 
 #[cfg(feature = "fault-inject")]
@@ -111,9 +129,17 @@ mod enabled {
     use crate::error::EngineError;
     use std::cell::RefCell;
     use std::collections::HashMap;
-    use std::sync::{Arc, Mutex};
+    use std::sync::{Arc, Condvar, Mutex};
     use std::time::Duration;
     use tranvar_num::NumError;
+
+    /// What [`FaultAction::Expire`] pins the mock clock to: far enough past
+    /// any test deadline that every subsequent check trips.
+    const EXPIRED_ELAPSED: Duration = Duration::from_secs(100 * 365 * 24 * 3600);
+
+    /// Safety cap on an armed stall, so a forgotten
+    /// [`FaultGuard::release_stalls`] fails a test instead of hanging CI.
+    const STALL_CAP: Duration = Duration::from_secs(30);
 
     /// One armed failure point: fires when the trigger index at `site`
     /// falls in `[from, from + count)`.
@@ -130,9 +156,23 @@ mod enabled {
         specs: Vec<FaultSpec>,
         mock_elapsed: Mutex<Option<Duration>>,
         counters: Mutex<HashMap<&'static str, usize>>,
+        /// `true` once stalls have been released; armed stalls park until
+        /// then (or until [`STALL_CAP`]).
+        stalls_released: Mutex<bool>,
+        stall_cv: Condvar,
     }
 
     impl PlanState {
+        fn fresh(specs: Vec<FaultSpec>, mock_elapsed: Option<Duration>) -> Self {
+            PlanState {
+                specs,
+                mock_elapsed: Mutex::new(mock_elapsed),
+                counters: Mutex::new(HashMap::new()),
+                stalls_released: Mutex::new(false),
+                stall_cv: Condvar::new(),
+            }
+        }
+
         fn bump(&self, site: &'static str) -> usize {
             let mut c = self.counters.lock().unwrap_or_else(|e| e.into_inner());
             let n = c.entry(site).or_insert(0);
@@ -146,6 +186,28 @@ mod enabled {
                 .iter()
                 .find(|s| s.site == site && idx >= s.from && idx < s.from + s.count)
                 .map(|s| s.action)
+        }
+
+        fn expire_clock(&self) {
+            *self.mock_elapsed.lock().unwrap_or_else(|e| e.into_inner()) = Some(EXPIRED_ELAPSED);
+        }
+
+        fn stall(&self) {
+            let released = self
+                .stalls_released
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let _ = self
+                .stall_cv
+                .wait_timeout_while(released, STALL_CAP, |r| !*r);
+        }
+
+        fn release_stalls(&self) {
+            *self
+                .stalls_released
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = true;
+            self.stall_cv.notify_all();
         }
     }
 
@@ -200,11 +262,7 @@ mod enabled {
         /// Installs the plan on the current thread, returning an RAII guard
         /// that restores the previous plan on drop.
         pub fn install(self) -> FaultGuard {
-            let state = Arc::new(PlanState {
-                specs: self.specs,
-                mock_elapsed: Mutex::new(self.mock_elapsed),
-                counters: Mutex::new(HashMap::new()),
-            });
+            let state = Arc::new(PlanState::fresh(self.specs, self.mock_elapsed));
             let prev = ACTIVE.with(|a| a.replace(Some(state.clone())));
             FaultGuard { prev, state }
         }
@@ -238,10 +296,18 @@ mod enabled {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner()) = Some(d);
         }
+
+        /// Wakes every thread parked by an armed [`FaultAction::Stall`].
+        /// Idempotent; also runs automatically when the guard drops.
+        pub fn release_stalls(&self) {
+            self.state.release_stalls();
+        }
     }
 
     impl Drop for FaultGuard {
         fn drop(&mut self) {
+            // Never leave a worker parked behind a dead plan.
+            self.state.release_stalls();
             let prev = self.prev.take();
             ACTIVE.with(|a| *a.borrow_mut() = prev);
         }
@@ -262,11 +328,7 @@ mod enabled {
     pub fn adopt(plan: Option<ActivePlan>) -> FaultGuard {
         let state = match plan {
             Some(p) => p.0,
-            None => Arc::new(PlanState {
-                specs: Vec::new(),
-                mock_elapsed: Mutex::new(None),
-                counters: Mutex::new(HashMap::new()),
-            }),
+            None => Arc::new(PlanState::fresh(Vec::new(), None)),
         };
         let prev = ACTIVE.with(|a| a.replace(Some(state.clone())));
         FaultGuard { prev, state }
@@ -325,6 +387,46 @@ mod enabled {
         .flatten()
     }
 
+    /// Indexed hook for server-side injection points
+    /// ([`super::sites::SERVE_REQUEST`], [`super::sites::SERVE_SOLVE`],
+    /// [`super::sites::SERVE_WORKER`]).
+    ///
+    /// Extends [`attempt_fault`] with the two server-shaped actions:
+    /// [`FaultAction::Expire`] pins the plan's mock clock past every
+    /// deadline and lets the real budget machinery produce the error;
+    /// [`FaultAction::Stall`] parks the calling thread until
+    /// [`FaultGuard::release_stalls`] and then proceeds normally. Both
+    /// return `None` (no synthetic error of their own).
+    pub fn request_fault(site: &'static str, index: usize) -> Option<EngineError> {
+        with_active(|st| {
+            st.bump(site);
+            match st.action_at(site, index) {
+                Some(FaultAction::NoConverge) => Some(EngineError::NoConvergence {
+                    analysis: site.to_string(),
+                    detail: format!("injected fault at request {index}"),
+                }),
+                Some(FaultAction::NonFinite) => Some(EngineError::NonFinite {
+                    analysis: site.to_string(),
+                    detail: format!("injected fault at request {index}"),
+                }),
+                Some(FaultAction::Singular) => {
+                    Some(EngineError::Num(NumError::Singular { col: 0 }))
+                }
+                Some(FaultAction::Panic) => panic!("injected panic at {site}[{index}]"),
+                Some(FaultAction::Expire) => {
+                    st.expire_clock();
+                    None
+                }
+                Some(FaultAction::Stall) => {
+                    st.stall();
+                    None
+                }
+                Some(FaultAction::PoisonNan) | None => None,
+            }
+        })
+        .flatten()
+    }
+
     /// Indexed hook: panics if `site` is armed with [`FaultAction::Panic`]
     /// for `index`.
     pub fn panic_at(site: &'static str, index: usize) {
@@ -364,6 +466,12 @@ mod disabled {
     /// No-op without the `fault-inject` feature.
     #[inline(always)]
     pub fn attempt_fault(_site: &str, _index: usize) -> Option<EngineError> {
+        None
+    }
+
+    /// No-op without the `fault-inject` feature.
+    #[inline(always)]
+    pub fn request_fault(_site: &str, _index: usize) -> Option<EngineError> {
         None
     }
 
@@ -451,6 +559,48 @@ mod tests {
             .unwrap()
         });
         assert_eq!(got, Some(NumError::NonFinite { col: 0 }));
+    }
+
+    #[test]
+    fn expire_action_pins_the_mock_clock_for_the_whole_plan() {
+        let _guard = FaultPlan::new()
+            .fail(sites::SERVE_SOLVE, 1, FaultAction::Expire)
+            .install();
+        assert!(request_fault(sites::SERVE_SOLVE, 0).is_none());
+        assert_eq!(mock_elapsed(), None);
+        // Firing at index 1 expires the clock; no synthetic error returned.
+        assert!(request_fault(sites::SERVE_SOLVE, 1).is_none());
+        assert!(mock_elapsed().unwrap() >= Duration::from_secs(3600));
+        // Budget deadline checks now trip through the real machinery.
+        use crate::budget::{BudgetLimits, SolveBudget};
+        let b = SolveBudget::new(BudgetLimits::default().deadline(Duration::from_secs(1)));
+        assert!(b.deadline_expired());
+    }
+
+    #[test]
+    fn stall_parks_until_release() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let guard = FaultPlan::new()
+            .fail(sites::SERVE_WORKER, 0, FaultAction::Stall)
+            .install();
+        let plan = current();
+        let passed = Arc::new(AtomicBool::new(false));
+        let passed2 = passed.clone();
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                let _adopted = adopt(plan);
+                assert!(request_fault(sites::SERVE_WORKER, 0).is_none());
+                passed2.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!passed.load(Ordering::SeqCst), "worker must be parked");
+            guard.release_stalls();
+            h.join().unwrap();
+        });
+        assert!(passed.load(Ordering::SeqCst));
+        // Released stalls stay released: a second armed hit passes through.
+        assert!(request_fault(sites::SERVE_WORKER, 0).is_none());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! A thread-safe pool of reusable [`Session`]s with panic retirement.
+//!
+//! Long-running services amortize symbolic analyses by keeping warm
+//! sessions around, but a caught worker panic leaves a session's caches in
+//! an unknown state (PR-6 campaign isolation retires such sessions rather
+//! than trust them). A [`SessionPool`] packages that policy behind a
+//! checkout/return API shared by many worker threads:
+//!
+//! - [`SessionPool::checkout`] hands out an idle warm session, or a fresh
+//!   one when none is idle — callers never block on each other's solves;
+//! - [`SessionPool::give_back`] returns a healthy session for reuse;
+//! - [`SessionPool::retire`] destroys a session whose solve panicked
+//!   (merging its structural-work counters into the pool's retired total
+//!   first) and, when the live count would fall below the configured
+//!   floor, immediately replaces it with a fresh idle session — so a storm
+//!   of injected panics can never drain the pool below its floor.
+//!
+//! The pool never observes the panic itself: callers wrap solves in
+//! `catch_unwind` (as the campaign layer does) and decide `give_back` vs
+//! `retire`. A session checked out when the caller panics *without*
+//! retiring is simply dropped — the pool's live count is corrected on the
+//! next checkout sweep, and the floor refill happens there too.
+
+use crate::session::{Session, SessionOptions, SessionStats};
+use std::sync::Mutex;
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    idle: Vec<Session>,
+    /// Sessions currently checked out.
+    out: usize,
+    /// Sessions destroyed via [`SessionPool::retire`].
+    retired: usize,
+    /// Structural-work counters merged from retired sessions.
+    retired_stats: SessionStats,
+}
+
+/// A thread-safe checkout/return pool of [`Session`]s; see the
+/// [module docs](self).
+#[derive(Debug)]
+pub struct SessionPool {
+    opts: SessionOptions,
+    floor: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl SessionPool {
+    /// Creates a pool that starts with `floor` idle sessions and never lets
+    /// the live count (idle + checked out) drop below `floor`.
+    pub fn new(opts: SessionOptions, floor: usize) -> Self {
+        let idle = (0..floor).map(|_| Session::new(opts)).collect();
+        SessionPool {
+            opts,
+            floor,
+            inner: Mutex::new(PoolInner {
+                idle,
+                ..PoolInner::default()
+            }),
+        }
+    }
+
+    /// The configured floor.
+    pub fn floor(&self) -> usize {
+        self.floor
+    }
+
+    /// Sessions alive right now: idle plus checked out. Never below
+    /// [`SessionPool::floor`] between balanced checkout/return cycles.
+    pub fn live(&self) -> usize {
+        let inner = self.lock();
+        inner.idle.len() + inner.out
+    }
+
+    /// How many sessions have been retired over the pool's lifetime.
+    pub fn retired(&self) -> usize {
+        self.lock().retired
+    }
+
+    /// Structural-work counters of every retired session, merged.
+    pub fn retired_stats(&self) -> SessionStats {
+        self.lock().retired_stats
+    }
+
+    /// Hands out an idle session, or a fresh one when none is idle.
+    pub fn checkout(&self) -> Session {
+        let mut inner = self.lock();
+        inner.out += 1;
+        match inner.idle.pop() {
+            Some(s) => s,
+            None => Session::new(self.opts),
+        }
+    }
+
+    /// Returns a healthy session to the idle set.
+    pub fn give_back(&self, session: Session) {
+        let mut inner = self.lock();
+        inner.out = inner.out.saturating_sub(1);
+        inner.idle.push(session);
+    }
+
+    /// Destroys a session whose solve panicked, merging its stats, and
+    /// refills the idle set if the live count fell below the floor.
+    pub fn retire(&self, session: Session) {
+        let mut inner = self.lock();
+        inner.out = inner.out.saturating_sub(1);
+        inner.retired += 1;
+        inner.retired_stats = inner.retired_stats.merged(session.stats());
+        drop(session);
+        while inner.idle.len() + inner.out < self.floor {
+            inner.idle.push(Session::new(self.opts));
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolInner> {
+        // A poisoned pool lock only means another worker panicked while
+        // touching the (always-consistent) counters; keep serving.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(floor: usize) -> SessionPool {
+        SessionPool::new(SessionOptions::default(), floor)
+    }
+
+    #[test]
+    fn checkout_reuses_idle_sessions_and_grows_past_floor() {
+        let p = pool(2);
+        assert_eq!(p.live(), 2);
+        let a = p.checkout();
+        let b = p.checkout();
+        let c = p.checkout(); // beyond the floor: fresh session
+        assert_eq!(p.live(), 3);
+        p.give_back(a);
+        p.give_back(b);
+        p.give_back(c);
+        assert_eq!(p.live(), 3);
+    }
+
+    #[test]
+    fn retire_refills_to_floor_and_merges_stats() {
+        use tranvar_circuit::{Circuit, NodeId, Waveform};
+        let p = pool(2);
+        let mut s = p.checkout();
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+        ckt.add_resistor("R1", a, NodeId::GROUND, 1e3);
+        s.dc_operating_point(&ckt, &Default::default()).unwrap();
+        let worked = s.stats();
+        assert!(worked.pattern_builds > 0);
+        p.retire(s);
+        // The retired session's structural work is preserved in the pool.
+        assert_eq!(p.retired_stats(), worked);
+        assert_eq!(p.retired(), 1);
+        assert_eq!(p.live(), 2, "floor must be restored after retirement");
+        // Beyond-floor sessions are not replaced on retirement.
+        let a = p.checkout();
+        let b = p.checkout();
+        let c = p.checkout();
+        p.give_back(a);
+        p.give_back(b);
+        p.retire(c);
+        assert_eq!(p.live(), 2);
+        assert_eq!(p.retired(), 2);
+    }
+
+    #[test]
+    fn concurrent_checkout_return_with_panicking_workers_keeps_floor() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Arc;
+        let p = Arc::new(pool(3));
+        let workers = 8;
+        std::thread::scope(|sc| {
+            for w in 0..workers {
+                let p = p.clone();
+                sc.spawn(move || {
+                    for i in 0..25 {
+                        let session = p.checkout();
+                        // Odd workers panic on every 5th solve; the panic is
+                        // caught at the worker boundary exactly like the
+                        // serve/campaign layers do.
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            if w % 2 == 1 && i % 5 == 0 {
+                                panic!("injected worker panic");
+                            }
+                        }));
+                        match r {
+                            Ok(()) => p.give_back(session),
+                            Err(_) => p.retire(session),
+                        }
+                        assert!(p.live() >= p.floor(), "pool shrank below floor");
+                    }
+                });
+            }
+        });
+        assert!(p.live() >= 3);
+        assert_eq!(p.retired(), 4 * 5); // 4 odd workers × 5 panics each
+    }
+}

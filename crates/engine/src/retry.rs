@@ -53,12 +53,17 @@
 //! Forcing the ladder to actually climb requires a failure on attempt 0 —
 //! see [`crate::fault`] for the deterministic way to inject one.
 
+use crate::budget::SolveBudget;
 use crate::dc::{dc_operating_point_traced, DcOptions};
 use crate::error::EngineError;
 use crate::fault;
 use crate::solver::SolverKind;
 use crate::tran::{transient, TranOptions, TranResult};
 use tranvar_circuit::Circuit;
+
+/// Stage suffix recorded when the ladder stops because the shared budget's
+/// wall-clock deadline has already expired (see `run_ladder`).
+pub const DEADLINE_SHORT_CIRCUIT: &str = "deadline-short-circuit";
 
 /// Bounds and enables the escalation ladder. The default enables every
 /// rung with at most 5 total attempts.
@@ -291,15 +296,33 @@ pub(crate) fn apply_tran(opts: &mut TranOptions, esc: Escalation) {
 /// attempt by index before the real solve runs. Each attempt is recorded;
 /// non-retryable errors (including budget exhaustion) end the loop
 /// immediately.
+///
+/// The ladder is deadline-aware: before every rung (including the first) it
+/// checks whether `budget`'s wall-clock deadline has already expired, and if
+/// so stops without spending the attempt. An escalation rung is the most
+/// expensive work a solve can re-spend (denser homotopy, 4× source steps,
+/// halved timestep), so burning one against an already-dead deadline only
+/// delays the typed [`EngineError::BudgetExceeded`] the caller is owed. The
+/// short-circuit is recorded as `retry[i]:deadline-short-circuit` in the
+/// trail so diagnostics distinguish "rung i never ran" from "rung i failed".
 pub(crate) fn run_ladder<T>(
     ladder: &[Escalation],
     max_attempts: usize,
+    budget: &SolveBudget,
     diag: &mut SolveDiagnostics,
     mut solve_one: impl FnMut(Escalation, &mut SolveDiagnostics) -> Result<T, EngineError>,
 ) -> Result<T, EngineError> {
     let n = ladder.len().min(max_attempts.max(1));
     let mut last_err = None;
     for (i, &esc) in ladder.iter().take(n).enumerate() {
+        if budget.deadline_expired() {
+            let e = budget.deadline_exceeded("retry ladder");
+            diag.record(
+                format!("retry[{i}]:{DEADLINE_SHORT_CIRCUIT}"),
+                Some(e.clone()),
+            );
+            return Err(e);
+        }
         let res = match fault::attempt_fault(fault::sites::RETRY_ATTEMPT, i) {
             Some(e) => Err(e),
             None => solve_one(esc, diag),
@@ -330,11 +353,18 @@ pub fn dc_operating_point_resilient(
 ) -> (Result<Vec<f64>, EngineError>, SolveDiagnostics) {
     let mut diag = SolveDiagnostics::new();
     let ladder = dc_ladder(policy);
+    let budget = opts.newton.budget.clone();
     let mut cur = opts.clone();
-    let res = run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, diag| {
-        apply_dc(&mut cur, esc);
-        dc_operating_point_traced(ckt, &cur, None, diag)
-    });
+    let res = run_ladder(
+        &ladder,
+        policy.max_attempts,
+        &budget,
+        &mut diag,
+        |esc, diag| {
+            apply_dc(&mut cur, esc);
+            dc_operating_point_traced(ckt, &cur, None, diag)
+        },
+    );
     (res, diag)
 }
 
@@ -347,11 +377,18 @@ pub fn transient_resilient(
 ) -> (Result<TranResult, EngineError>, SolveDiagnostics) {
     let mut diag = SolveDiagnostics::new();
     let ladder = tran_ladder(policy);
+    let budget = opts.newton.budget.clone();
     let mut cur = opts.clone();
-    let res = run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, _diag| {
-        apply_tran(&mut cur, esc);
-        transient(ckt, &cur)
-    });
+    let res = run_ladder(
+        &ladder,
+        policy.max_attempts,
+        &budget,
+        &mut diag,
+        |esc, _diag| {
+            apply_tran(&mut cur, esc);
+            transient(ckt, &cur)
+        },
+    );
     (res, diag)
 }
 
@@ -429,6 +466,61 @@ mod tests {
             tranvar_num::NumError::NonFinite { col: 0 }
         )));
         assert!(!is_retryable(&EngineError::BadConfig("x".into())));
+    }
+
+    #[test]
+    fn ladder_short_circuits_when_deadline_expires_mid_ladder() {
+        use crate::budget::{BudgetKind, BudgetLimits, SolveBudget};
+        use std::time::Duration;
+        // The deadline outlives attempt 0 but not the work attempt 0 does:
+        // the ladder must refuse to start rung 1 and record why.
+        let budget = SolveBudget::new(BudgetLimits::default().deadline(Duration::from_millis(20)));
+        let ladder = [
+            Escalation::Initial,
+            Escalation::DenserGmin,
+            Escalation::SwitchBackend,
+        ];
+        let mut diag = SolveDiagnostics::new();
+        let mut attempts_run = 0usize;
+        let res: Result<(), EngineError> = run_ladder(&ladder, 5, &budget, &mut diag, |_, _| {
+            attempts_run += 1;
+            std::thread::sleep(Duration::from_millis(30));
+            Err(EngineError::NoConvergence {
+                analysis: "test".into(),
+                detail: "injected".into(),
+            })
+        });
+        assert_eq!(attempts_run, 1, "escalation must stop at the dead deadline");
+        match res {
+            Err(EngineError::BudgetExceeded { progress, .. }) => {
+                assert_eq!(progress.exhausted, BudgetKind::Deadline);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        assert_eq!(
+            diag.stages(),
+            vec!["retry[0]:initial", "retry[1]:deadline-short-circuit"]
+        );
+        // The short-circuit record carries the typed error, not a blank.
+        assert!(matches!(
+            diag.attempts[1].error,
+            Some(EngineError::BudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn ladder_without_deadline_never_short_circuits() {
+        let budget = crate::budget::SolveBudget::unlimited();
+        let ladder = [Escalation::Initial, Escalation::SwitchBackend];
+        let mut diag = SolveDiagnostics::new();
+        let res: Result<(), EngineError> = run_ladder(&ladder, 5, &budget, &mut diag, |_, _| {
+            Err(EngineError::NoConvergence {
+                analysis: "test".into(),
+                detail: "injected".into(),
+            })
+        });
+        assert!(matches!(res, Err(EngineError::NoConvergence { .. })));
+        assert_eq!(diag.retry_attempts(), 2);
     }
 
     #[test]

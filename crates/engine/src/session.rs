@@ -221,18 +221,25 @@ impl Session {
             ..opts.clone()
         };
         let ladder = retry::dc_ladder(policy);
-        let res = retry::run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, diag| {
-            if !matches!(esc, Escalation::Initial) {
-                self.retries += 1;
-            }
-            retry::apply_dc(&mut cur, esc);
-            if matches!(esc, Escalation::SwitchBackend) {
-                let mut ws = JacobianWorkspace::new(cur.newton.solver);
-                dc_operating_point_traced(ckt, &cur, Some(&mut ws), diag)
-            } else {
-                dc_operating_point_traced(ckt, &cur, Some(self.static_workspace()), diag)
-            }
-        });
+        let budget = cur.newton.budget.clone();
+        let res = retry::run_ladder(
+            &ladder,
+            policy.max_attempts,
+            &budget,
+            &mut diag,
+            |esc, diag| {
+                if !matches!(esc, Escalation::Initial) {
+                    self.retries += 1;
+                }
+                retry::apply_dc(&mut cur, esc);
+                if matches!(esc, Escalation::SwitchBackend) {
+                    let mut ws = JacobianWorkspace::new(cur.newton.solver);
+                    dc_operating_point_traced(ckt, &cur, Some(&mut ws), diag)
+                } else {
+                    dc_operating_point_traced(ckt, &cur, Some(self.static_workspace()), diag)
+                }
+            },
+        );
         (res, diag)
     }
 
@@ -249,21 +256,28 @@ impl Session {
         let mut diag = SolveDiagnostics::new();
         let mut cur = opts.clone();
         let ladder = retry::tran_ladder(policy);
-        let res = retry::run_ladder(&ladder, policy.max_attempts, &mut diag, |esc, _diag| {
-            if !matches!(esc, Escalation::Initial) {
-                self.retries += 1;
-            }
-            retry::apply_tran(&mut cur, esc);
-            if matches!(esc, Escalation::SwitchBackend) {
-                let mut fresh = Session::new(SessionOptions {
-                    solver: cur.newton.solver,
-                    threads: self.threads,
-                });
-                fresh.transient(ckt, &cur)
-            } else {
-                self.transient(ckt, &cur)
-            }
-        });
+        let budget = cur.newton.budget.clone();
+        let res = retry::run_ladder(
+            &ladder,
+            policy.max_attempts,
+            &budget,
+            &mut diag,
+            |esc, _diag| {
+                if !matches!(esc, Escalation::Initial) {
+                    self.retries += 1;
+                }
+                retry::apply_tran(&mut cur, esc);
+                if matches!(esc, Escalation::SwitchBackend) {
+                    let mut fresh = Session::new(SessionOptions {
+                        solver: cur.newton.solver,
+                        threads: self.threads,
+                    });
+                    fresh.transient(ckt, &cur)
+                } else {
+                    self.transient(ckt, &cur)
+                }
+            },
+        );
         (res, diag)
     }
 

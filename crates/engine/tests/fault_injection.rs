@@ -324,6 +324,27 @@ fn max_attempts_bounds_the_ladder() {
 }
 
 #[test]
+fn expired_deadline_short_circuits_the_ladder_before_any_attempt() {
+    let ckt = divider();
+    // The mocked clock is already past the deadline when the resilient
+    // entry point is called (a request that sat in a queue too long): the
+    // ladder spends zero attempts and surfaces the typed deadline error.
+    let _guard = FaultPlan::new()
+        .mock_elapsed(Duration::from_secs(2))
+        .install();
+    let mut opts = DcOptions::default();
+    opts.newton.budget = SolveBudget::new(BudgetLimits::default().deadline(Duration::from_secs(1)));
+    let (res, diag) = dc_operating_point_resilient(&ckt, &opts, &RetryPolicy::default());
+    match res {
+        Err(EngineError::BudgetExceeded { progress, .. }) => {
+            assert_eq!(progress.exhausted, BudgetKind::Deadline);
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    assert_eq!(diag.stages(), vec!["retry[0]:deadline-short-circuit"]);
+}
+
+#[test]
 fn budget_exhaustion_is_never_retried() {
     let ckt = common_source();
     let mut opts = DcOptions::default();

@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 use tranvar_circuit::CircuitError;
 use tranvar_engine::EngineError;
-use tranvar_num::NumError;
+use tranvar_num::{FailureClass, NumError, WireFault};
 
 /// Errors produced by the LPTV periodic solver and noise analyses.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,6 +37,26 @@ impl fmt::Display for LptvError {
             LptvError::Num(e) => write!(f, "numerical failure: {e}"),
             LptvError::Engine(e) => write!(f, "engine failure: {e}"),
             LptvError::Circuit(e) => write!(f, "circuit failure: {e}"),
+        }
+    }
+}
+
+impl LptvError {
+    /// The stable wire identity of this failure (see
+    /// [`tranvar_num::WireFault`]); exhaustive so new variants must be
+    /// classified. The missing-data variants are API misuse (a PSS solution
+    /// solved without the records this analysis needs), i.e. bad input.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::BadInput;
+        match self {
+            LptvError::MissingRecords => WireFault::new("lptv.missing-records", BadInput),
+            LptvError::MissingAutonomousData => {
+                WireFault::new("lptv.missing-autonomous-data", BadInput)
+            }
+            LptvError::BadConfig(_) => WireFault::new("lptv.bad-config", BadInput),
+            LptvError::Num(e) => e.wire_fault(),
+            LptvError::Engine(e) => e.wire_fault(),
+            LptvError::Circuit(e) => e.wire_fault(),
         }
     }
 }

@@ -3,6 +3,50 @@
 use std::error::Error;
 use std::fmt;
 
+/// Coarse classification of a failure for wire boundaries (HTTP statuses,
+/// exit codes, alerting severities).
+///
+/// Every error enum in the workspace maps itself onto a [`WireFault`] via an
+/// exhaustive `match` in its own crate (`wire_fault()`), so adding a variant
+/// without classifying it is a compile error there — the serving layer never
+/// has to stringify or guess. The facade's `TranvarError::wire_status`
+/// turns the class into an HTTP status:
+///
+/// - [`FailureClass::BadInput`] → 400 (bad deck, bad configuration),
+/// - [`FailureClass::Unstable`] → 422 (the deck parsed but the solve failed:
+///   non-convergence, singular/non-finite systems, missing crossings),
+/// - [`FailureClass::Exhausted`] → 504 (a cooperative budget/deadline
+///   tripped; retrying with the same budget would trip it again),
+/// - [`FailureClass::Internal`] → 500 (violated invariants, caught panics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureClass {
+    /// The request/configuration itself is invalid.
+    BadInput,
+    /// The input was well-formed but the numerics failed on it.
+    Unstable,
+    /// A cooperative work bound (budget, deadline) was exhausted.
+    Exhausted,
+    /// An internal invariant was violated (bug, caught panic).
+    Internal,
+}
+
+/// A machine-readable failure identity: a stable dotted code (stable across
+/// releases; safe to match on in clients) plus its [`FailureClass`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireFault {
+    /// Stable machine-readable code, `"<crate>.<variant>"` in kebab-case.
+    pub code: &'static str,
+    /// Coarse class deciding the wire status.
+    pub class: FailureClass,
+}
+
+impl WireFault {
+    /// Convenience constructor used by the per-crate `wire_fault()` impls.
+    pub const fn new(code: &'static str, class: FailureClass) -> Self {
+        WireFault { code, class }
+    }
+}
+
 /// Errors produced by the linear-algebra and transform kernels.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -90,6 +134,32 @@ impl fmt::Display for NumError {
             NumError::Internal { what } => {
                 write!(f, "internal invariant violated: {what}")
             }
+        }
+    }
+}
+
+impl NumError {
+    /// The stable wire identity of this failure (see [`WireFault`]).
+    ///
+    /// The match is exhaustive on purpose: adding a `NumError` variant
+    /// without classifying it for the wire boundary must not compile.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::*;
+        match self {
+            NumError::Singular { .. } => WireFault::new("num.singular", Unstable),
+            NumError::NonFinite { .. } => WireFault::new("num.non-finite", Unstable),
+            NumError::NotPositiveDefinite { .. } => {
+                WireFault::new("num.not-positive-definite", Unstable)
+            }
+            // Shape/usage violations are caller bugs, not data-dependent
+            // solve failures: surface them as internal.
+            NumError::NotSquare { .. } => WireFault::new("num.not-square", Internal),
+            NumError::FftLength { .. } => WireFault::new("num.fft-length", Internal),
+            NumError::DimensionMismatch { .. } => {
+                WireFault::new("num.dimension-mismatch", Internal)
+            }
+            NumError::PatternMismatch => WireFault::new("num.pattern-mismatch", Internal),
+            NumError::Internal { .. } => WireFault::new("num.internal", Internal),
         }
     }
 }

@@ -48,6 +48,6 @@ pub mod stats;
 
 pub use complex::{Complex, Scalar};
 pub use dense::{DMat, Lu};
-pub use error::NumError;
+pub use error::{FailureClass, NumError, WireFault};
 pub use lanes::{lanes_scratch_len, LaneSolver};
 pub use sparse::{Csc, SparseLu, SparseSymbolic, Triplets};

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 use tranvar_engine::EngineError;
-use tranvar_num::NumError;
+use tranvar_num::{FailureClass, NumError, WireFault};
 
 /// Errors produced by the PSS solvers.
 #[derive(Clone, Debug, PartialEq)]
@@ -54,6 +54,23 @@ impl fmt::Display for PssError {
             PssError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PssError::Engine(e) => write!(f, "engine failure: {e}"),
             PssError::Num(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl PssError {
+    /// The stable wire identity of this failure (see
+    /// [`tranvar_num::WireFault`]); exhaustive so new variants must be
+    /// classified. Wrapped layers delegate to their own classification.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::*;
+        match self {
+            PssError::NotPeriodic { .. } => WireFault::new("pss.not-periodic", BadInput),
+            PssError::NoConvergence { .. } => WireFault::new("pss.no-convergence", Unstable),
+            PssError::NoOscillation { .. } => WireFault::new("pss.no-oscillation", Unstable),
+            PssError::BadConfig(_) => WireFault::new("pss.bad-config", BadInput),
+            PssError::Engine(e) => e.wire_fault(),
+            PssError::Num(e) => e.wire_fault(),
         }
     }
 }

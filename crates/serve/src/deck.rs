@@ -1,0 +1,64 @@
+//! Built-in named decks the daemon serves.
+//!
+//! The wire format refers to circuits by deck name and to nodes/devices by
+//! their labels; this module owns the name → [`Circuit`] mapping. Decks are
+//! deliberately small driven testbenches with annotated mismatch so every
+//! request exercises the paper's full PSS → LPTV → report pipeline.
+
+use tranvar::circuit::{Circuit, NodeId, Waveform};
+
+/// The deck names [`build`] accepts.
+pub const DECKS: &[&str] = &["divider", "rc-lowpass"];
+
+/// Builds a named deck, or `None` for an unknown name.
+pub fn build(name: &str) -> Option<Circuit> {
+    match name {
+        "divider" => Some(divider()),
+        "rc-lowpass" => Some(rc_lowpass()),
+        _ => None,
+    }
+}
+
+/// A 2 V resistive divider with mismatch on both resistors: the workspace's
+/// canonical σ(vout) example (σ = |∂vout/∂R|·σ_R per resistor, RSS'd).
+fn divider() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(2.0));
+    let r1 = ckt.add_resistor("R1", a, b, 1e3);
+    let r2 = ckt.add_resistor("R2", b, NodeId::GROUND, 1e3);
+    ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-12);
+    ckt.annotate_resistor_mismatch(r1, 10.0);
+    ckt.annotate_resistor_mismatch(r2, 10.0);
+    ckt
+}
+
+/// A 1 V RC low-pass with mismatch on the series resistor.
+fn rc_lowpass() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("in");
+    let b = ckt.node("out");
+    ckt.add_vsource("V1", a, NodeId::GROUND, Waveform::Dc(1.0));
+    let r1 = ckt.add_resistor("R1", a, b, 1e3);
+    ckt.add_capacitor("C1", b, NodeId::GROUND, 1e-9);
+    ckt.annotate_resistor_mismatch(r1, 5.0);
+    ckt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_deck_builds_with_mismatch_annotations() {
+        for name in DECKS {
+            let ckt = build(name).expect("listed deck must build");
+            assert!(
+                !ckt.mismatch_params().is_empty(),
+                "deck {name} has no mismatch annotations"
+            );
+        }
+        assert!(build("nope").is_none());
+    }
+}

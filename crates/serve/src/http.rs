@@ -1,0 +1,219 @@
+//! A deliberately small HTTP/1.1 subset over [`std::net::TcpStream`].
+//!
+//! One request per connection (`Connection: close`), bodies framed by
+//! `Content-Length` only — exactly what the tranvar daemon and its clients
+//! speak. Read timeouts bound how long a slow peer can hold the acceptor.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long a read may wait on a peer before the connection is dropped.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Requests larger than this are rejected with 413 before buffering.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// A parsed request: method, path, lower-cased headers, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET` / `POST` / ...
+    pub method: String,
+    /// Path without query split (the daemon's routes carry no queries).
+    pub path: String,
+    /// Header names lower-cased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// What request parsing produced.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request.
+    Ok(Request),
+    /// The peer disconnected before sending a request line.
+    Eof,
+    /// A malformed or oversized request; respond with this status and text.
+    Bad(u16, &'static str),
+}
+
+/// Reads and parses one request from the stream.
+///
+/// # Errors
+///
+/// Propagates socket errors (including read timeouts).
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Parsed> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(Parsed::Eof);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Ok(Parsed::Bad(400, "malformed request line"));
+    };
+    let method = method.to_string();
+    let path = path.to_string();
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if reader.read_line(&mut h)? == 0 {
+            return Ok(Parsed::Bad(400, "truncated headers"));
+        }
+        let h = h.trim_end_matches(['\r', '\n']);
+        if h.is_empty() {
+            break;
+        }
+        let Some((name, value)) = h.split_once(':') else {
+            return Ok(Parsed::Bad(400, "malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            match value.parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => content_length = n,
+                Ok(_) => return Ok(Parsed::Bad(413, "body too large")),
+                Err(_) => return Ok(Parsed::Bad(400, "bad content-length")),
+            }
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let Ok(body) = String::from_utf8(body) else {
+        return Ok(Parsed::Bad(400, "body is not utf-8"));
+    };
+    Ok(Parsed::Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// A response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers (`Content-Length`, `Content-Type` and
+    /// `Connection: close` are always emitted).
+    pub headers: Vec<(String, String)>,
+    /// UTF-8 body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes the response and flushes; errors are returned for accounting but
+/// a dead peer is not fatal to the server.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("content-type: application/json\r\n");
+    head.push_str(&format!("content-length: {}\r\n", resp.body.len()));
+    head.push_str("connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> Parsed {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.shutdown(std::net::Shutdown::Write).unwrap();
+            // Keep the socket open until the server is done reading.
+            let mut sink = Vec::new();
+            let _ = s.read_to_end(&mut sink);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut conn).unwrap();
+        drop(conn);
+        client.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let parsed =
+            round_trip("POST /analyze HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}");
+        let Parsed::Ok(req) = parsed else {
+            panic!("expected parse, got {parsed:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/analyze");
+        assert_eq!(req.body, "{\"a\":1}");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn flags_malformed_and_oversized_requests() {
+        assert!(matches!(round_trip("garbage\r\n\r\n"), Parsed::Bad(400, _)));
+        assert!(matches!(
+            round_trip("POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            Parsed::Bad(413, _)
+        ));
+        assert!(matches!(round_trip(""), Parsed::Eof));
+    }
+}

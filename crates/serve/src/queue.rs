@@ -1,0 +1,130 @@
+//! The bounded admission queue between the acceptor and the worker pool.
+//!
+//! Admission is non-blocking: [`Queue::try_push`] refuses immediately when
+//! the queue is at capacity (the acceptor turns that into a typed 429 with
+//! a `Retry-After` derived from the depth) so a burst degrades into fast,
+//! explicit shedding instead of unbounded buffering. Workers block on
+//! [`Queue::pop`]; closing the queue wakes them and lets them drain the
+//! remaining jobs before exiting — the graceful-drain half of shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with non-blocking admission and draining close.
+pub struct Queue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue that admits at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> Self {
+        Queue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Admits a job, or returns it when the queue is full or closed —
+    /// the caller sheds.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut st = self.lock();
+        if st.closed || st.items.len() >= self.capacity {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained (workers finish in-flight jobs before exiting).
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every blocked worker to drain and exit.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        // A poisoned queue lock only means a worker panicked between
+        // push/pop bookkeeping; the state itself is always consistent.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_when_full_and_drains_after_close() {
+        let q = Queue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        // Closed but not yet drained: both jobs still come out.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(Queue::<u32>::new(4));
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        q.try_push(7).unwrap();
+        q.close();
+        let got: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
+        assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_sheds_everything() {
+        let q = Queue::new(0);
+        assert_eq!(q.try_push(1), Err(1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimal blocking HTTP client for the serve integration tests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response.
+pub struct Reply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Reply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Sends one request and reads the full response (the daemon always
+/// answers `Connection: close`, so EOF frames the body).
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    let mut s = TcpStream::connect(addr).expect("connect to daemon");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).unwrap();
+    s.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    parse_reply(&raw)
+}
+
+pub fn get(addr: SocketAddr, path: &str) -> Reply {
+    request(addr, "GET", path, "")
+}
+
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    request(addr, "POST", path, body)
+}
+
+fn parse_reply(raw: &str) -> Reply {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response must have a header/body split");
+    let mut lines = head.lines();
+    let status = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+/// A readyz counter (all counters are JSON integers on the wire).
+pub fn counter(reply: &Reply, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let at = reply
+        .body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("readyz body missing {key}: {}", reply.body));
+    let rest = &reply.body[at + needle.len()..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated {key}"));
+    rest[..end]
+        .trim()
+        .parse::<f64>()
+        .unwrap_or_else(|_| panic!("non-numeric {key}")) as u64
+}

@@ -159,5 +159,5 @@ pub use tranvar_lptv as lptv;
 pub use tranvar_num as num;
 pub use tranvar_pss as pss;
 
-pub use error::TranvarError;
+pub use error::{http_status_of, TranvarError, WireStatus};
 pub use tranvar_core::prelude;
