@@ -1,0 +1,468 @@
+//! The card-level abstract syntax tree.
+//!
+//! The parser lowers lexed cards into a [`Deck`] of typed [`Card`]s; the
+//! elaborator turns a deck into a circuit and campaign. The AST keeps two
+//! invariants the test suite leans on:
+//!
+//! - **Span-blind equality.** [`Name`], [`Value`], [`Expr`] and [`Card`]
+//!   compare equal when their *content* matches, ignoring source
+//!   positions, so a formatted-and-reparsed deck compares equal to the
+//!   original.
+//! - **Faithful formatting.** [`Deck`]'s `Display` prints one canonical
+//!   line per card, preserving original number text (`30p` stays `30p`),
+//!   which makes `format → parse → format` a fixpoint.
+//!
+//! [`Expr`]: crate::expr::Expr
+
+use std::fmt;
+
+use crate::error::Span;
+use crate::expr::Expr;
+
+/// A spanned identifier: device label, node name, model name, keyword.
+///
+/// Equality compares the text only (case-sensitively — labels and nodes
+/// must match the programmatic builders byte-for-byte).
+#[derive(Clone, Debug)]
+pub struct Name {
+    /// The identifier as written.
+    pub text: String,
+    /// Where it was written.
+    pub span: Span,
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.text == other.text
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A numeric value position in a card: either a bare number or a quoted
+/// expression (`'wp*strength'`).
+#[derive(Clone, Debug)]
+pub struct Value {
+    /// The parsed expression (a bare number is an [`Expr::Num`]).
+    pub expr: Expr,
+    /// Whether the source used quotes; controls formatting.
+    pub quoted: bool,
+    /// Where the value starts.
+    pub span: Span,
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.quoted == other.quoted && self.expr == other.expr
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.quoted {
+            write!(f, "'{}'", self.expr)
+        } else {
+            write!(f, "{}", self.expr)
+        }
+    }
+}
+
+/// A source waveform specification on a `V` or `I` card.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WaveSpec {
+    /// A constant value.
+    Dc(Value),
+    /// `pulse(v0 v1 delay rise fall width period)`. Boxed: the 7-value
+    /// payload would otherwise dominate every card's footprint.
+    Pulse(Box<[Value; 7]>),
+    /// `sin(offset ampl freq delay)`. Boxed for the same reason.
+    Sin(Box<[Value; 4]>),
+    /// `pwl(t1 v1 t2 v2 ...)`.
+    Pwl(Vec<(Value, Value)>),
+}
+
+impl fmt::Display for WaveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaveSpec::Dc(v) => write!(f, "{v}"),
+            WaveSpec::Pulse(v) => {
+                write!(
+                    f,
+                    "pulse({} {} {} {} {} {} {})",
+                    v[0], v[1], v[2], v[3], v[4], v[5], v[6]
+                )
+            }
+            WaveSpec::Sin(v) => write!(f, "sin({} {} {} {})", v[0], v[1], v[2], v[3]),
+            WaveSpec::Pwl(pts) => {
+                f.write_str("pwl(")?;
+                for (i, (t, v)) in pts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ")?;
+                    }
+                    write!(f, "{t} {v}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// One circuit element card.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Element {
+    /// `R`/`C`/`L`: a two-terminal passive.
+    Passive {
+        /// Element type letter (`'R'`, `'C'` or `'L'`, upper-cased).
+        kind: char,
+        /// Device label as written (e.g. `CL0`).
+        label: Name,
+        /// Positive node.
+        p: Name,
+        /// Negative node.
+        n: Name,
+        /// Resistance/capacitance/inductance.
+        value: Value,
+    },
+    /// `V`/`I`: an independent source.
+    Source {
+        /// Element type letter (`'V'` or `'I'`, upper-cased).
+        kind: char,
+        /// Device label as written.
+        label: Name,
+        /// Positive node.
+        p: Name,
+        /// Negative node.
+        n: Name,
+        /// The source waveform.
+        wave: WaveSpec,
+    },
+    /// `E`/`G`: a voltage-controlled voltage/current source.
+    Controlled {
+        /// Element type letter (`'E'` or `'G'`, upper-cased).
+        kind: char,
+        /// Device label as written.
+        label: Name,
+        /// Positive output node.
+        p: Name,
+        /// Negative output node.
+        n: Name,
+        /// Positive controlling node.
+        cp: Name,
+        /// Negative controlling node.
+        cn: Name,
+        /// Gain (V/V) or transconductance (A/V).
+        gain: Value,
+    },
+    /// `M`: a MOSFET (drain, gate, source — the dialect has no bulk
+    /// terminal, matching `Circuit::add_mosfet`).
+    Mosfet {
+        /// Device label as written.
+        label: Name,
+        /// Drain node.
+        d: Name,
+        /// Gate node.
+        g: Name,
+        /// Source node.
+        s: Name,
+        /// `.model` name.
+        model: Name,
+        /// Channel width (`w=`).
+        w: Value,
+        /// Channel length (`l=`).
+        l: Value,
+    },
+}
+
+impl Element {
+    /// The element's label name.
+    pub fn label(&self) -> &Name {
+        match self {
+            Element::Passive { label, .. }
+            | Element::Source { label, .. }
+            | Element::Controlled { label, .. }
+            | Element::Mosfet { label, .. } => label,
+        }
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Element::Passive {
+                label, p, n, value, ..
+            } => write!(f, "{label} {p} {n} {value}"),
+            Element::Source {
+                label, p, n, wave, ..
+            } => write!(f, "{label} {p} {n} {wave}"),
+            Element::Controlled {
+                label,
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+                ..
+            } => write!(f, "{label} {p} {n} {cp} {cn} {gain}"),
+            Element::Mosfet {
+                label,
+                d,
+                g,
+                s,
+                model,
+                w,
+                l,
+            } => write!(f, "{label} {d} {g} {s} {model} w={w} l={l}"),
+        }
+    }
+}
+
+/// An `X` card: a subcircuit instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Instance {
+    /// Instance label as written (with its leading `X`).
+    pub label: Name,
+    /// Nodes connected to the subcircuit ports, in port order.
+    pub nodes: Vec<Name>,
+    /// The `.subckt` name.
+    pub subckt: Name,
+    /// `key=value` parameter overrides.
+    pub params: Vec<(Name, Value)>,
+}
+
+/// A `.model` card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelCard {
+    /// The model name.
+    pub name: Name,
+    /// `nmos` or `pmos` (lower-cased).
+    pub kind: Name,
+    /// `key=value` overrides applied on top of the 0.13 µm defaults.
+    pub params: Vec<(Name, Value)>,
+}
+
+/// A `.subckt` definition (ports, default parameters, element body).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubcktDef {
+    /// The subcircuit name.
+    pub name: Name,
+    /// Port names, in declaration order.
+    pub ports: Vec<Name>,
+    /// Default `key=value` parameters.
+    pub params: Vec<(Name, Value)>,
+    /// Body cards (element cards only).
+    pub body: Vec<Element>,
+}
+
+/// A `.pss` analysis card (driven or autonomous).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PssCard {
+    /// `true` for `.pss osc` (autonomous oscillator analysis).
+    pub osc: bool,
+    /// The positional period (driven form only).
+    pub period: Option<Value>,
+    /// The oscillator phase node (`node=`, osc form only).
+    pub node: Option<Name>,
+    /// Remaining `key=value` tuning pairs, in source order.
+    pub kv: Vec<(Name, Value)>,
+}
+
+/// A `.sigma` mismatch-annotation card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SigmaCard {
+    /// `pelgrom`, `r`, `c` or `l` (lower-cased).
+    pub kind: Name,
+    /// Label pattern (`*` wildcards) selecting devices.
+    pub pattern: Name,
+    /// `key=value` pairs (`avt=`/`abeta=` or `sigma=`).
+    pub kv: Vec<(Name, Value)>,
+}
+
+/// A `.sweep` campaign-axis card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepCard {
+    /// Axis kind: `sigma`, `source`, `scale`, `r`, `c`, `l` or `w`.
+    pub kind: Name,
+    /// The target device label (absent for `sigma`).
+    pub target: Option<Name>,
+    /// The grid values.
+    pub values: Vec<Value>,
+}
+
+/// A `.measure` metric card.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasureCard {
+    /// The metric name reported in results.
+    pub name: Name,
+    /// `avg`, `freq` or `delay` (lower-cased).
+    pub kind: Name,
+    /// The measured node (`avg` and `delay`).
+    pub node: Option<Name>,
+    /// `edge=rise|fall` (`delay` only).
+    pub edge: Option<Name>,
+    /// Remaining key/value pairs (`delay`: `threshold=`, `after=`, `ref=`).
+    pub kv: Vec<(Name, Value)>,
+}
+
+/// The payload of one deck card.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CardKind {
+    /// A circuit element.
+    Element(Element),
+    /// `.node n1 n2 ...` — pre-declares nodes in a fixed creation order.
+    Node(Vec<Name>),
+    /// `.param name=value`.
+    Param(Name, Value),
+    /// `.model`.
+    Model(ModelCard),
+    /// `.subckt ... .ends`.
+    Subckt(SubcktDef),
+    /// An `X` subcircuit instance.
+    Instance(Instance),
+    /// `.tran tstep tstop`.
+    Tran(Value, Value),
+    /// `.pss`.
+    Pss(PssCard),
+    /// `.sigma`.
+    Sigma(SigmaCard),
+    /// `.sweep`.
+    Sweep(SweepCard),
+    /// `.measure`.
+    Measure(MeasureCard),
+    /// `.option key=value ...`.
+    Option(Vec<(Name, Value)>),
+    /// `.end`.
+    End,
+}
+
+/// One card with its source position.
+#[derive(Clone, Debug)]
+pub struct Card {
+    /// Position of the card's first token.
+    pub span: Span,
+    /// The card payload.
+    pub kind: CardKind,
+}
+
+impl PartialEq for Card {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+    }
+}
+
+/// A parsed deck: the title line plus all cards in order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Deck {
+    /// The title (line 1 of the source).
+    pub title: String,
+    /// Cards in deck order.
+    pub cards: Vec<Card>,
+}
+
+fn write_kv(f: &mut fmt::Formatter<'_>, kv: &[(Name, Value)]) -> fmt::Result {
+    for (k, v) in kv {
+        write!(f, " {k}={v}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for CardKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CardKind::Element(e) => write!(f, "{e}"),
+            CardKind::Node(nodes) => {
+                f.write_str(".node")?;
+                for n in nodes {
+                    write!(f, " {n}")?;
+                }
+                Ok(())
+            }
+            CardKind::Param(name, value) => write!(f, ".param {name}={value}"),
+            CardKind::Model(m) => {
+                write!(f, ".model {} {}", m.name, m.kind)?;
+                write_kv(f, &m.params)
+            }
+            CardKind::Subckt(s) => {
+                write!(f, ".subckt {}", s.name)?;
+                for p in &s.ports {
+                    write!(f, " {p}")?;
+                }
+                write_kv(f, &s.params)?;
+                for e in &s.body {
+                    write!(f, "\n{e}")?;
+                }
+                f.write_str("\n.ends")
+            }
+            CardKind::Instance(x) => {
+                write!(f, "{}", x.label)?;
+                for n in &x.nodes {
+                    write!(f, " {n}")?;
+                }
+                write!(f, " {}", x.subckt)?;
+                write_kv(f, &x.params)
+            }
+            CardKind::Tran(tstep, tstop) => write!(f, ".tran {tstep} {tstop}"),
+            CardKind::Pss(p) => {
+                f.write_str(".pss")?;
+                if p.osc {
+                    f.write_str(" osc")?;
+                }
+                if let Some(period) = &p.period {
+                    write!(f, " {period}")?;
+                }
+                if let Some(node) = &p.node {
+                    write!(f, " node={node}")?;
+                }
+                write_kv(f, &p.kv)
+            }
+            CardKind::Sigma(s) => {
+                write!(f, ".sigma {} {}", s.kind, s.pattern)?;
+                write_kv(f, &s.kv)
+            }
+            CardKind::Sweep(s) => {
+                write!(f, ".sweep {}", s.kind)?;
+                if let Some(t) = &s.target {
+                    write!(f, " {t}")?;
+                }
+                for v in &s.values {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            CardKind::Measure(m) => {
+                write!(f, ".measure {} {}", m.name, m.kind)?;
+                if let Some(n) = &m.node {
+                    write!(f, " {n}")?;
+                }
+                if let Some(e) = &m.edge {
+                    write!(f, " edge={e}")?;
+                }
+                for (k, v) in &m.kv {
+                    write!(f, " {k}={v}")?;
+                }
+                Ok(())
+            }
+            CardKind::Option(kv) => {
+                f.write_str(".option")?;
+                write_kv(f, kv)
+            }
+            CardKind::End => f.write_str(".end"),
+        }
+    }
+}
+
+impl fmt::Display for Deck {
+    /// Prints the deck in canonical form: the title line followed by one
+    /// line per card (subcircuits span several). Reparsing the output
+    /// yields an AST equal to this one.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        for card in &self.cards {
+            writeln!(f, "{}", card.kind)?;
+        }
+        Ok(())
+    }
+}

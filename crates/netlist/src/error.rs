@@ -1,0 +1,355 @@
+//! Typed, spanned netlist errors.
+//!
+//! Every failure mode of the frontend — lexing, card parsing, expression
+//! evaluation, elaboration — is a [`NetlistError`] variant carrying a
+//! [`Span`] (1-based line and column in the deck source). Nothing in this
+//! crate panics on malformed input: the mutation-fuzz suite feeds thousands
+//! of mangled decks through the full pipeline and asserts exactly that.
+//!
+//! On the wire every variant classifies as
+//! [`FailureClass::Unprocessable`] (HTTP 422): the request *envelope* that
+//! delivered the deck was fine, the deck document itself was not. This is
+//! deliberately distinct from `serve.bad-request` (400, broken envelope)
+//! and from the `Unstable` solve failures (422, deck fine but numerics
+//! failed) — see the README failure-taxonomy table.
+
+use std::error::Error;
+use std::fmt;
+use tranvar_num::{FailureClass, WireFault};
+
+/// A 1-based source position (line, column) in the deck text.
+///
+/// Column counts are in bytes from the start of the physical line, which
+/// coincides with characters for the ASCII decks SPICE dialects use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// 1-based line number (line 1 is the title line).
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span at `(line, col)`, both 1-based.
+    pub const fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Any failure of the netlist frontend, with the source position it
+/// occurred at.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A card (dot keyword or element type letter) this dialect does not
+    /// know.
+    UnknownCard {
+        /// Where the card name starts.
+        span: Span,
+        /// The offending card name as written.
+        card: String,
+    },
+    /// A structural problem inside an otherwise known card: missing or
+    /// trailing tokens, unterminated quotes, bad card shape.
+    Syntax {
+        /// Where the problem was detected.
+        span: Span,
+        /// What was wrong.
+        what: String,
+    },
+    /// A token that should be a number (with optional SI suffix) but is
+    /// not.
+    MalformedNumber {
+        /// Where the token starts.
+        span: Span,
+        /// The offending token text.
+        text: String,
+    },
+    /// An expression referenced a `.param` name that has not been defined
+    /// at that point of the deck.
+    UndefinedParam {
+        /// Where the reference appears.
+        span: Span,
+        /// The undefined parameter name.
+        name: String,
+    },
+    /// Two `.model` cards define the same model name.
+    DuplicateModel {
+        /// Where the second definition starts.
+        span: Span,
+        /// The redefined model name.
+        name: String,
+    },
+    /// An `M` card referenced a model name with no `.model` card above it.
+    UnknownModel {
+        /// Where the reference appears.
+        span: Span,
+        /// The unknown model name.
+        name: String,
+    },
+    /// Two elements elaborated to the same device label.
+    DuplicateDevice {
+        /// Where the second element starts.
+        span: Span,
+        /// The duplicated label.
+        name: String,
+    },
+    /// A node is connected to fewer than two device terminals (or declared
+    /// by `.node` and never used), so the matrix row it creates is
+    /// floating.
+    DanglingNode {
+        /// Where the node was first mentioned.
+        span: Span,
+        /// The floating node name.
+        node: String,
+    },
+    /// A value is out of its physical domain (non-positive R/C/L/W/L,
+    /// non-finite result, division by zero, bad option value).
+    InvalidValue {
+        /// Where the value was written.
+        span: Span,
+        /// What the value configures.
+        what: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An `X` card referenced a subcircuit with no `.subckt` above it.
+    UnknownSubckt {
+        /// Where the reference appears.
+        span: Span,
+        /// The unknown subcircuit name.
+        name: String,
+    },
+    /// An `X` card connected the wrong number of nodes for its subcircuit.
+    PortMismatch {
+        /// Where the instance starts.
+        span: Span,
+        /// The subcircuit name.
+        name: String,
+        /// Ports the `.subckt` declares.
+        expected: usize,
+        /// Nodes the instance supplied.
+        got: usize,
+    },
+    /// A `.sweep`, `.sigma` or `.measure` card referenced a device label,
+    /// node name or label pattern that matches nothing in the elaborated
+    /// circuit.
+    UnknownLabel {
+        /// Where the reference appears.
+        span: Span,
+        /// The unmatched label, node or pattern.
+        name: String,
+    },
+}
+
+impl NetlistError {
+    /// The source position the error points at.
+    pub fn span(&self) -> Span {
+        match self {
+            NetlistError::UnknownCard { span, .. }
+            | NetlistError::Syntax { span, .. }
+            | NetlistError::MalformedNumber { span, .. }
+            | NetlistError::UndefinedParam { span, .. }
+            | NetlistError::DuplicateModel { span, .. }
+            | NetlistError::UnknownModel { span, .. }
+            | NetlistError::DuplicateDevice { span, .. }
+            | NetlistError::DanglingNode { span, .. }
+            | NetlistError::InvalidValue { span, .. }
+            | NetlistError::UnknownSubckt { span, .. }
+            | NetlistError::PortMismatch { span, .. }
+            | NetlistError::UnknownLabel { span, .. } => *span,
+        }
+    }
+
+    /// The stable wire identity of this failure (see [`WireFault`]).
+    ///
+    /// Every variant is [`FailureClass::Unprocessable`] (HTTP 422): the
+    /// deck document could not be processed, while the request that
+    /// carried it was well-formed. The match is exhaustive on purpose so a
+    /// new variant cannot ship unclassified.
+    pub fn wire_fault(&self) -> WireFault {
+        use FailureClass::Unprocessable;
+        match self {
+            NetlistError::UnknownCard { .. } => {
+                WireFault::new("netlist.unknown-card", Unprocessable)
+            }
+            NetlistError::Syntax { .. } => WireFault::new("netlist.syntax", Unprocessable),
+            NetlistError::MalformedNumber { .. } => {
+                WireFault::new("netlist.malformed-number", Unprocessable)
+            }
+            NetlistError::UndefinedParam { .. } => {
+                WireFault::new("netlist.undefined-param", Unprocessable)
+            }
+            NetlistError::DuplicateModel { .. } => {
+                WireFault::new("netlist.duplicate-model", Unprocessable)
+            }
+            NetlistError::UnknownModel { .. } => {
+                WireFault::new("netlist.unknown-model", Unprocessable)
+            }
+            NetlistError::DuplicateDevice { .. } => {
+                WireFault::new("netlist.duplicate-device", Unprocessable)
+            }
+            NetlistError::DanglingNode { .. } => {
+                WireFault::new("netlist.dangling-node", Unprocessable)
+            }
+            NetlistError::InvalidValue { .. } => {
+                WireFault::new("netlist.invalid-value", Unprocessable)
+            }
+            NetlistError::UnknownSubckt { .. } => {
+                WireFault::new("netlist.unknown-subckt", Unprocessable)
+            }
+            NetlistError::PortMismatch { .. } => {
+                WireFault::new("netlist.port-mismatch", Unprocessable)
+            }
+            NetlistError::UnknownLabel { .. } => {
+                WireFault::new("netlist.unknown-label", Unprocessable)
+            }
+        }
+    }
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownCard { span, card } => {
+                write!(f, "unknown card `{card}` at {span}")
+            }
+            NetlistError::Syntax { span, what } => write!(f, "{what} at {span}"),
+            NetlistError::MalformedNumber { span, text } => {
+                write!(f, "malformed number `{text}` at {span}")
+            }
+            NetlistError::UndefinedParam { span, name } => {
+                write!(f, "undefined parameter `{name}` at {span}")
+            }
+            NetlistError::DuplicateModel { span, name } => {
+                write!(f, "duplicate .model `{name}` at {span}")
+            }
+            NetlistError::UnknownModel { span, name } => {
+                write!(f, "unknown model `{name}` at {span}")
+            }
+            NetlistError::DuplicateDevice { span, name } => {
+                write!(f, "duplicate device `{name}` at {span}")
+            }
+            NetlistError::DanglingNode { span, node } => {
+                write!(
+                    f,
+                    "dangling node `{node}` (fewer than two connections) at {span}"
+                )
+            }
+            NetlistError::InvalidValue { span, what, reason } => {
+                write!(f, "invalid value for {what} ({reason}) at {span}")
+            }
+            NetlistError::UnknownSubckt { span, name } => {
+                write!(f, "unknown subcircuit `{name}` at {span}")
+            }
+            NetlistError::PortMismatch {
+                span,
+                name,
+                expected,
+                got,
+            } => write!(
+                f,
+                "subcircuit `{name}` has {expected} port(s) but {got} node(s) were connected at {span}"
+            ),
+            NetlistError::UnknownLabel { span, name } => {
+                write!(f, "no circuit element matches `{name}` at {span}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<NetlistError> {
+        let s = Span::new(3, 7);
+        vec![
+            NetlistError::UnknownCard {
+                span: s,
+                card: "Q1".into(),
+            },
+            NetlistError::Syntax {
+                span: s,
+                what: "missing node".into(),
+            },
+            NetlistError::MalformedNumber {
+                span: s,
+                text: "1.2.3k".into(),
+            },
+            NetlistError::UndefinedParam {
+                span: s,
+                name: "wp".into(),
+            },
+            NetlistError::DuplicateModel {
+                span: s,
+                name: "nmos13".into(),
+            },
+            NetlistError::UnknownModel {
+                span: s,
+                name: "bsim4".into(),
+            },
+            NetlistError::DuplicateDevice {
+                span: s,
+                name: "R1".into(),
+            },
+            NetlistError::DanglingNode {
+                span: s,
+                node: "mid".into(),
+            },
+            NetlistError::InvalidValue {
+                span: s,
+                what: "resistance".into(),
+                reason: "must be positive".into(),
+            },
+            NetlistError::UnknownSubckt {
+                span: s,
+                name: "inv".into(),
+            },
+            NetlistError::PortMismatch {
+                span: s,
+                name: "inv".into(),
+                expected: 3,
+                got: 2,
+            },
+            NetlistError::UnknownLabel {
+                span: s,
+                name: "R9".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_is_unprocessable_with_a_netlist_code() {
+        for e in all_variants() {
+            let fault = e.wire_fault();
+            assert!(fault.code.starts_with("netlist."), "{e:?}");
+            assert_eq!(fault.class, FailureClass::Unprocessable, "{e:?}");
+            assert_eq!(e.span(), Span::new(3, 7));
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty_lowercase_and_mentions_the_span() {
+        for e in all_variants() {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase(), "{s}");
+            assert!(s.contains("line 3, column 7"), "{s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

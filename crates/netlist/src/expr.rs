@@ -1,0 +1,606 @@
+//! Numbers and arithmetic expressions.
+//!
+//! Two jobs live here. First, [`parse_number`] turns SPICE numeric tokens —
+//! plain floats, exponent notation, or SI-suffixed magnitudes (`10k`,
+//! `30p`, `2meg`) — into `f64`s. Suffixes are folded into the *decimal
+//! text* (e.g. `30p` becomes `"30e-12"`) before a single
+//! [`f64::from_str`] call, so every value is correctly rounded exactly
+//! like a Rust literal with the same digits; there is no runtime
+//! multiply-by-power-of-ten that could perturb the last bit. This is what
+//! lets deck-elaborated circuits match the programmatic builders
+//! byte-for-byte.
+//!
+//! Second, a tiny expression language for quoted values (`'wp*strength'`,
+//! `{sqrt(2)*u}`): `+ - * /`, unary minus, parentheses, `.param`
+//! references, and the calls `sqrt`, `abs`, `min`, `max`. Evaluation is
+//! plain `f64` arithmetic in source order, so a deck expression performs
+//! the *same* floating-point operations as the equivalent builder code.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::{NetlistError, Span};
+
+/// Decade shift of each SI suffix, longest-match first (`meg` before `m`).
+const SUFFIXES: [(&str, i32); 9] = [
+    ("meg", 6),
+    ("t", 12),
+    ("g", 9),
+    ("k", 3),
+    ("m", -3),
+    ("u", -6),
+    ("n", -9),
+    ("p", -12),
+    ("f", -15),
+];
+
+/// Parses a SPICE numeric token (optionally SI-suffixed) to an `f64`.
+///
+/// The suffix, if any, is merged into the exponent *textually* so the
+/// final conversion is one correctly-rounded [`f64::from_str`]:
+///
+/// ```
+/// use tranvar_netlist::{parse_number, Span};
+/// let s = Span::new(1, 1);
+/// assert_eq!(parse_number("30p", s).unwrap(), 30e-12);
+/// assert_eq!(parse_number("1.5k", s).unwrap(), 1.5e3);
+/// assert_eq!(parse_number("2meg", s).unwrap(), 2e6);
+/// assert!(parse_number("1.2.3", s).is_err());
+/// ```
+pub fn parse_number(text: &str, span: Span) -> Result<f64, NetlistError> {
+    let malformed = || NetlistError::MalformedNumber {
+        span,
+        text: text.to_string(),
+    };
+    // Fast path: ordinary float syntax (also covers exponent notation).
+    // `from_str` accepts "inf"/"nan" spellings; those are not numbers in a
+    // deck, so only word shapes starting like a number are allowed at all.
+    let starts_numeric = text
+        .strip_prefix(['+', '-'])
+        .unwrap_or(text)
+        .starts_with(|c: char| c.is_ascii_digit() || c == '.');
+    if !starts_numeric {
+        return Err(malformed());
+    }
+    if let Ok(v) = f64::from_str(text) {
+        return if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(malformed())
+        };
+    }
+    // Suffixed path: split a trailing alphabetic run and merge its decade
+    // into the exponent text.
+    let tail_start = text
+        .rfind(|c: char| !c.is_ascii_alphabetic())
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let (mantissa, tail) = text.split_at(tail_start);
+    let tail_lower = tail.to_ascii_lowercase();
+    let decade = SUFFIXES
+        .iter()
+        .find(|(s, _)| *s == tail_lower)
+        .map(|(_, d)| *d)
+        .ok_or_else(malformed)?;
+    if mantissa.contains(['e', 'E']) {
+        // `1e3k` is ambiguous; require either exponent or suffix.
+        return Err(malformed());
+    }
+    let merged = format!("{mantissa}e{decade}");
+    match f64::from_str(&merged) {
+        Ok(v) if v.is_finite() => Ok(v),
+        _ => Err(malformed()),
+    }
+}
+
+/// An arithmetic expression from a quoted deck value.
+///
+/// Equality ignores spans (so a formatted-and-reparsed expression compares
+/// equal to the original) but *does* compare the original number text, so
+/// `2u` and `2e-6` are different ASTs even though they evaluate equally.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// A numeric literal, keeping its source text for exact round-trips.
+    Num {
+        /// The parsed value.
+        value: f64,
+        /// The literal as written (`"30p"`, `"1.5e3"`).
+        text: String,
+        /// Source position.
+        span: Span,
+    },
+    /// A `.param` reference.
+    Ident {
+        /// The parameter name.
+        name: String,
+        /// Source position.
+        span: Span,
+    },
+    /// Unary minus.
+    Neg {
+        /// The negated operand.
+        arg: Box<Expr>,
+        /// Source position of the `-`.
+        span: Span,
+    },
+    /// A binary operation (`+`, `-`, `*`, `/`).
+    Binary {
+        /// The operator character.
+        op: char,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source position of the operator.
+        span: Span,
+    },
+    /// A function call (`sqrt`, `abs`, `min`, `max`).
+    Call {
+        /// The function name, lower-cased.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source position of the function name.
+        span: Span,
+    },
+}
+
+impl PartialEq for Expr {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Expr::Num {
+                    value: a, text: ta, ..
+                },
+                Expr::Num {
+                    value: b, text: tb, ..
+                },
+            ) => a.to_bits() == b.to_bits() && ta == tb,
+            (Expr::Ident { name: a, .. }, Expr::Ident { name: b, .. }) => a == b,
+            (Expr::Neg { arg: a, .. }, Expr::Neg { arg: b, .. }) => a == b,
+            (
+                Expr::Binary {
+                    op: oa,
+                    lhs: la,
+                    rhs: ra,
+                    ..
+                },
+                Expr::Binary {
+                    op: ob,
+                    lhs: lb,
+                    rhs: rb,
+                    ..
+                },
+            ) => oa == ob && la == lb && ra == rb,
+            (
+                Expr::Call {
+                    func: fa, args: aa, ..
+                },
+                Expr::Call {
+                    func: fb, args: ab, ..
+                },
+            ) => fa == fb && aa == ab,
+            _ => false,
+        }
+    }
+}
+
+impl Expr {
+    /// The source position of this expression's head token.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Num { span, .. }
+            | Expr::Ident { span, .. }
+            | Expr::Neg { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Call { span, .. } => *span,
+        }
+    }
+
+    /// Evaluates the expression against the `.param` environment.
+    ///
+    /// Arithmetic is plain `f64` in source order; a non-finite result
+    /// (division by zero, overflow, `sqrt` of a negative) is an
+    /// [`NetlistError::InvalidValue`].
+    pub fn eval(&self, params: &HashMap<String, f64>) -> Result<f64, NetlistError> {
+        let v = match self {
+            Expr::Num { value, .. } => *value,
+            Expr::Ident { name, span } => {
+                *params
+                    .get(name)
+                    .ok_or_else(|| NetlistError::UndefinedParam {
+                        span: *span,
+                        name: name.clone(),
+                    })?
+            }
+            Expr::Neg { arg, .. } => -arg.eval(params)?,
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = lhs.eval(params)?;
+                let b = rhs.eval(params)?;
+                match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    _ => a / b,
+                }
+            }
+            Expr::Call { func, args, span } => {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|a| a.eval(params))
+                    .collect::<Result<_, _>>()?;
+                match (func.as_str(), vals.as_slice()) {
+                    ("sqrt", [x]) => x.sqrt(),
+                    ("abs", [x]) => x.abs(),
+                    ("min", [a, b]) => a.min(*b),
+                    ("max", [a, b]) => a.max(*b),
+                    _ => {
+                        return Err(NetlistError::Syntax {
+                            span: *span,
+                            what: format!(
+                                "unknown function `{func}` with {} argument(s)",
+                                vals.len()
+                            ),
+                        })
+                    }
+                }
+            }
+        };
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(NetlistError::InvalidValue {
+                span: self.span(),
+                what: "expression".to_string(),
+                reason: "result is not finite".to_string(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Prints the expression fully parenthesized with original number
+    /// text, so formatting and reparsing reproduces the identical AST.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num { text, .. } => f.write_str(text),
+            Expr::Ident { name, .. } => f.write_str(name),
+            Expr::Neg { arg, .. } => write!(f, "(-{arg})"),
+            Expr::Binary { op, lhs, rhs, .. } => write!(f, "({lhs}{op}{rhs})"),
+            Expr::Call { func, args, .. } => {
+                write!(f, "{func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Parses the body of a quoted expression.
+///
+/// `base` is the span of the opening quote character; positions inside the
+/// expression are offset from `base.col + 1`.
+pub fn parse_expr(body: &str, base: Span) -> Result<Expr, NetlistError> {
+    let tokens = lex_expr(body, base)?;
+    let mut p = ExprParser {
+        tokens,
+        pos: 0,
+        base,
+    };
+    let e = p.parse_binary(0)?;
+    if p.pos < p.tokens.len() {
+        return Err(NetlistError::Syntax {
+            span: p.tokens[p.pos].1,
+            what: format!("unexpected `{}` in expression", p.tokens[p.pos].0),
+        });
+    }
+    Ok(e)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum ETok {
+    Num(f64, String),
+    Ident(String),
+    Op(char),
+}
+
+impl fmt::Display for ETok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ETok::Num(_, t) => f.write_str(t),
+            ETok::Ident(n) => f.write_str(n),
+            ETok::Op(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+fn lex_expr(body: &str, base: Span) -> Result<Vec<(ETok, Span)>, NetlistError> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let span = Span::new(base.line, base.col + 1 + i as u32);
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' | '-' | '*' | '/' | '(' | ')' | ',' => {
+                out.push((ETok::Op(c), span));
+                i += 1;
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                // exponent: e/E followed by digits or a signed digit run
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                // SI suffix letters glued to the digits
+                while i < bytes.len() && (bytes[i] as char).is_ascii_alphabetic() {
+                    i += 1;
+                }
+                let text = &body[start..i];
+                let value = parse_number(text, span)?;
+                out.push((ETok::Num(value, text.to_string()), span));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push((ETok::Ident(body[start..i].to_string()), span));
+            }
+            _ => {
+                return Err(NetlistError::Syntax {
+                    span,
+                    what: format!("unexpected character `{c}` in expression"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ExprParser {
+    tokens: Vec<(ETok, Span)>,
+    pos: usize,
+    base: Span,
+}
+
+impl ExprParser {
+    fn peek(&self) -> Option<&(ETok, Span)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_binary(&mut self, min_prec: u8) -> Result<Expr, NetlistError> {
+        let mut lhs = self.parse_unary()?;
+        while let Some((ETok::Op(op), span)) = self.peek().cloned() {
+            let prec = match op {
+                '+' | '-' => 1,
+                '*' | '/' => 2,
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            let rhs = self.parse_binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, NetlistError> {
+        match self.peek().cloned() {
+            Some((ETok::Op('-'), span)) => {
+                self.pos += 1;
+                Ok(Expr::Neg {
+                    arg: Box::new(self.parse_unary()?),
+                    span,
+                })
+            }
+            Some((ETok::Op('+'), _)) => {
+                self.pos += 1;
+                self.parse_unary()
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, NetlistError> {
+        let Some((tok, span)) = self.peek().cloned() else {
+            return Err(NetlistError::Syntax {
+                span: self.base,
+                what: "empty or truncated expression".to_string(),
+            });
+        };
+        self.pos += 1;
+        match tok {
+            ETok::Num(value, text) => Ok(Expr::Num { value, text, span }),
+            ETok::Ident(name) => {
+                if let Some((ETok::Op('('), _)) = self.peek() {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some((ETok::Op(')'), _))) {
+                        loop {
+                            args.push(self.parse_binary(0)?);
+                            match self.peek().cloned() {
+                                Some((ETok::Op(','), _)) => self.pos += 1,
+                                Some((ETok::Op(')'), _)) => break,
+                                other => {
+                                    let at = other.map(|(_, s)| s).unwrap_or(span);
+                                    return Err(NetlistError::Syntax {
+                                        span: at,
+                                        what: "expected `,` or `)` in call".to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    self.pos += 1; // consume `)`
+                    Ok(Expr::Call {
+                        func: name.to_ascii_lowercase(),
+                        args,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Ident { name, span })
+                }
+            }
+            ETok::Op('(') => {
+                let inner = self.parse_binary(0)?;
+                match self.peek() {
+                    Some((ETok::Op(')'), _)) => {
+                        self.pos += 1;
+                        Ok(inner)
+                    }
+                    _ => Err(NetlistError::Syntax {
+                        span,
+                        what: "unclosed parenthesis in expression".to_string(),
+                    }),
+                }
+            }
+            ETok::Op(c) => Err(NetlistError::Syntax {
+                span,
+                what: format!("unexpected `{c}` in expression"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Span {
+        Span::new(1, 1)
+    }
+
+    #[test]
+    fn suffixes_match_literal_bits() {
+        let cases: [(&str, f64); 11] = [
+            ("30p", 30e-12),
+            ("10f", 10e-15),
+            ("1.5k", 1.5e3),
+            ("2meg", 2e6),
+            ("0.42n", 0.42e-9),
+            ("1t", 1e12),
+            ("3g", 3e9),
+            ("5m", 5e-3),
+            ("2u", 2e-6),
+            ("1.0e-6", 1.0e-6),
+            ("-0.5", -0.5),
+        ];
+        for (text, want) in cases {
+            let got = parse_number(text, s()).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        for text in [
+            "1.2.3", "k", "1e3k", "abc", "nan", "inf", "1..2", "--1", "1z",
+        ] {
+            assert!(
+                matches!(
+                    parse_number(text, s()),
+                    Err(NetlistError::MalformedNumber { .. })
+                ),
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn expression_eval_matches_builder_arithmetic() {
+        let mut env = HashMap::new();
+        env.insert("wp".to_string(), 2.0e-6);
+        env.insert("strength".to_string(), 0.75);
+        let e = parse_expr("wp*strength", s()).unwrap();
+        assert_eq!(
+            e.eval(&env).unwrap().to_bits(),
+            (2.0e-6 * 0.75f64).to_bits()
+        );
+        let e = parse_expr("sqrt(2)*wp", s()).unwrap();
+        assert_eq!(
+            e.eval(&env).unwrap().to_bits(),
+            (2.0f64.sqrt() * 2.0e-6).to_bits()
+        );
+        let e = parse_expr("min(1,2)+max(3,4)-abs(-5)", s()).unwrap();
+        assert_eq!(e.eval(&env).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn precedence_and_unary() {
+        let env = HashMap::new();
+        let e = parse_expr("1+2*3", s()).unwrap();
+        assert_eq!(e.eval(&env).unwrap(), 7.0);
+        let e = parse_expr("-(1+2)/2", s()).unwrap();
+        assert_eq!(e.eval(&env).unwrap(), -1.5);
+        let e = parse_expr("2*-3", s()).unwrap();
+        assert_eq!(e.eval(&env).unwrap(), -6.0);
+    }
+
+    #[test]
+    fn display_round_trips_to_equal_ast() {
+        for body in [
+            "wp*strength",
+            "sqrt(2)*u+3.3k",
+            "-(a-b)/(c+2meg)",
+            "min(1,max(2,3))",
+            "1.5e-9",
+            "30p",
+        ] {
+            let e = parse_expr(body, s()).unwrap();
+            let printed = e.to_string();
+            let again = parse_expr(&printed, s()).unwrap();
+            assert_eq!(e, again, "{body} -> {printed}");
+        }
+    }
+
+    #[test]
+    fn eval_errors_are_typed() {
+        let env = HashMap::new();
+        let e = parse_expr("nope+1", s()).unwrap();
+        assert!(matches!(
+            e.eval(&env),
+            Err(NetlistError::UndefinedParam { .. })
+        ));
+        let e = parse_expr("1/0", s()).unwrap();
+        assert!(matches!(
+            e.eval(&env),
+            Err(NetlistError::InvalidValue { .. })
+        ));
+        let e = parse_expr("frob(1)", s()).unwrap();
+        assert!(matches!(e.eval(&env), Err(NetlistError::Syntax { .. })));
+        assert!(parse_expr("1+", s()).is_err());
+        assert!(parse_expr("(1", s()).is_err());
+        assert!(parse_expr("", s()).is_err());
+    }
+}

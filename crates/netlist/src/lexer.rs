@@ -1,0 +1,260 @@
+//! Line-oriented SPICE lexer.
+//!
+//! SPICE decks are card decks: one logical card per line, with `+`
+//! continuation lines gluing physical lines together. The lexer resolves
+//! the physical layout — title line, comments, continuations — and hands
+//! the parser a list of [`Line`]s, each a flat sequence of spanned
+//! [`Token`]s. Spans always point at the *physical* position in the
+//! original text, so diagnostics survive continuation splicing.
+//!
+//! Dialect rules implemented here:
+//!
+//! - the first line of the deck is the title (never tokenized),
+//! - a line whose first non-blank character is `*` is a comment,
+//! - `;` starts a trailing comment anywhere outside quotes,
+//! - a line starting with `+` continues the previous card,
+//! - `'...'` and `{...}` delimit quoted expressions (single line),
+//! - words are runs of `[A-Za-z0-9_.+*-]`; `=`, `(`, `)`, `,` are
+//!   punctuation.
+
+use crate::error::{NetlistError, Span};
+
+/// One lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// What kind of token, with its text payload.
+    pub kind: TokenKind,
+    /// Physical position of the token's first character.
+    pub span: Span,
+}
+
+/// The payload of a [`Token`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// A bare word: element name, node name, number, keyword.
+    Word(String),
+    /// A quoted expression body (without its `'...'`/`{...}` delimiters).
+    Quoted(String),
+    /// A single punctuation character: `=`, `(`, `)` or `,`.
+    Punct(char),
+}
+
+impl Token {
+    /// The word text, if this token is a bare word.
+    pub fn word(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// One logical card: the tokens of a line plus any `+` continuations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Line {
+    /// Tokens in card order; never empty.
+    pub tokens: Vec<Token>,
+}
+
+impl Line {
+    /// The span of the card's first token.
+    pub fn span(&self) -> Span {
+        self.tokens[0].span
+    }
+}
+
+/// The lexed deck: title plus logical cards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lexed {
+    /// The title line (line 1), trimmed.
+    pub title: String,
+    /// Logical cards in deck order.
+    pub lines: Vec<Line>,
+}
+
+fn is_word_char(c: char) -> bool {
+    // `*` is a word char so `.sigma`/`.sweep` label globs (`M*`) lex as one
+    // token; full-line comments are recognized before tokenization, so this
+    // cannot shadow them.
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '+' | '-' | '*')
+}
+
+/// Tokenizes one physical line starting at 1-based `line_no`, appending to
+/// `out`. `text` has already had any leading `+` stripped; `col0` is the
+/// 1-based column of `text`'s first character.
+fn lex_line(text: &str, line_no: u32, col0: u32, out: &mut Vec<Token>) -> Result<(), NetlistError> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let col = col0 + i as u32;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            ';' => break, // trailing comment
+            '=' | '(' | ')' | ',' => {
+                out.push(Token {
+                    kind: TokenKind::Punct(c),
+                    span: Span::new(line_no, col),
+                });
+                i += 1;
+            }
+            '\'' | '{' => {
+                let close = if c == '\'' { b'\'' } else { b'}' };
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != close {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(NetlistError::Syntax {
+                        span: Span::new(line_no, col),
+                        what: format!(
+                            "unterminated quoted expression (missing `{}`)",
+                            close as char
+                        ),
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Quoted(text[start..j].to_string()),
+                    span: Span::new(line_no, col),
+                });
+                i = j + 1;
+            }
+            _ if is_word_char(c) => {
+                let start = i;
+                while i < bytes.len() && is_word_char(bytes[i] as char) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Word(text[start..i].to_string()),
+                    span: Span::new(line_no, col),
+                });
+            }
+            _ => {
+                return Err(NetlistError::Syntax {
+                    span: Span::new(line_no, col),
+                    what: format!("unexpected character `{c}`"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lexes a full deck into its title and logical cards.
+///
+/// Stops after a `.end` card (which is emitted like any other card);
+/// everything past it is ignored, per SPICE convention. An empty input
+/// yields an empty title and no cards.
+pub fn lex(source: &str) -> Result<Lexed, NetlistError> {
+    let mut lines_iter = source.lines().enumerate();
+    let title = lines_iter
+        .next()
+        .map(|(_, l)| l.trim().to_string())
+        .unwrap_or_default();
+
+    let mut lines: Vec<Line> = Vec::new();
+    for (idx, raw) in lines_iter {
+        let line_no = idx as u32 + 1;
+        let trimmed = raw.trim_start();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let lead_ws = (raw.len() - trimmed.len()) as u32;
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            let Some(last) = lines.last_mut() else {
+                return Err(NetlistError::Syntax {
+                    span: Span::new(line_no, lead_ws + 1),
+                    what: "continuation line with no card to continue".to_string(),
+                });
+            };
+            lex_line(rest, line_no, lead_ws + 2, &mut last.tokens)?;
+        } else {
+            let mut tokens = Vec::new();
+            lex_line(trimmed, line_no, lead_ws + 1, &mut tokens)?;
+            if !tokens.is_empty() {
+                // Per SPICE convention everything after `.end` is ignored,
+                // so stop lexing here — later lines may not even tokenize.
+                let is_end = matches!(
+                    &tokens[0].kind,
+                    TokenKind::Word(w) if w.eq_ignore_ascii_case(".end")
+                );
+                lines.push(Line { tokens });
+                if is_end {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(Lexed { title, lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_comments_and_continuations() {
+        let deck = "my title\n* full comment\nR1 a b 1k ; trailing\n+ tc=2\n\nC1 a 0 1p\n";
+        let lexed = lex(deck).unwrap();
+        assert_eq!(lexed.title, "my title");
+        assert_eq!(lexed.lines.len(), 2);
+        let words: Vec<_> = lexed.lines[0]
+            .tokens
+            .iter()
+            .filter_map(Token::word)
+            .collect();
+        assert_eq!(words, ["R1", "a", "b", "1k", "tc", "2"]);
+        // continuation tokens keep their physical line number
+        assert_eq!(lexed.lines[0].tokens.last().unwrap().span.line, 4);
+    }
+
+    #[test]
+    fn spans_are_one_based_physical_positions() {
+        let deck = "t\n  R1 n1 0 5\n";
+        let lexed = lex(deck).unwrap();
+        let t = &lexed.lines[0].tokens[0];
+        assert_eq!(t.span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn quoted_expressions_and_punct() {
+        let deck = "t\nM1 d g s nmos w='2*u' l={lmin}\n";
+        let lexed = lex(deck).unwrap();
+        let toks = &lexed.lines[0].tokens;
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Quoted("2*u".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Quoted("lmin".into())));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Punct('=')));
+    }
+
+    #[test]
+    fn unterminated_quote_is_a_spanned_error() {
+        let err = lex("t\nR1 a b 'oops\n").unwrap_err();
+        match err {
+            NetlistError::Syntax { span, .. } => assert_eq!(span, Span::new(2, 8)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphan_continuation_is_an_error() {
+        let err = lex("t\n+ R1 a b 1\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Syntax { .. }));
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = lex("t\nR1 a b 1 #\n").unwrap_err();
+        match err {
+            NetlistError::Syntax { span, what } => {
+                assert_eq!(span.line, 2);
+                assert!(what.contains('#'), "{what}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

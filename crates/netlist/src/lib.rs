@@ -1,0 +1,73 @@
+//! SPICE netlist frontend: text decks → circuits and campaigns.
+//!
+//! This crate turns a SPICE-dialect card deck into the same objects the
+//! programmatic builders produce — a [`Circuit`](tranvar_circuit::Circuit)
+//! with mismatch annotations, an [`Analysis`] request, metrics and a
+//! scenario grid — so one `.sp` file can drive the full variation
+//! campaign. The pipeline is staged:
+//!
+//! 1. [`lexer`]: physical lines → spanned tokens (title, comments, `+`
+//!    continuations),
+//! 2. [`parser`]: tokens → a typed [`Deck`] of cards,
+//! 3. [`mod@elaborate`]: cards → circuit + campaign inputs, in card order.
+//!
+//! Card order is semantic: nodes are created at first mention and devices
+//! stamp in card order, so a deck listing its cards in builder order
+//! reproduces the builder's results *bit-for-bit* (the golden-deck
+//! conformance suite in `tests/` asserts exactly this for every demo
+//! circuit). SI suffixes (`10f`, `1.5k`, `2meg`) are folded into the
+//! literal's exponent before a single decimal parse, so `30p` and
+//! `30e-12` are the same `f64` bit pattern.
+//!
+//! Every failure on any input — malformed numbers, undefined parameters,
+//! dangling nodes, value-domain violations — is a typed [`NetlistError`]
+//! carrying a 1-based [`Span`]; no input panics.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tranvar_netlist::parse_and_elaborate;
+//!
+//! let deck = "\
+//! resistor divider
+//! V1 a 0 2.0
+//! R1 a b 1k
+//! R2 b 0 1k
+//! C1 b 0 1p
+//! .sigma r R1 sigma=10
+//! .pss 1u steps=16
+//! .measure vout avg b
+//! ";
+//! let e = parse_and_elaborate(deck)?;
+//! assert_eq!(e.scenarios.len(), 1); // no .sweep cards → "nominal"
+//! let config = e.analysis.as_ref().unwrap().pss_config().unwrap();
+//! let res = tranvar_core::analyze(&e.circuit, &config, &e.metrics)?;
+//! // |∂vout/∂R1|·σ = 0.5 mV/Ω · 10 Ω = 5 mV.
+//! assert!((res.reports[0].sigma() - 5e-3).abs() < 1e-6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ast;
+pub mod elaborate;
+pub mod error;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    Card, CardKind, Deck, Element, Instance, MeasureCard, ModelCard, Name, PssCard, SigmaCard,
+    SubcktDef, SweepCard, Value, WaveSpec,
+};
+pub use elaborate::{elaborate, Analysis, Elaboration};
+pub use error::{NetlistError, Span};
+pub use expr::{parse_number, Expr};
+pub use parser::parse;
+
+/// Parses and elaborates a deck in one step.
+///
+/// # Errors
+///
+/// Returns the first [`NetlistError`] the pipeline hits, with its span.
+pub fn parse_and_elaborate(source: &str) -> Result<Elaboration, NetlistError> {
+    elaborate(&parse(source)?)
+}

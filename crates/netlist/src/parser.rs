@@ -1,0 +1,804 @@
+//! Card parser: lexed lines → typed [`Deck`].
+//!
+//! One [`Card`] per logical line (subcircuit definitions span from
+//! `.subckt` to `.ends`). Element cards are dispatched on the label's
+//! first letter (`R`/`C`/`L`/`V`/`I`/`E`/`G`/`M`/`X`), dot cards on their
+//! lower-cased keyword; anything else is a typed
+//! [`NetlistError::UnknownCard`]. Keywords are case-insensitive, labels
+//! and node names case-preserving.
+
+use crate::ast::{
+    Card, CardKind, Deck, Element, Instance, MeasureCard, ModelCard, Name, PssCard, SigmaCard,
+    SubcktDef, SweepCard, Value, WaveSpec,
+};
+use crate::error::{NetlistError, Span};
+use crate::expr::{parse_expr, parse_number, Expr};
+use crate::lexer::{lex, Line, Token, TokenKind};
+
+/// Parses a full deck source into its AST.
+///
+/// Parsing stops at the first `.end` card (which is kept in the deck);
+/// anything after it is ignored, per SPICE convention. All failures are
+/// spanned [`NetlistError`]s — this function never panics, whatever the
+/// input.
+pub fn parse(source: &str) -> Result<Deck, NetlistError> {
+    let lexed = lex(source)?;
+    let mut cards = Vec::new();
+    let mut i = 0usize;
+    while i < lexed.lines.len() {
+        let line = &lexed.lines[i];
+        let first = &line.tokens[0];
+        let head = match first.word() {
+            Some(w) => w,
+            None => {
+                return Err(NetlistError::Syntax {
+                    span: first.span,
+                    what: "card must start with a name".to_string(),
+                })
+            }
+        };
+        let span = first.span;
+        if let Some(keyword) = head.strip_prefix('.') {
+            let keyword = keyword.to_ascii_lowercase();
+            let mut cur = Cursor::new(&line.tokens, span);
+            cur.bump(); // consume the dot keyword
+            let kind = match keyword.as_str() {
+                "node" => parse_node(&mut cur)?,
+                "param" => parse_param(&mut cur)?,
+                "model" => parse_model(&mut cur)?,
+                "subckt" => {
+                    let (def, consumed) = parse_subckt(&mut cur, &lexed.lines[i + 1..], span)?;
+                    i += consumed;
+                    CardKind::Subckt(def)
+                }
+                "ends" => {
+                    return Err(NetlistError::Syntax {
+                        span,
+                        what: "`.ends` without a matching `.subckt`".to_string(),
+                    })
+                }
+                "tran" => {
+                    let tstep = cur.value()?;
+                    let tstop = cur.value()?;
+                    cur.finish()?;
+                    CardKind::Tran(tstep, tstop)
+                }
+                "pss" => parse_pss(&mut cur)?,
+                "sigma" => parse_sigma(&mut cur)?,
+                "sweep" => parse_sweep(&mut cur)?,
+                "measure" => parse_measure(&mut cur)?,
+                "option" => CardKind::Option(cur.kv_pairs_to_end()?),
+                "end" => {
+                    cards.push(Card {
+                        span,
+                        kind: CardKind::End,
+                    });
+                    break;
+                }
+                _ => {
+                    return Err(NetlistError::UnknownCard {
+                        span,
+                        card: head.to_string(),
+                    })
+                }
+            };
+            cards.push(Card { span, kind });
+        } else {
+            let mut cur = Cursor::new(&line.tokens, span);
+            let kind = parse_element_card(&mut cur, head, span)?;
+            cards.push(Card { span, kind });
+        }
+        i += 1;
+    }
+    Ok(Deck {
+        title: lexed.title,
+        cards,
+    })
+}
+
+/// A cursor over one card's token list.
+struct Cursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    card_span: Span,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Token], card_span: Span) -> Self {
+        Cursor {
+            toks,
+            pos: 0,
+            card_span,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek2(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos + 1)
+    }
+
+    fn bump(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn end_span(&self) -> Span {
+        self.toks
+            .last()
+            .map(|t| Span::new(t.span.line, t.span.col + 1))
+            .unwrap_or(self.card_span)
+    }
+
+    /// Next token as a name, or a syntax error naming what was expected.
+    fn name(&mut self, what: &str) -> Result<Name, NetlistError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                span,
+            }) => Ok(Name {
+                text: w.clone(),
+                span: *span,
+            }),
+            Some(t) => Err(NetlistError::Syntax {
+                span: t.span,
+                what: format!("expected {what}"),
+            }),
+            None => Err(NetlistError::Syntax {
+                span: self.end_span(),
+                what: format!("expected {what}, found end of card"),
+            }),
+        }
+    }
+
+    /// Next token as a value: a bare number or a quoted expression.
+    fn value(&mut self) -> Result<Value, NetlistError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                span,
+            }) => {
+                let value = parse_number(w, *span)?;
+                Ok(Value {
+                    expr: Expr::Num {
+                        value,
+                        text: w.clone(),
+                        span: *span,
+                    },
+                    quoted: false,
+                    span: *span,
+                })
+            }
+            Some(Token {
+                kind: TokenKind::Quoted(body),
+                span,
+            }) => Ok(Value {
+                expr: parse_expr(body, *span)?,
+                quoted: true,
+                span: *span,
+            }),
+            Some(t) => Err(NetlistError::Syntax {
+                span: t.span,
+                what: "expected a value".to_string(),
+            }),
+            None => Err(NetlistError::Syntax {
+                span: self.end_span(),
+                what: "expected a value, found end of card".to_string(),
+            }),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), NetlistError> {
+        match self.bump() {
+            Some(Token {
+                kind: TokenKind::Punct(p),
+                ..
+            }) if *p == c => Ok(()),
+            Some(t) => Err(NetlistError::Syntax {
+                span: t.span,
+                what: format!("expected `{c}`"),
+            }),
+            None => Err(NetlistError::Syntax {
+                span: self.end_span(),
+                what: format!("expected `{c}`, found end of card"),
+            }),
+        }
+    }
+
+    /// Whether the next tokens form a `key=` pair head.
+    fn at_kv(&self) -> bool {
+        matches!(
+            (self.peek().map(|t| &t.kind), self.peek2().map(|t| &t.kind)),
+            (Some(TokenKind::Word(_)), Some(TokenKind::Punct('=')))
+        )
+    }
+
+    /// Parses `key=value` pairs until the end of the card.
+    fn kv_pairs_to_end(&mut self) -> Result<Vec<(Name, Value)>, NetlistError> {
+        let mut kv = Vec::new();
+        while self.peek().is_some() {
+            if !self.at_kv() {
+                let t = self.peek().unwrap();
+                return Err(NetlistError::Syntax {
+                    span: t.span,
+                    what: "expected `key=value`".to_string(),
+                });
+            }
+            let key = self.name("a key")?;
+            self.expect_punct('=')?;
+            let value = self.value()?;
+            kv.push((key, value));
+        }
+        Ok(kv)
+    }
+
+    /// Errors on trailing tokens.
+    fn finish(&mut self) -> Result<(), NetlistError> {
+        if let Some(t) = self.peek() {
+            return Err(NetlistError::Syntax {
+                span: t.span,
+                what: "unexpected trailing tokens".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn lower(name: Name) -> Name {
+    Name {
+        text: name.text.to_ascii_lowercase(),
+        span: name.span,
+    }
+}
+
+fn parse_node(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let mut nodes = Vec::new();
+    while cur.peek().is_some() {
+        nodes.push(cur.name("a node name")?);
+    }
+    if nodes.is_empty() {
+        return Err(NetlistError::Syntax {
+            span: cur.card_span,
+            what: "`.node` needs at least one node name".to_string(),
+        });
+    }
+    Ok(CardKind::Node(nodes))
+}
+
+fn parse_param(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let name = cur.name("a parameter name")?;
+    cur.expect_punct('=')?;
+    let value = cur.value()?;
+    cur.finish()?;
+    Ok(CardKind::Param(name, value))
+}
+
+fn parse_model(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let name = cur.name("a model name")?;
+    let kind = lower(cur.name("a model kind (`nmos` or `pmos`)")?);
+    if kind.text != "nmos" && kind.text != "pmos" {
+        return Err(NetlistError::Syntax {
+            span: kind.span,
+            what: format!("model kind must be `nmos` or `pmos`, not `{}`", kind.text),
+        });
+    }
+    let params = cur
+        .kv_pairs_to_end()?
+        .into_iter()
+        .map(|(k, v)| (lower(k), v))
+        .collect();
+    Ok(CardKind::Model(ModelCard { name, kind, params }))
+}
+
+/// Parses a `.subckt` header plus its body lines up to `.ends`.
+/// Returns the definition and how many *extra* lines were consumed.
+fn parse_subckt(
+    cur: &mut Cursor<'_>,
+    rest: &[Line],
+    span: Span,
+) -> Result<(SubcktDef, usize), NetlistError> {
+    let name = cur.name("a subcircuit name")?;
+    let mut ports = Vec::new();
+    while cur.peek().is_some() && !cur.at_kv() {
+        ports.push(cur.name("a port name")?);
+    }
+    if ports.is_empty() {
+        return Err(NetlistError::Syntax {
+            span,
+            what: "`.subckt` needs at least one port".to_string(),
+        });
+    }
+    let params = cur.kv_pairs_to_end()?;
+    let mut body = Vec::new();
+    for (consumed, line) in rest.iter().enumerate() {
+        let first = &line.tokens[0];
+        let head = first.word().unwrap_or_default();
+        if head.eq_ignore_ascii_case(".ends") {
+            let mut tail = Cursor::new(&line.tokens, first.span);
+            tail.bump();
+            // optional repeated subckt name after .ends
+            if tail.peek().is_some() {
+                let n = tail.name("the subcircuit name")?;
+                if n.text != name.text {
+                    return Err(NetlistError::Syntax {
+                        span: n.span,
+                        what: format!("`.ends {}` does not match `.subckt {}`", n.text, name.text),
+                    });
+                }
+                tail.finish()?;
+            }
+            return Ok((
+                SubcktDef {
+                    name,
+                    ports,
+                    params,
+                    body,
+                },
+                consumed + 1,
+            ));
+        }
+        if head.starts_with('.') || head.is_empty() {
+            return Err(NetlistError::Syntax {
+                span: first.span,
+                what: "only element cards may appear inside `.subckt`".to_string(),
+            });
+        }
+        let mut bcur = Cursor::new(&line.tokens, first.span);
+        match parse_element_card(&mut bcur, head, first.span)? {
+            CardKind::Element(e) => body.push(e),
+            CardKind::Instance(_) => {
+                return Err(NetlistError::Syntax {
+                    span: first.span,
+                    what: "nested subcircuit instances are not supported".to_string(),
+                })
+            }
+            _ => unreachable!("parse_element_card returns Element or Instance"),
+        }
+    }
+    Err(NetlistError::Syntax {
+        span,
+        what: format!("`.subckt {}` is missing its `.ends`", name.text),
+    })
+}
+
+fn parse_pss(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let osc = matches!(
+        cur.peek().map(|t| &t.kind),
+        Some(TokenKind::Word(w)) if w.eq_ignore_ascii_case("osc")
+    );
+    let mut period = None;
+    if osc {
+        cur.bump();
+    } else {
+        period = Some(cur.value()?);
+    }
+    let mut node = None;
+    let mut kv = Vec::new();
+    while cur.peek().is_some() {
+        if !cur.at_kv() {
+            let t = cur.peek().unwrap();
+            return Err(NetlistError::Syntax {
+                span: t.span,
+                what: "expected `key=value` on `.pss`".to_string(),
+            });
+        }
+        let key = lower(cur.name("a key")?);
+        cur.expect_punct('=')?;
+        if key.text == "node" {
+            node = Some(cur.name("a node name")?);
+        } else {
+            let value = cur.value()?;
+            kv.push((key, value));
+        }
+    }
+    Ok(CardKind::Pss(PssCard {
+        osc,
+        period,
+        node,
+        kv,
+    }))
+}
+
+fn parse_sigma(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let kind = lower(cur.name("a sigma kind (`pelgrom`, `r`, `c` or `l`)")?);
+    if !matches!(kind.text.as_str(), "pelgrom" | "r" | "c" | "l") {
+        return Err(NetlistError::Syntax {
+            span: kind.span,
+            what: format!(
+                "`.sigma` kind must be `pelgrom`, `r`, `c` or `l`, not `{}`",
+                kind.text
+            ),
+        });
+    }
+    let pattern = cur.name("a label pattern")?;
+    let kv = cur
+        .kv_pairs_to_end()?
+        .into_iter()
+        .map(|(k, v)| (lower(k), v))
+        .collect();
+    Ok(CardKind::Sigma(SigmaCard { kind, pattern, kv }))
+}
+
+fn parse_sweep(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let kind = lower(cur.name("a sweep kind")?);
+    let target = match kind.text.as_str() {
+        "sigma" => None,
+        "source" | "scale" | "r" | "c" | "l" | "w" => Some(cur.name("a device label")?),
+        _ => {
+            return Err(NetlistError::Syntax {
+                span: kind.span,
+                what: format!(
+                "`.sweep` kind must be `sigma`, `source`, `scale`, `r`, `c`, `l` or `w`, not `{}`",
+                kind.text
+            ),
+            })
+        }
+    };
+    let mut values = Vec::new();
+    while cur.peek().is_some() {
+        values.push(cur.value()?);
+    }
+    if values.is_empty() {
+        return Err(NetlistError::Syntax {
+            span: cur.end_span(),
+            what: "`.sweep` needs at least one grid value".to_string(),
+        });
+    }
+    Ok(CardKind::Sweep(SweepCard {
+        kind,
+        target,
+        values,
+    }))
+}
+
+fn parse_measure(cur: &mut Cursor<'_>) -> Result<CardKind, NetlistError> {
+    let name = cur.name("a measure name")?;
+    let kind = lower(cur.name("a measure kind (`avg`, `freq` or `delay`)")?);
+    let node = match kind.text.as_str() {
+        "avg" | "delay" => Some(cur.name("a node name")?),
+        "freq" => None,
+        _ => {
+            return Err(NetlistError::Syntax {
+                span: kind.span,
+                what: format!(
+                    "`.measure` kind must be `avg`, `freq` or `delay`, not `{}`",
+                    kind.text
+                ),
+            })
+        }
+    };
+    let mut edge = None;
+    let mut kv = Vec::new();
+    while cur.peek().is_some() {
+        if !cur.at_kv() {
+            let t = cur.peek().unwrap();
+            return Err(NetlistError::Syntax {
+                span: t.span,
+                what: "expected `key=value` on `.measure`".to_string(),
+            });
+        }
+        let key = lower(cur.name("a key")?);
+        cur.expect_punct('=')?;
+        if key.text == "edge" {
+            edge = Some(lower(cur.name("an edge (`rise` or `fall`)")?));
+        } else {
+            let value = cur.value()?;
+            kv.push((key, value));
+        }
+    }
+    Ok(CardKind::Measure(MeasureCard {
+        name,
+        kind,
+        node,
+        edge,
+        kv,
+    }))
+}
+
+/// Parses one element or instance card, dispatching on the label's first
+/// letter.
+fn parse_element_card(
+    cur: &mut Cursor<'_>,
+    head: &str,
+    span: Span,
+) -> Result<CardKind, NetlistError> {
+    let kind_char = head
+        .chars()
+        .next()
+        .map(|c| c.to_ascii_uppercase())
+        .unwrap_or_default();
+    match kind_char {
+        'R' | 'C' | 'L' => {
+            let label = cur.name("a label")?;
+            let p = cur.name("the positive node")?;
+            let n = cur.name("the negative node")?;
+            let value = cur.value()?;
+            cur.finish()?;
+            Ok(CardKind::Element(Element::Passive {
+                kind: kind_char,
+                label,
+                p,
+                n,
+                value,
+            }))
+        }
+        'V' | 'I' => {
+            let label = cur.name("a label")?;
+            let p = cur.name("the positive node")?;
+            let n = cur.name("the negative node")?;
+            let wave = parse_wave(cur)?;
+            cur.finish()?;
+            Ok(CardKind::Element(Element::Source {
+                kind: kind_char,
+                label,
+                p,
+                n,
+                wave,
+            }))
+        }
+        'E' | 'G' => {
+            let label = cur.name("a label")?;
+            let p = cur.name("the positive node")?;
+            let n = cur.name("the negative node")?;
+            let cp = cur.name("the positive controlling node")?;
+            let cn = cur.name("the negative controlling node")?;
+            let gain = cur.value()?;
+            cur.finish()?;
+            Ok(CardKind::Element(Element::Controlled {
+                kind: kind_char,
+                label,
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+            }))
+        }
+        'M' => {
+            let label = cur.name("a label")?;
+            let d = cur.name("the drain node")?;
+            let g = cur.name("the gate node")?;
+            let s = cur.name("the source node")?;
+            let model = cur.name("a model name")?;
+            let mut w = None;
+            let mut l = None;
+            for (key, value) in cur.kv_pairs_to_end()? {
+                match key.text.to_ascii_lowercase().as_str() {
+                    "w" => w = Some(value),
+                    "l" => l = Some(value),
+                    _ => {
+                        return Err(NetlistError::Syntax {
+                            span: key.span,
+                            what: format!("unknown MOSFET parameter `{}`", key.text),
+                        })
+                    }
+                }
+            }
+            let w = w.ok_or_else(|| NetlistError::Syntax {
+                span,
+                what: format!("MOSFET `{}` is missing `w=`", label.text),
+            })?;
+            let l = l.ok_or_else(|| NetlistError::Syntax {
+                span,
+                what: format!("MOSFET `{}` is missing `l=`", label.text),
+            })?;
+            Ok(CardKind::Element(Element::Mosfet {
+                label,
+                d,
+                g,
+                s,
+                model,
+                w,
+                l,
+            }))
+        }
+        'X' => {
+            let label = cur.name("a label")?;
+            let mut words = Vec::new();
+            while cur.peek().is_some() && !cur.at_kv() {
+                words.push(cur.name("a node name")?);
+            }
+            let params = cur.kv_pairs_to_end()?;
+            let subckt = words.pop().ok_or_else(|| NetlistError::Syntax {
+                span,
+                what: format!("instance `{}` is missing its subcircuit name", label.text),
+            })?;
+            Ok(CardKind::Instance(Instance {
+                label,
+                nodes: words,
+                subckt,
+                params,
+            }))
+        }
+        _ => Err(NetlistError::UnknownCard {
+            span,
+            card: head.to_string(),
+        }),
+    }
+}
+
+/// Parses a source waveform: a bare value (DC) or `pulse(...)`, `sin(...)`,
+/// `pwl(...)`.
+fn parse_wave(cur: &mut Cursor<'_>) -> Result<WaveSpec, NetlistError> {
+    let is_fn = matches!(
+        (cur.peek().map(|t| &t.kind), cur.peek2().map(|t| &t.kind)),
+        (Some(TokenKind::Word(w)), Some(TokenKind::Punct('(')))
+            if matches!(w.to_ascii_lowercase().as_str(), "pulse" | "sin" | "pwl")
+    );
+    if !is_fn {
+        return Ok(WaveSpec::Dc(cur.value()?));
+    }
+    let func = cur.name("a waveform")?;
+    cur.expect_punct('(')?;
+    let mut vals = Vec::new();
+    while !matches!(
+        cur.peek().map(|t| &t.kind),
+        Some(TokenKind::Punct(')')) | None
+    ) {
+        vals.push(cur.value()?);
+    }
+    cur.expect_punct(')')?;
+    match func.text.to_ascii_lowercase().as_str() {
+        "pulse" => {
+            let arr: [Value; 7] =
+                vals.try_into()
+                    .map_err(|v: Vec<Value>| NetlistError::Syntax {
+                        span: func.span,
+                        what: format!(
+                            "pulse() takes 7 values (v0 v1 delay rise fall width period), got {}",
+                            v.len()
+                        ),
+                    })?;
+            Ok(WaveSpec::Pulse(Box::new(arr)))
+        }
+        "sin" => {
+            let arr: [Value; 4] =
+                vals.try_into()
+                    .map_err(|v: Vec<Value>| NetlistError::Syntax {
+                        span: func.span,
+                        what: format!(
+                            "sin() takes 4 values (offset ampl freq delay), got {}",
+                            v.len()
+                        ),
+                    })?;
+            Ok(WaveSpec::Sin(Box::new(arr)))
+        }
+        _ => {
+            if vals.is_empty() || vals.len() % 2 != 0 {
+                return Err(NetlistError::Syntax {
+                    span: func.span,
+                    what: "pwl() takes a non-empty even list of `t v` pairs".to_string(),
+                });
+            }
+            let mut pts = Vec::with_capacity(vals.len() / 2);
+            let mut it = vals.into_iter();
+            while let (Some(t), Some(v)) = (it.next(), it.next()) {
+                pts.push((t, v));
+            }
+            Ok(WaveSpec::Pwl(pts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_card_kind() {
+        let deck = parse(
+            "all cards\n\
+             .node a b\n\
+             .param u=1u\n\
+             .param w='u*2'\n\
+             .model nm nmos vt0=0.5\n\
+             .subckt inv vdd in out strength=1\n\
+             MP out in vdd nm w='2u*strength' l=0.13u\n\
+             .ends inv\n\
+             Xi0 vdd a b inv strength=0.75\n\
+             R1 a b 1k\n\
+             C1 b 0 10f\n\
+             L1 a 0 1n\n\
+             V1 vdd 0 1.2\n\
+             V2 a 0 pulse(0 1.2 1n 30p 30p 0.42n 1.5n)\n\
+             V3 b 0 sin(0.6 0.1 1meg 0)\n\
+             I1 a 0 pwl(0 0 1n 1m)\n\
+             E1 a 0 b 0 -0.5\n\
+             G1 a 0 b 0 1u\n\
+             M1 a b 0 nm w=1u l=0.13u\n\
+             .sigma pelgrom M* avt=6.5n abeta=32.5n\n\
+             .sigma r R* sigma=10\n\
+             .sweep sigma 0.0 1.0\n\
+             .sweep source V1 1.1 1.2\n\
+             .tran 1p 1n\n\
+             .pss 1.5n steps=384 warmup=4\n\
+             .measure vout avg b\n\
+             .option retry=1\n\
+             .end\n",
+        )
+        .unwrap();
+        assert_eq!(deck.title, "all cards");
+        assert_eq!(deck.cards.len(), 25);
+        assert!(matches!(deck.cards.last().unwrap().kind, CardKind::End));
+    }
+
+    #[test]
+    fn osc_pss_card() {
+        let deck = parse("t\n.pss osc hint=1n node=inv0.out value=0.6 steps=192\n").unwrap();
+        match &deck.cards[0].kind {
+            CardKind::Pss(p) => {
+                assert!(p.osc);
+                assert!(p.period.is_none());
+                assert_eq!(p.node.as_ref().unwrap().text, "inv0.out");
+                assert_eq!(p.kv.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_cards_are_typed() {
+        match parse("t\nQ1 a b c bjt\n").unwrap_err() {
+            NetlistError::UnknownCard { span, card } => {
+                assert_eq!(span, Span::new(2, 1));
+                assert_eq!(card, "Q1");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse("t\n.wibble\n").unwrap_err(),
+            NetlistError::UnknownCard { .. }
+        ));
+    }
+
+    #[test]
+    fn structural_errors_are_spanned() {
+        assert!(matches!(
+            parse("t\nR1 a b\n").unwrap_err(),
+            NetlistError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse("t\n.subckt inv a\nR1 a 0 1\n").unwrap_err(),
+            NetlistError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse("t\n.ends\n").unwrap_err(),
+            NetlistError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse("t\nM1 a b 0 nm w=1u\n").unwrap_err(),
+            NetlistError::Syntax { .. }
+        ));
+        assert!(matches!(
+            parse("t\nR1 a b 1k extra\n").unwrap_err(),
+            NetlistError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn text_after_end_is_ignored() {
+        let deck = parse("t\nR1 a b 1k\n.end\ngarbage $$$ here\n").unwrap();
+        assert_eq!(deck.cards.len(), 2);
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let src = "rt\n\
+                   .node a b\n\
+                   .param u=1u\n\
+                   .subckt inv vdd in out strength=1\n\
+                   MP out in vdd nm w='2u*strength' l=0.13u\n\
+                   .ends\n\
+                   Xi0 vdd a b inv strength=0.75\n\
+                   V2 a 0 pulse(0 1.2 1n 30p 30p 0.42n 1.5n)\n\
+                   .pss osc hint=1n node=b value=0.6\n\
+                   .end\n";
+        let deck = parse(src).unwrap();
+        let printed = deck.to_string();
+        let again = parse(&printed).unwrap();
+        assert_eq!(deck, again, "{printed}");
+    }
+}

@@ -1,0 +1,16 @@
+3-bit resistor-string DAC (paper eq. 13 DNL example)
+* Mirrors tranvar_circuits::RStringDac::new(3, 1e3, 0.01, 1.6)
+* card-for-card: 8 unit resistors bottom-to-top, 1% relative mismatch
+* each (sigma = 0.01 * 1 kOhm = 10 Ohm), vref = 1.6 V, LSB = 0.2 V.
+
+VREF vref 0 1.6
+R0 tap1 0 1e3
+R1 tap2 tap1 1e3
+R2 tap3 tap2 1e3
+R3 tap4 tap3 1e3
+R4 tap5 tap4 1e3
+R5 tap6 tap5 1e3
+R6 tap7 tap6 1e3
+R7 vref tap7 1e3
+.sigma r R* sigma=10.0
+.end

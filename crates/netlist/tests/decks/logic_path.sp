@@ -1,0 +1,50 @@
+Fig. 7 logic path, X-first arrival (shared critical paths, Table I)
+* Mirrors tranvar_circuits::LogicPath::new(Tech::t013(), XFirst)
+* card-for-card: X rises at 0.4 ns, Y at 1.0 ns, so both output delays are
+* timed by Y's path through the shared a/b pair (rho ~ 0.9).
+
+.param vdd=1.2
+.param lmin=0.13e-6
+.param wn=1.0e-6
+.param wp=2.0e-6
+.model nch nmos vt0=0.50
+.model pch pmos vt0=0.45
+
+.subckt inv vdd in out strength=1.0
+MP out in vdd pch w='wp*strength' l='lmin'
+MN out in 0 nch w='wn*strength' l='lmin'
+.ends
+
+* Series NMOS stack upsized 2x to balance drive.
+.subckt nand vdd a b out strength=1.0
+MPA out a vdd pch w='wp*strength' l='lmin'
+MPB out b vdd pch w='wp*strength' l='lmin'
+MNA out a mid nch w='2.0*wn*strength' l='lmin'
+MNB mid b 0 nch w='2.0*wn*strength' l='lmin'
+.ends
+
+VDD vdd 0 'vdd'
+VX X 0 pulse(0.0 1.2 0.4n 30p 30p 1.5n 4n)
+VY Y 0 pulse(0.0 1.2 1.0n 30p 30p 1.5n 4n)
+
+* Shared chain from Y (small: more mismatch) and private X buffers.
+Xa vdd Y a.out inv strength=0.75
+Xb vdd a.out b.out inv strength=0.75
+Xi1 vdd X i1.out inv strength=1.0
+Xi2 vdd i1.out i2.out inv strength=1.0
+Xi3 vdd X i3.out inv strength=1.0
+Xi4 vdd i3.out i4.out inv strength=1.0
+* Output NANDs (upsized: less mismatch).
+XnandA vdd i2.out b.out nandA.out nand strength=2.0
+XnandB vdd i4.out b.out nandB.out nand strength=2.0
+CA nandA.out 0 5f
+CB nandB.out 0 5f
+
+.sigma pelgrom * avt=6.5e-9 abeta=3.25e-8
+
+.pss 4n steps=800 warmup=2
+* Delay = crossing shift of the output falling edge after the later input
+* edge (1.0 ns), threshold mid-supply.
+.measure delay_A delay nandA.out edge=fall threshold=0.6 after=1.0n ref=1.0n
+.measure delay_B delay nandB.out edge=fall threshold=0.6 after=1.0n ref=1.0n
+.end

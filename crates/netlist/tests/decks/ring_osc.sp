@@ -1,0 +1,51 @@
+5-stage ring oscillator, 10 fF stage loads (paper Section IV-C)
+* Mirrors tranvar_circuits::RingOsc::paper(Tech::t013()) card-for-card:
+* node creation order, device order and every arithmetic chain match the
+* programmatic builder, so the elaborated circuit is bit-identical.
+
+* Technology (Tech::t013): 0.13um, VDD 1.2 V, vt0 overrides on both cards.
+.param vdd=1.2
+.param lmin=0.13e-6
+.param wn=1.0e-6
+.param wp=2.0e-6
+.param cload=10f
+.model nch nmos vt0=0.50
+.model pch pmos vt0=0.45
+
+* Builder node order: vdd first, then the five stage outputs.
+.node vdd inv0.out inv1.out inv2.out inv3.out inv4.out
+
+.subckt inv vdd in out strength=1.0
+MP out in vdd pch w='wp*strength' l='lmin'
+MN out in 0 nch w='wn*strength' l='lmin'
+.ends
+
+VDD vdd 0 'vdd'
+Xinv0 vdd inv4.out inv0.out inv strength=1.0
+CL0 inv0.out 0 'cload'
+Xinv1 vdd inv0.out inv1.out inv strength=1.0
+CL1 inv1.out 0 'cload'
+Xinv2 vdd inv1.out inv2.out inv strength=1.0
+CL2 inv2.out 0 'cload'
+Xinv3 vdd inv2.out inv3.out inv strength=1.0
+CL3 inv3.out 0 'cload'
+Xinv4 vdd inv3.out inv4.out inv strength=1.0
+CL4 inv4.out 0 'cload'
+
+* Pelgrom::paper_013 on every FET (insertion order = builder order).
+.sigma pelgrom * avt=6.5e-9 abeta=3.25e-8
+
+* Builder period_hint, reproduced term by term (left-associative, like the
+* Rust expression; powi(2) is the explicit square `sq`).
+.param kp=4.2e-4
+.param vt0=0.50
+.param cox=1.2e-2
+.param beta='kp*wn/lmin'
+.param sq='(vdd-vt0)*(vdd-vt0)'
+.param i_on='0.5*beta*sq'
+.param ctot='cload+4.0*cox*wn*lmin'
+.param hint='2.0*5.0*ctot*vdd/i_on'
+
+.pss osc hint='hint' node=inv0.out value=0.6 steps=192 tol=1e-8
+.measure f0 freq
+.end

@@ -1,0 +1,47 @@
+StrongARM comparator with metastability feedback (paper Figs. 6, 10a)
+* Mirrors tranvar_circuits::StrongArm::paper(Tech::t013()) card-for-card.
+* The integrator loop accumulates the decision imbalance on `vos`; its
+* cycle average is the input-referred offset.
+
+.model nch nmos vt0=0.50
+.model pch pmos vt0=0.45
+
+* Builder node order.
+.node vdd clk inp inn tail xp xn outp outn vos vcm
+
+VDD vdd 0 1.2
+* Clock low (precharge) for 1 ns, evaluation ~0.42 ns.
+VCLK clk 0 pulse(0.0 1.2 1.0e-9 30p 30p 0.42n 1.5n)
+* Input drive: inp = VCM + vos/2, inn = VCM - vos/2 (Fig. 6).
+VCM vcm 0 0.8
+EP inp vcm vos 0 0.5
+EN inn vcm vos 0 -0.5
+
+* Comparator core (Fig. 10a), input pair at the quoted 8.32/0.13 device.
+M1 tail clk 0 nch w=10u l=0.13u
+M2 xp inp tail nch w=8.32u l=0.13u
+M3 xn inn tail nch w=8.32u l=0.13u
+M4 outp outn xp nch w=1.5u l=0.13u
+M5 outn outp xn nch w=1.5u l=0.13u
+M6 outp outn vdd pch w=1.5u l=0.13u
+M7 outn outp vdd pch w=1.5u l=0.13u
+M8 outp clk vdd pch w=3u l=0.13u
+M9 outn clk vdd pch w=3u l=0.13u
+M10 xp clk vdd pch w=2u l=0.13u
+M11 xn clk vdd pch w=2u l=0.13u
+
+* Regeneration loading.
+CXP xp 0 10f
+CXN xn 0 10f
+COP outp 0 40f
+CON outn 0 40f
+
+* Ideal integrator: C dvos/dt = -K (v(outp) - v(outn)).
+CINT vos 0 1p
+GINT vos 0 outn outp 1.0e-6
+
+.sigma pelgrom M* avt=6.5e-9 abeta=3.25e-8
+
+.pss 1.5n steps=384 warmup=4 tol=1e-8 step_limit=0.3
+.measure offset avg vos
+.end

@@ -1,0 +1,166 @@
+//! Golden-deck conformance suite: one `.sp` deck per demo circuit, each
+//! asserted *bit-identical* to its programmatic builder — the elaborated
+//! [`Circuit`] debug-compares equal (every node index, device value and
+//! mismatch annotation), and running the same campaign on both sides
+//! produces byte-identical results (`max_abs_diff` of every reported
+//! number is exactly 0).
+//!
+//! Rust's `Debug` for `f64` prints the shortest round-trip-exact decimal,
+//! so two debug strings are equal iff every float in them is bit-equal
+//! (modulo `-0.0`, which prints distinctly too) — debug-string equality
+//! *is* byte-identity here.
+
+use tranvar_circuits::dac::RStringDac;
+use tranvar_circuits::logic_path::{ArrivalOrder, LogicPath};
+use tranvar_circuits::ring_osc::RingOsc;
+use tranvar_circuits::strongarm::StrongArm;
+use tranvar_circuits::tech::Tech;
+use tranvar_core::dcmatch::dc_match;
+use tranvar_core::{Campaign, CampaignResult, MetricSpec, PssConfig, Scenario};
+use tranvar_netlist::{parse_and_elaborate, Elaboration};
+
+fn elaborate_deck(source: &str) -> Elaboration {
+    match parse_and_elaborate(source) {
+        Ok(e) => e,
+        Err(e) => panic!("golden deck failed to elaborate: {e} ({:?})", e),
+    }
+}
+
+/// Runs the same campaign on both circuits and asserts byte-identical
+/// results (nominal value, per-source contributions, sigma — everything
+/// the outcome debug-prints).
+fn assert_campaign_identical(
+    config: &PssConfig,
+    metrics: &[MetricSpec],
+    scenarios: &[Scenario],
+    deck_ckt: &tranvar_circuit::Circuit,
+    builder_ckt: &tranvar_circuit::Circuit,
+) {
+    let run = |ckt: &tranvar_circuit::Circuit| -> CampaignResult {
+        Campaign::new(config.clone(), metrics.to_vec())
+            .with_threads(1)
+            .run(ckt, scenarios)
+            .unwrap()
+    };
+    let a = run(deck_ckt);
+    let b = run(builder_ckt);
+    for (oa, ob) in a.outcomes.iter().zip(b.outcomes.iter()) {
+        assert_eq!(format!("{oa:?}"), format!("{ob:?}"));
+        let (ra, rb) = (oa.result.as_ref().unwrap(), ob.result.as_ref().unwrap());
+        for (rep_a, rep_b) in ra.reports.iter().zip(rb.reports.iter()) {
+            // max_abs_diff == 0, stated directly on the numbers.
+            assert_eq!(rep_a.nominal.to_bits(), rep_b.nominal.to_bits());
+            assert_eq!(rep_a.sigma().to_bits(), rep_b.sigma().to_bits());
+            for (ca, cb) in rep_a.contributions.iter().zip(rep_b.contributions.iter()) {
+                assert_eq!(ca.sensitivity.to_bits(), cb.sensitivity.to_bits());
+                assert_eq!(ca.sigma.to_bits(), cb.sigma.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn ring_osc_deck_matches_builder() {
+    let e = elaborate_deck(include_str!("decks/ring_osc.sp"));
+    let ring = RingOsc::paper(&Tech::t013());
+
+    assert_eq!(format!("{:?}", e.circuit), format!("{:?}", ring.circuit));
+    assert_eq!(e.scenarios, vec![Scenario::new("nominal", vec![])]);
+    assert_eq!(e.metrics.len(), 1);
+
+    // The deck's .pss osc card reproduces the builder's analysis exactly,
+    // including the arithmetic chain behind period_hint.
+    let config = e.analysis.as_ref().unwrap().pss_config().unwrap();
+    match &config {
+        PssConfig::Autonomous {
+            period_hint,
+            phase_node,
+            phase_value,
+            opts,
+        } => {
+            assert_eq!(period_hint.to_bits(), ring.period_hint.to_bits());
+            assert_eq!(*phase_node, ring.stages[0]);
+            assert_eq!(phase_value.to_bits(), ring.phase_value.to_bits());
+            assert_eq!(format!("{opts:?}"), format!("{:?}", ring.osc_options()));
+        }
+        other => panic!("unexpected config {other:?}"),
+    }
+
+    assert_campaign_identical(&config, &e.metrics, &e.scenarios, &e.circuit, &ring.circuit);
+}
+
+#[test]
+fn strongarm_deck_matches_builder() {
+    let e = elaborate_deck(include_str!("decks/strongarm.sp"));
+    let sa = StrongArm::paper(&Tech::t013());
+
+    assert_eq!(format!("{:?}", e.circuit), format!("{:?}", sa.circuit));
+
+    let config = e.analysis.as_ref().unwrap().pss_config().unwrap();
+    match &config {
+        PssConfig::Driven { period, opts } => {
+            assert_eq!(period.to_bits(), sa.period.to_bits());
+            assert_eq!(format!("{opts:?}"), format!("{:?}", sa.pss_options()));
+        }
+        other => panic!("unexpected config {other:?}"),
+    }
+    assert_eq!(
+        format!("{:?}", e.metrics),
+        format!("{:?}", vec![sa.offset_metric()])
+    );
+
+    assert_campaign_identical(&config, &e.metrics, &e.scenarios, &e.circuit, &sa.circuit);
+}
+
+#[test]
+fn logic_path_deck_matches_builder() {
+    let e = elaborate_deck(include_str!("decks/logic_path.sp"));
+    let lp = LogicPath::new(&Tech::t013(), ArrivalOrder::XFirst);
+
+    assert_eq!(format!("{:?}", e.circuit), format!("{:?}", lp.circuit));
+
+    let config = e.analysis.as_ref().unwrap().pss_config().unwrap();
+    match &config {
+        PssConfig::Driven { period, opts } => {
+            assert_eq!(period.to_bits(), lp.period.to_bits());
+            assert_eq!(format!("{opts:?}"), format!("{:?}", lp.pss_options()));
+        }
+        other => panic!("unexpected config {other:?}"),
+    }
+    assert_eq!(
+        format!("{:?}", e.metrics),
+        format!("{:?}", lp.delay_metrics())
+    );
+
+    assert_campaign_identical(&config, &e.metrics, &e.scenarios, &e.circuit, &lp.circuit);
+}
+
+#[test]
+fn dac_deck_matches_builder() {
+    let e = elaborate_deck(include_str!("decks/dac.sp"));
+    let dac = RStringDac::new(3, 1e3, 0.01, 1.6);
+
+    assert_eq!(format!("{:?}", e.circuit), format!("{:?}", dac.circuit));
+    assert!(e.analysis.is_none(), "the DAC deck is a pure DC-match deck");
+
+    // The DAC is the DC special case: run dc_match per code on both
+    // circuits and byte-compare the full reports and the eq. 13 DNL.
+    for k in 1..8usize {
+        let tap = e.circuit.find_node(&format!("tap{k}")).unwrap();
+        let from_deck = dc_match(&e.circuit, tap).unwrap();
+        let from_builder = dac.code_report(k).unwrap();
+        assert_eq!(format!("{from_deck:?}"), format!("{from_builder:?}"));
+        assert_eq!(
+            from_deck.sigma().to_bits(),
+            from_builder.sigma().to_bits(),
+            "code {k}"
+        );
+    }
+    let tap3 = e.circuit.find_node("tap3").unwrap();
+    let tap4 = e.circuit.find_node("tap4").unwrap();
+    let a = dc_match(&e.circuit, tap3).unwrap();
+    let b = dc_match(&e.circuit, tap4).unwrap();
+    let dnl_deck = tranvar_core::difference_sigma(&a, &b);
+    let dnl_builder = dac.dnl_sigma(3).unwrap();
+    assert_eq!(dnl_deck.to_bits(), dnl_builder.to_bits());
+}

@@ -12,7 +12,11 @@ use std::fmt;
 /// has to stringify or guess. The facade's `TranvarError::wire_status`
 /// turns the class into an HTTP status:
 ///
-/// - [`FailureClass::BadInput`] → 400 (bad deck, bad configuration),
+/// - [`FailureClass::BadInput`] → 400 (bad request envelope, bad
+///   configuration),
+/// - [`FailureClass::Unprocessable`] → 422 (the request envelope was valid
+///   but the document it carried — e.g. a submitted SPICE deck — could not
+///   be parsed or elaborated),
 /// - [`FailureClass::Unstable`] → 422 (the deck parsed but the solve failed:
 ///   non-convergence, singular/non-finite systems, missing crossings),
 /// - [`FailureClass::Exhausted`] → 504 (a cooperative budget/deadline
@@ -22,6 +26,9 @@ use std::fmt;
 pub enum FailureClass {
     /// The request/configuration itself is invalid.
     BadInput,
+    /// The request envelope was valid but the enclosed document (a netlist
+    /// deck) could not be parsed or elaborated.
+    Unprocessable,
     /// The input was well-formed but the numerics failed on it.
     Unstable,
     /// A cooperative work bound (budget, deadline) was exhausted.

@@ -7,7 +7,7 @@
 //!
 //! | Route | Purpose |
 //! |---|---|
-//! | `POST /analyze` | Run scenarios of a built-in deck ([`deck`]) through PSS → LPTV → variation reports |
+//! | `POST /analyze` | Run scenarios of a built-in deck ([`deck`]) — or, with `Content-Type: text/x-spice`, a raw SPICE deck in the body — through PSS → LPTV → variation reports |
 //! | `GET /healthz` | Liveness (always `200` while the process runs) |
 //! | `GET /readyz` | Readiness + counters (queue depth, worker liveness, shed/panic/cache stats) |
 //! | `POST /shutdown` | Graceful drain: stop accepting, finish queued work, exit |

@@ -275,7 +275,14 @@ fn admit(stream: &mut TcpStream, req: &Request, state: &Arc<State>) {
         respond(state, stream, &resp);
         return;
     }
-    let parsed = match wire::parse_request(&req.body) {
+    // `Content-Type: text/x-spice` selects the raw-deck body parser; the
+    // default stays the JSON wire format.
+    let parsed = if is_spice(req) {
+        crate::deck::from_spice(&req.body)
+    } else {
+        wire::parse_request(&req.body)
+    };
+    let parsed = match parsed {
         Ok(p) => p,
         Err(WireError {
             code,
@@ -325,6 +332,14 @@ fn admit(stream: &mut TcpStream, req: &Request, state: &Arc<State>) {
             respond(state, &mut job.stream, &resp);
         }
     }
+}
+
+/// Whether the request body is a raw SPICE deck (by media type, ignoring
+/// any `;charset=` parameter).
+fn is_spice(req: &Request) -> bool {
+    req.header("content-type")
+        .and_then(|v| v.split(';').next())
+        .is_some_and(|v| v.trim().eq_ignore_ascii_case("text/x-spice"))
 }
 
 /// `Retry-After` grows with queue depth: an empty-but-closed or barely
@@ -504,6 +519,17 @@ fn handle(state: &State, job: &Job) -> Response {
 fn pss_config(req: &AnalyzeRequest, budget: &SolveBudget) -> tranvar::core::PssConfig {
     let mut opts = PssOptions::default();
     opts.n_steps = req.n_steps;
+    // Deck-supplied tuning (`.pss warmup= tol= step_limit=`); the deck
+    // name is a content hash of the text, so these are in the cache key.
+    if let Some(w) = req.warmup_cycles {
+        opts.warmup_cycles = w;
+    }
+    if let Some(t) = req.tol {
+        opts.tol = t;
+    }
+    if let Some(s) = req.step_limit {
+        opts.newton.step_limit = s;
+    }
     opts.newton.budget = budget.clone();
     tranvar::core::PssConfig::Driven {
         period: req.period,

@@ -25,6 +25,13 @@ pub struct AnalyzeRequest {
     pub period: f64,
     /// Shooting steps per period.
     pub n_steps: usize,
+    /// Warm-up cycles before shooting (deck `.pss warmup=`; JSON requests
+    /// leave this `None` and take the solver default).
+    pub warmup_cycles: Option<usize>,
+    /// Shooting convergence tolerance (deck `.pss tol=`).
+    pub tol: Option<f64>,
+    /// Inner-Newton update clamp (deck `.pss step_limit=`).
+    pub step_limit: Option<f64>,
     /// Escalate failing solves through the periodic retry ladder.
     pub retry: bool,
     /// Wall-clock deadline for the whole request, queue wait included.
@@ -155,6 +162,9 @@ pub fn parse_request(body: &str) -> Result<AnalyzeRequest, WireError> {
         circuit,
         period,
         n_steps,
+        warmup_cycles: None,
+        tol: None,
+        step_limit: None,
         retry,
         deadline_ms,
         metrics,

@@ -22,9 +22,21 @@ impl Reply {
 /// Sends one request and reads the full response (the daemon always
 /// answers `Connection: close`, so EOF frames the body).
 pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
+    request_typed(addr, method, path, None, body)
+}
+
+/// Like [`request`], with an explicit `Content-Type` header.
+pub fn request_typed(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &str,
+) -> Reply {
     let mut s = TcpStream::connect(addr).expect("connect to daemon");
+    let ct = content_type.map_or(String::new(), |t| format!("content-type: {t}\r\n"));
     let head = format!(
-        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nhost: test\r\n{ct}content-length: {}\r\n\r\n",
         body.len()
     );
     s.write_all(head.as_bytes()).unwrap();
@@ -40,6 +52,12 @@ pub fn get(addr: SocketAddr, path: &str) -> Reply {
 
 pub fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
     request(addr, "POST", path, body)
+}
+
+/// POSTs a raw SPICE deck (`Content-Type: text/x-spice`).
+#[allow(dead_code)] // not every test binary posts decks
+pub fn post_spice(addr: SocketAddr, path: &str, deck: &str) -> Reply {
+    request_typed(addr, "POST", path, Some("text/x-spice"), deck)
 }
 
 fn parse_reply(raw: &str) -> Reply {

@@ -4,7 +4,7 @@
 
 mod common;
 
-use common::{counter, get, post};
+use common::{counter, get, post, post_spice};
 use std::net::TcpStream;
 use tranvar::circuit::CircuitOverride;
 use tranvar::core::{Campaign, Metric, MetricSpec, PssConfig, Scenario};
@@ -112,6 +112,94 @@ fn analyze_is_byte_identical_to_in_process_campaign_for_any_worker_count() {
         server.shutdown();
         server.join();
     }
+}
+
+/// A raw SPICE deck equivalent to the built-in divider testbench, with a
+/// σ-doubling sweep so the response carries two scenarios off one solve.
+const SPICE: &str = "served divider\n\
+    V1 a 0 2.0\n\
+    R1 a b 1e3\n\
+    R2 b 0 1e3\n\
+    C1 b 0 1p\n\
+    .sigma r R* sigma=10.0\n\
+    .sweep sigma 1.0 2.0\n\
+    .pss 1u steps=16\n\
+    .measure vout avg b\n\
+    .end\n";
+
+#[test]
+fn raw_spice_decks_are_served_end_to_end() {
+    // The in-process oracle: elaborate the same text, run the campaign,
+    // render through the shared serializer. The daemon must match it
+    // byte-for-byte under the deck's content-addressed name.
+    let e = tranvar::netlist::parse_and_elaborate(SPICE).unwrap();
+    let config = e.analysis.as_ref().unwrap().pss_config().unwrap();
+    let oracle = Campaign::new(config, e.metrics.clone())
+        .run(&e.circuit, &e.scenarios)
+        .unwrap();
+    assert_eq!(oracle.n_unique_solves, 1); // the σ sweep shares one solve
+    let name = tranvar_serve::deck::spice_name(SPICE);
+    let (oracle_status, oracle_body) = body_from_campaign(&name, &oracle);
+    assert_eq!(oracle_status, 200);
+
+    let server = start(2, 8);
+    let addr = server.addr();
+
+    let cold = post_spice(addr, "/analyze", SPICE);
+    assert_eq!(cold.status, 200, "body: {}", cold.body);
+    assert_eq!(cold.body, oracle_body);
+    assert_eq!(cold.header("x-tranvar-cache-misses"), Some("1"));
+
+    // Re-posting the identical text hits the content-addressed cache.
+    let warm = post_spice(addr, "/analyze", SPICE);
+    assert_eq!(warm.body, oracle_body);
+    assert_eq!(warm.header("x-tranvar-cache-hits"), Some("1"));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_spice_decks_get_spanned_422s() {
+    let server = start(1, 8);
+    let addr = server.addr();
+
+    // An elaboration failure: the typed netlist code, 422, and the line.
+    let r = post_spice(addr, "/analyze", &SPICE.replace("1e3", "'r0'"));
+    assert_eq!(r.status, 422, "body: {}", r.body);
+    assert!(
+        r.body.contains("\"code\":\"netlist.undefined-param\""),
+        "{}",
+        r.body
+    );
+    assert!(r.body.contains("line 3"), "{}", r.body);
+
+    // A lex failure: still typed, still 422.
+    let r = post_spice(addr, "/analyze", "t\nR1 a b 'oops\n.end\n");
+    assert_eq!(r.status, 422);
+    assert!(r.body.contains("\"code\":\"netlist.syntax\""), "{}", r.body);
+
+    // A deck with nothing to serve.
+    let r = post_spice(addr, "/analyze", &SPICE.replace(".pss 1u steps=16\n", ""));
+    assert_eq!(r.status, 422);
+    assert!(
+        r.body.contains("\"code\":\"serve.unservable-deck\""),
+        "{}",
+        r.body
+    );
+
+    // Without the content type, the same bytes are JSON — and rejected
+    // as such, proving the dispatch is header-driven.
+    let r = post(addr, "/analyze", SPICE);
+    assert_eq!(r.status, 400);
+    assert!(
+        r.body.contains("\"code\":\"serve.bad-request\""),
+        "{}",
+        r.body
+    );
+
+    server.shutdown();
+    server.join();
 }
 
 #[test]

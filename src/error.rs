@@ -37,8 +37,12 @@
 //!   invariant was violated (a bug surfaced as a typed error rather than
 //!   a panic in library code).
 //!
-//! Bad input (`circuit.*`, `*.bad-config`) answers 400. The serving
-//! layer (`tranvar-serve`) adds its own request-level codes on top —
+//! Bad input (`circuit.*`, `*.bad-config`) answers 400. A SPICE deck
+//! that fails to parse or elaborate (`netlist.*`, 422) is
+//! *unprocessable*: the request was syntactically a valid submission but
+//! its content cannot be turned into a circuit — every such error
+//! carries the offending line and column. The serving layer
+//! (`tranvar-serve`) adds its own request-level codes on top —
 //! `serve.shed` (429, queue full, with `Retry-After`),
 //! `serve.bad-request` / `serve.unknown-deck` (400), `serve.draining`
 //! (503) — see the README's failure-taxonomy table for the full wire
@@ -55,6 +59,7 @@ use tranvar_circuit::CircuitError;
 use tranvar_core::CoreError;
 use tranvar_engine::EngineError;
 use tranvar_lptv::LptvError;
+use tranvar_netlist::NetlistError;
 use tranvar_num::{FailureClass, NumError, WireFault};
 use tranvar_pss::PssError;
 
@@ -78,6 +83,7 @@ pub struct WireStatus {
 pub fn http_status_of(class: FailureClass) -> u16 {
     match class {
         FailureClass::BadInput => 400,
+        FailureClass::Unprocessable => 422,
         FailureClass::Unstable => 422,
         FailureClass::Exhausted => 504,
         FailureClass::Internal => 500,
@@ -101,6 +107,7 @@ impl TranvarError {
             TranvarError::Pss(e) => e.wire_fault(),
             TranvarError::Lptv(e) => e.wire_fault(),
             TranvarError::Core(e) => e.wire_fault(),
+            TranvarError::Netlist(e) => e.wire_fault(),
         };
         WireStatus {
             code: fault.code,
@@ -126,6 +133,8 @@ pub enum TranvarError {
     Lptv(LptvError),
     /// Analysis-flow failure (metrics, campaign configuration).
     Core(CoreError),
+    /// SPICE deck parse/elaboration failure (spanned).
+    Netlist(NetlistError),
 }
 
 impl fmt::Display for TranvarError {
@@ -137,6 +146,7 @@ impl fmt::Display for TranvarError {
             TranvarError::Pss(e) => write!(f, "pss error: {e}"),
             TranvarError::Lptv(e) => write!(f, "lptv error: {e}"),
             TranvarError::Core(e) => write!(f, "analysis error: {e}"),
+            TranvarError::Netlist(e) => write!(f, "netlist error: {e}"),
         }
     }
 }
@@ -150,6 +160,7 @@ impl Error for TranvarError {
             TranvarError::Pss(e) => Some(e),
             TranvarError::Lptv(e) => Some(e),
             TranvarError::Core(e) => Some(e),
+            TranvarError::Netlist(e) => Some(e),
         }
     }
 }
@@ -182,6 +193,11 @@ impl From<LptvError> for TranvarError {
 impl From<CoreError> for TranvarError {
     fn from(e: CoreError) -> Self {
         TranvarError::Core(e)
+    }
+}
+impl From<NetlistError> for TranvarError {
+    fn from(e: NetlistError) -> Self {
+        TranvarError::Netlist(e)
     }
 }
 
@@ -270,6 +286,25 @@ mod tests {
                 CoreError::BadConfig("workers".into()).into(),
                 "core.bad-config",
                 400,
+            ),
+            // Unprocessable decks: 422, with the offending span preserved.
+            (
+                NetlistError::Syntax {
+                    span: tranvar_netlist::Span::new(3, 7),
+                    what: "expected a node".into(),
+                }
+                .into(),
+                "netlist.syntax",
+                422,
+            ),
+            (
+                NetlistError::DanglingNode {
+                    span: tranvar_netlist::Span::new(4, 1),
+                    node: "x".into(),
+                }
+                .into(),
+                "netlist.dangling-node",
+                422,
             ),
             // Numerically unstable solves on a well-formed request: 422.
             (NumError::Singular { col: 1 }.into(), "num.singular", 422),

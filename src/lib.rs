@@ -33,6 +33,7 @@
 //! | [`lptv`] | periodic BVP solver, harmonic transfers, PNOISE, statistical waveforms |
 //! | [`core`] | the paper's flow: metrics, reports, correlations, yield sensitivities, mixtures, scenario campaigns |
 //! | [`circuits`] | StrongARM comparator, logic path, ring oscillator, DAC, technology |
+//! | [`netlist`] | SPICE deck frontend: parse + elaborate text netlists into circuits and campaigns |
 //!
 //! ## Quickstart
 //!
@@ -156,6 +157,7 @@ pub use tranvar_circuits as circuits;
 pub use tranvar_core as core;
 pub use tranvar_engine as engine;
 pub use tranvar_lptv as lptv;
+pub use tranvar_netlist as netlist;
 pub use tranvar_num as num;
 pub use tranvar_pss as pss;
 
